@@ -1,0 +1,323 @@
+// Package repro's root-level benchmark harness regenerates every table
+// and figure of the paper's evaluation at paper scale:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark reports the paper-comparable quantities as custom
+// metrics (miss ratios, miss rates, CPI, compositionality) and logs the
+// rendered artifact, so bench_output.txt doubles as the reproduction
+// record referenced by EXPERIMENTS.md. Paper-scale studies are computed
+// once and shared across benchmarks; each benchmark's loop then measures
+// one meaningful stage (a full simulation run, a solver invocation, an
+// assignment search).
+package repro
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/workloads"
+)
+
+var (
+	benchCfg = experiments.Config{
+		Scale:       workloads.Paper,
+		Platform:    experiments.Default().Platform,
+		ProfileRuns: 1,
+	}
+
+	app1Once  sync.Once
+	app1Study *experiments.Study
+	app1Err   error
+
+	app2Once  sync.Once
+	app2Study *experiments.Study
+	app2Err   error
+)
+
+func app1(b *testing.B) *experiments.Study {
+	b.Helper()
+	app1Once.Do(func() { app1Study, app1Err = experiments.App1(benchCfg) })
+	if app1Err != nil {
+		b.Fatal(app1Err)
+	}
+	return app1Study
+}
+
+func app2(b *testing.B) *experiments.Study {
+	b.Helper()
+	app2Once.Do(func() { app2Study, app2Err = experiments.App2(benchCfg) })
+	if app2Err != nil {
+		b.Fatal(app2Err)
+	}
+	return app2Study
+}
+
+// BenchmarkTable1 regenerates the Table 1 allocation (the section 3.2
+// solver stage) for 2×JPEG + Canny.
+func BenchmarkTable1(b *testing.B) {
+	s := app1(b)
+	w := workloads.JPEGCanny(workloads.Paper, nil)
+	b.ResetTimer()
+	var opt *core.OptimizeResult
+	for i := 0; i < b.N; i++ {
+		app, err := w.Factory()
+		if err != nil {
+			b.Fatal(err)
+		}
+		opt, err = core.OptimizeFromCurves(app, s.Opt.Curves, core.OptimizeConfig{
+			Platform: benchCfg.Platform,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(opt.Allocation.TotalUnits()), "alloc-units")
+	b.Logf("\n%s", experiments.AllocationTable(s, "Table 1: allocated L2 units, 2 jpegs & canny"))
+}
+
+// BenchmarkTable2 regenerates the Table 2 allocation for MPEG-2.
+func BenchmarkTable2(b *testing.B) {
+	s := app2(b)
+	w := workloads.MPEG2(workloads.Paper, nil)
+	b.ResetTimer()
+	var opt *core.OptimizeResult
+	for i := 0; i < b.N; i++ {
+		app, err := w.Factory()
+		if err != nil {
+			b.Fatal(err)
+		}
+		opt, err = core.OptimizeFromCurves(app, s.Opt.Curves, core.OptimizeConfig{
+			Platform: benchCfg.Platform,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(opt.Allocation.TotalUnits()), "alloc-units")
+	b.Logf("\n%s", experiments.AllocationTable(s, "Table 2: allocated L2 units, mpeg2"))
+}
+
+// BenchmarkFigure2JpegCanny measures a full partitioned simulation of
+// application 1 and reports the Figure 2 headline: misses vs shared.
+func BenchmarkFigure2JpegCanny(b *testing.B) {
+	s := app1(b)
+	w := workloads.JPEGCanny(workloads.Paper, nil)
+	b.ResetTimer()
+	var part *core.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		part, err = core.Run(w, core.RunConfig{
+			Platform: benchCfg.Platform, Strategy: core.Partitioned, Alloc: s.Opt.Allocation,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(s.Shared.TotalMisses())/float64(part.TotalMisses()), "miss-ratio(paper=5)")
+	b.Logf("\n%s", experiments.Figure2(s))
+}
+
+// BenchmarkFigure2Mpeg2 is the MPEG-2 panel of Figure 2.
+func BenchmarkFigure2Mpeg2(b *testing.B) {
+	s := app2(b)
+	w := workloads.MPEG2(workloads.Paper, nil)
+	b.ResetTimer()
+	var part *core.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		part, err = core.Run(w, core.RunConfig{
+			Platform: benchCfg.Platform, Strategy: core.Partitioned, Alloc: s.Opt.Allocation,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(s.Shared.TotalMisses())/float64(part.TotalMisses()), "miss-ratio(paper=6.5)")
+	b.Logf("\n%s", experiments.Figure2(s))
+}
+
+// BenchmarkFigure3JpegCanny measures the profiling pass (expected-miss
+// prediction) behind Figure 3 and reports the compositionality metric.
+func BenchmarkFigure3JpegCanny(b *testing.B) {
+	s := app1(b)
+	w := workloads.JPEGCanny(workloads.Paper, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Profile(w, core.OptimizeConfig{Platform: benchCfg.Platform, Runs: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(s.Compose.MaxRelDiff*100, "maxreldiff-%(paper<=2)")
+	chart, _ := experiments.Figure3(s)
+	b.Logf("\n%s", chart)
+}
+
+// BenchmarkFigure3Mpeg2 is the MPEG-2 panel of Figure 3.
+func BenchmarkFigure3Mpeg2(b *testing.B) {
+	s := app2(b)
+	w := workloads.MPEG2(workloads.Paper, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Profile(w, core.OptimizeConfig{Platform: benchCfg.Platform, Runs: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(s.Compose.MaxRelDiff*100, "maxreldiff-%(paper<=2)")
+	chart, _ := experiments.Figure3(s)
+	b.Logf("\n%s", chart)
+}
+
+// BenchmarkHeadlineJpegCanny measures the shared-cache baseline run of
+// application 1 and reports the in-text headline metrics.
+func BenchmarkHeadlineJpegCanny(b *testing.B) {
+	s := app1(b)
+	w := workloads.JPEGCanny(workloads.Paper, nil)
+	b.ResetTimer()
+	var shared *core.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		shared, err = core.Run(w, core.RunConfig{Platform: benchCfg.Platform})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(shared.L2MissRate*100, "shared-missrate-%(paper=9.46)")
+	b.ReportMetric(s.Part.L2MissRate*100, "part-missrate-%(paper=2.21)")
+	b.ReportMetric(shared.CPIMean, "shared-CPI(paper=1.4)")
+	b.ReportMetric(s.Part.CPIMean, "part-CPI(paper=1.1)")
+}
+
+// BenchmarkHeadlineMpeg2 reports the MPEG-2 headline metrics.
+func BenchmarkHeadlineMpeg2(b *testing.B) {
+	s := app2(b)
+	w := workloads.MPEG2(workloads.Paper, nil)
+	b.ResetTimer()
+	var shared *core.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		shared, err = core.Run(w, core.RunConfig{Platform: benchCfg.Platform})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(shared.L2MissRate*100, "shared-missrate-%(paper=5.1)")
+	b.ReportMetric(s.Part.L2MissRate*100, "part-missrate-%(paper=0.8)")
+	b.ReportMetric(shared.CPIMean, "shared-CPI(paper~1.75)")
+	b.ReportMetric(s.Part.CPIMean, "part-CPI(paper~1.65)")
+}
+
+// BenchmarkHeadlineMpeg2OneMB reproduces the paper's 1 MB shared-L2
+// MPEG-2 data point.
+func BenchmarkHeadlineMpeg2OneMB(b *testing.B) {
+	w := workloads.MPEG2(workloads.Paper, nil)
+	pc := benchCfg.Platform
+	pc.L2.Sets *= 2
+	b.ResetTimer()
+	var res *core.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = core.Run(w, core.RunConfig{Platform: pc})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.L2MissRate*100, "missrate-%(paper=0.6)")
+	b.ReportMetric(res.CPIMean, "CPI(paper=1.7)")
+}
+
+// BenchmarkCompositionality is extension X1: jpeg1's misses alone vs
+// co-scheduled, under the partitioned cache (the loop measures the solo
+// partitioned run).
+func BenchmarkCompositionality(b *testing.B) {
+	s := app1(b)
+	solo := workloads.JPEG1Only(workloads.Paper)
+	b.ResetTimer()
+	var soloPart *core.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		soloPart, err = core.Run(solo, core.RunConfig{
+			Platform: benchCfg.Platform, Strategy: core.Partitioned, Alloc: s.Opt.Allocation,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	sum := func(r *core.Result) float64 {
+		var t uint64
+		for _, n := range []string{"FrontEnd1", "IDCT1", "Raster1", "BackEnd1"} {
+			if e := r.Entity(n); e != nil {
+				t += e.Misses
+			}
+		}
+		return float64(t)
+	}
+	soloM, corunM := sum(soloPart), sum(s.Part)
+	shift := (corunM - soloM) / soloM
+	if shift < 0 {
+		shift = -shift
+	}
+	b.ReportMetric(shift*100, "partitioned-shift-%")
+}
+
+// BenchmarkGranularityAblation is extension X2: resolving the same
+// program at column-caching (whole-way) granularity.
+func BenchmarkGranularityAblation(b *testing.B) {
+	s := app1(b)
+	w := workloads.JPEGCanny(workloads.Paper, nil)
+	wayUnits := benchCfg.Platform.L2.Sets / 8 / benchCfg.Platform.L2.Ways
+	b.ResetTimer()
+	feasible := 0
+	for i := 0; i < b.N; i++ {
+		app, err := w.Factory()
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, err = core.OptimizeFromCurves(app, s.Opt.Curves, core.OptimizeConfig{
+			Platform: benchCfg.Platform,
+			Sizes:    []int{wayUnits},
+		})
+		if err == nil {
+			feasible++
+		}
+	}
+	b.ReportMetric(float64(feasible)/float64(b.N), "way-granularity-feasible")
+}
+
+// BenchmarkAssignment is extension X3: the section 3.1 assignment search
+// over measured task times.
+func BenchmarkAssignment(b *testing.B) {
+	s := app1(b)
+	cpus := benchCfg.Platform.NumCPUs
+	b.ResetTimer()
+	var lptMk, lsMk uint64
+	for i := 0; i < b.N; i++ {
+		lpt := core.AssignLPT(s.Part.TaskCycles, cpus)
+		loads, err := core.ProcessorLoads(s.Part.TaskCycles, lpt, cpus)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lptMk = core.Makespan(loads)
+		ls := core.AssignLocalSearch(s.Part.TaskCycles, cpus, lpt)
+		loads, _ = core.ProcessorLoads(s.Part.TaskCycles, ls, cpus)
+		lsMk = core.Makespan(loads)
+	}
+	b.ReportMetric(float64(lptMk), "LPT-makespan")
+	b.ReportMetric(float64(lsMk), "localsearch-makespan")
+	b.Logf("\n%s", experiments.Assignment(s, cpus))
+}
+
+// BenchmarkSmallAppEndToEnd measures the simulator's throughput on the
+// small-scale application (useful for tracking simulator performance).
+func BenchmarkSmallAppEndToEnd(b *testing.B) {
+	w := workloads.JPEGCanny(workloads.Small, nil)
+	pc := experiments.Small().Platform
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run(w, core.RunConfig{Platform: pc}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

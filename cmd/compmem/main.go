@@ -1,0 +1,204 @@
+// Command compmem regenerates the evaluation artifacts of "Compositional
+// memory systems for multimedia communicating tasks" (Molnos et al.,
+// DATE 2005) on the simulated CAKE platform.
+//
+// Usage:
+//
+//	compmem [-small] [-runs N] [-solver mckp|ilp] <command>
+//
+// Commands:
+//
+//	table1    optimized L2 allocation for 2×JPEG + Canny (paper Table 1)
+//	table2    optimized L2 allocation for MPEG-2 (paper Table 2)
+//	fig2      shared vs partitioned misses per entity (paper Figure 2)
+//	fig3      expected vs simulated misses (paper Figure 3)
+//	headline  miss ratios, miss rates and CPI for both apps (section 5)
+//	compose   compositionality ablation: jpeg1 alone vs co-scheduled (X1)
+//	granularity  set- vs way-partitioning comparison (X2)
+//	assign    task-to-processor assignment search, section 3.1 model (X3)
+//	split     task-unified vs split instruction/data partitions (X4)
+//	migration schedule sensitivity under task migration (X5)
+//	curves    dump the profiled per-entity miss curves m_i(z_p)
+//	all       everything above
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/profile"
+	"repro/internal/workloads"
+)
+
+func main() {
+	small := flag.Bool("small", false, "use the fast, small-scale workloads")
+	runs := flag.Int("runs", 2, "profiling repetitions for miss-curve averaging")
+	solver := flag.String("solver", "mckp", "partitioning solver: mckp or ilp")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: compmem [flags] table1|table2|fig2|fig3|headline|compose|granularity|split|migration|assign|all\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := experiments.Default()
+	if *small {
+		cfg = experiments.Small()
+	}
+	cfg.ProfileRuns = *runs
+	switch *solver {
+	case "mckp":
+		cfg.Solver = core.SolverMCKP
+	case "ilp":
+		cfg.Solver = core.SolverILP
+	default:
+		fatal(fmt.Errorf("unknown solver %q", *solver))
+	}
+
+	cmd := flag.Arg(0)
+	if err := run(cmd, cfg); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "compmem:", err)
+	os.Exit(1)
+}
+
+func run(cmd string, cfg experiments.Config) error {
+	switch cmd {
+	case "table1":
+		s, err := experiments.App1(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.AllocationTable(s, "Table 1: allocated L2 units, 2 jpegs & canny"))
+	case "table2":
+		s, err := experiments.App2(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.AllocationTable(s, "Table 2: allocated L2 units, mpeg2"))
+	case "fig2":
+		for _, f := range []func(experiments.Config) (*experiments.Study, error){
+			experiments.App1, experiments.App2,
+		} {
+			s, err := f(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.Figure2(s))
+			fmt.Printf("total: shared %d vs partitioned %d (%.2fx)\n\n",
+				s.Shared.TotalMisses(), s.Part.TotalMisses(), s.MissRatio())
+		}
+	case "fig3":
+		for _, f := range []func(experiments.Config) (*experiments.Study, error){
+			experiments.App1, experiments.App2,
+		} {
+			s, err := f(cfg)
+			if err != nil {
+				return err
+			}
+			chart, rep := experiments.Figure3(s)
+			fmt.Println(chart)
+			fmt.Printf("compositional at the paper's 2%% threshold: %v (max %.3f%%, mean %.3f%%)\n\n",
+				rep.Compositional(0.02), rep.MaxRelDiff*100, rep.MeanRelDiff*100)
+		}
+	case "curves":
+		curves, err := core.Profile(workloadFor(cfg, true), core.OptimizeConfig{
+			Platform: cfg.Platform, Runs: cfg.ProfileRuns, Solver: cfg.Solver,
+		})
+		if err != nil {
+			return err
+		}
+		printCurves("2jpeg+canny", curves)
+		curves, err = core.Profile(workloadFor(cfg, false), core.OptimizeConfig{
+			Platform: cfg.Platform, Runs: cfg.ProfileRuns, Solver: cfg.Solver,
+		})
+		if err != nil {
+			return err
+		}
+		printCurves("mpeg2", curves)
+	case "headline":
+		tab, _, err := experiments.Headline(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tab)
+	case "compose":
+		_, tab, err := experiments.Composition(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tab)
+	case "granularity":
+		tab, err := experiments.Granularity(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tab)
+	case "split":
+		tab, err := experiments.SplitSections(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tab)
+	case "migration":
+		tab, err := experiments.Migration(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tab)
+	case "assign":
+		s, err := experiments.App1(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.Assignment(s, cfg.Platform.NumCPUs))
+		s2, err := experiments.App2(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.Assignment(s2, cfg.Platform.NumCPUs))
+	case "all":
+		for _, c := range []string{"headline", "table1", "table2", "fig2", "fig3", "compose", "granularity", "split", "migration", "assign"} {
+			if err := run(c, cfg); err != nil {
+				return fmt.Errorf("%s: %w", c, err)
+			}
+		}
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+	return nil
+}
+
+// workloadFor selects one of the two evaluation applications.
+func workloadFor(cfg experiments.Config, app1 bool) core.Workload {
+	if app1 {
+		return workloads.JPEGCanny(cfg.Scale, nil)
+	}
+	return workloads.MPEG2(cfg.Scale, nil)
+}
+
+// printCurves dumps the per-entity miss curves m_i(z_p), the raw input of
+// the section 3.2 optimization.
+func printCurves(app string, curves []profile.Curve) {
+	fmt.Printf("miss curves m_i(z) for %s (misses at 1..128 units):\n", app)
+	for _, c := range curves {
+		if c.Accesses == 0 {
+			continue
+		}
+		fmt.Printf("  %-14s acc=%8.0f  ", c.Entity, c.Accesses)
+		for k, m := range c.Misses {
+			fmt.Printf("%d:%.0f ", c.Sizes[k], m)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,401 @@
+// Package canny implements the line-based Canny edge-detection pipeline
+// of the paper's first application: Fr.canny (frame source), LowPass
+// (Gaussian smoothing), HorizSobel and VertSobel (gradients), HorizNMS
+// and VertNMS (non-maximum suppression), and MaxTreshold (edge decision),
+// matching the seven task names of Table 1 (including the paper's
+// spelling of MaxTreshold).
+//
+// Every stage consumes and produces whole image lines over FIFOs, keeping
+// a sliding window of lines in its private heap — the classic line-based
+// streaming structure whose buffers the paper partitions. The output edge
+// map is verified bit-exactly against a plain-Go reference.
+package canny
+
+import (
+	"fmt"
+
+	"repro/internal/apps/sections"
+	"repro/internal/apps/synth"
+	"repro/internal/core"
+	"repro/internal/kpn"
+	"repro/internal/mem"
+)
+
+// Config describes one edge-detection instance.
+type Config struct {
+	Width, Height int
+	Frames        int
+	Threshold     int32  // edge decision threshold on summed NMS output
+	Seed          uint64 // input-image seed
+	CPUs          [7]int // static CPUs of the 7 tasks in pipeline order
+}
+
+// Default returns a 512×384 single-frame detector.
+func Default(seed uint64) Config {
+	return Config{Width: 512, Height: 384, Frames: 1, Threshold: 60, Seed: seed}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Width < 8 || c.Height < 8 {
+		return fmt.Errorf("canny: size %dx%d too small", c.Width, c.Height)
+	}
+	if c.Frames <= 0 {
+		return fmt.Errorf("canny: %d frames", c.Frames)
+	}
+	if c.Threshold <= 0 {
+		return fmt.Errorf("canny: threshold %d", c.Threshold)
+	}
+	return nil
+}
+
+// Pipeline is one built detector plus verification data.
+type Pipeline struct {
+	Config
+	Out       *kpn.Frame
+	Reference []byte
+}
+
+type secs struct {
+	data *mem.Region
+	bss  *mem.Region
+}
+
+// Per-stage private table sizes: coefficient pyramids, angle LUTs and
+// threshold maps that real edge-detection kernels keep resident.
+const (
+	stageTabBytes = 16 * 1024
+	nmsTabBytes   = 8 * 1024
+)
+
+// Build adds the seven tasks, their FIFOs and the output frame.
+func Build(b *core.Builder, cfg Config) (*Pipeline, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Pipeline{Config: cfg}
+	sc := secs{data: b.ApplData(), bss: b.ApplBSS()}
+	w := cfg.Width
+
+	srcF := b.AddFIFO("canSrc", w, 8)
+	lpH := b.AddFIFO("canLPH", w, 8) // LowPass -> HorizSobel
+	lpV := b.AddFIFO("canLPV", w, 8) // LowPass -> VertSobel
+	gxF := b.AddFIFO("canGx", w, 8)
+	gyF := b.AddFIFO("canGy", w, 8)
+	hnF := b.AddFIFO("canHN", w, 8)
+	vnF := b.AddFIFO("canVN", w, 8)
+	p.Out = b.AddFrame("canOut", cfg.Width, cfg.Height, 1)
+
+	// Source: the captured frames live in a dedicated capture buffer, as
+	// a camera DMA target would; Fr.canny only streams lines out of it.
+	inputBytes := uint64(cfg.Width*cfg.Height) * uint64(cfg.Frames)
+	inBuf := b.AddBuffer("canIn", inputBytes)
+	preloadInput(inBuf, cfg)
+	b.AddTask(core.TaskConfig{
+		Name: "Fr. canny", CPU: cfg.CPUs[0],
+		CodeSize: 20 * 1024, HotCode: 7 * 1024, HeapSize: 2 * 1024,
+		Body: sourceBody(cfg, srcF, inBuf),
+	})
+
+	lp := b.AddTask(core.TaskConfig{
+		Name: "LowPass", CPU: cfg.CPUs[1],
+		CodeSize: 20 * 1024, HotCode: 7 * 1024,
+		HeapSize: uint64(3*w) + stageTabBytes + 1024,
+		Body:     lowPassBody(cfg, sc, srcF, lpH, lpV),
+	})
+	sections.FillTable(lp.Heap, uint64(3*w), stageTabBytes, cfg.Seed*3+1)
+	hs := b.AddTask(core.TaskConfig{
+		Name: "HorizSobel", CPU: cfg.CPUs[2],
+		CodeSize: 20 * 1024, HotCode: 7 * 1024,
+		HeapSize: uint64(3*w) + stageTabBytes + 1024,
+		Body:     sobelBody(cfg, sc, lpH, gxF, sections.KernelOff+36, 3),
+	})
+	sections.FillTable(hs.Heap, uint64(3*w), stageTabBytes, cfg.Seed*3+2)
+	vs := b.AddTask(core.TaskConfig{
+		Name: "VertSobel", CPU: cfg.CPUs[3],
+		CodeSize: 20 * 1024, HotCode: 7 * 1024,
+		HeapSize: uint64(3*w) + stageTabBytes + 1024,
+		Body:     sobelBody(cfg, sc, lpV, gyF, sections.KernelOff+72, 4),
+	})
+	sections.FillTable(vs.Heap, uint64(3*w), stageTabBytes, cfg.Seed*3+3)
+	hn := b.AddTask(core.TaskConfig{
+		Name: "HorizNMS", CPU: cfg.CPUs[4],
+		CodeSize: 20 * 1024, HotCode: 7 * 1024,
+		HeapSize: uint64(w) + nmsTabBytes + 1024,
+		Body:     horizNMSBody(cfg, sc, gxF, hnF),
+	})
+	sections.FillTable(hn.Heap, uint64(w), nmsTabBytes, cfg.Seed*3+4)
+	vn := b.AddTask(core.TaskConfig{
+		Name: "VertNMS", CPU: cfg.CPUs[5],
+		CodeSize: 20 * 1024, HotCode: 7 * 1024,
+		HeapSize: uint64(3*w) + nmsTabBytes + 1024,
+		Body:     vertNMSBody(cfg, sc, gyF, vnF),
+	})
+	sections.FillTable(vn.Heap, uint64(3*w), nmsTabBytes, cfg.Seed*3+5)
+	mt := b.AddTask(core.TaskConfig{
+		Name: "MaxTreshold", CPU: cfg.CPUs[6],
+		CodeSize: 20 * 1024, HotCode: 7 * 1024,
+		HeapSize: uint64(w) + nmsTabBytes + 1024,
+		Body:     thresholdBody(cfg, sc, hnF, vnF, p.Out),
+	})
+	sections.FillTable(mt.Heap, uint64(w), nmsTabBytes, cfg.Seed*3+6)
+
+	p.Reference = reference(cfg)
+	return p, nil
+}
+
+// preloadInput stores the synthetic input frames in the capture buffer.
+func preloadInput(buf *mem.Region, cfg Config) {
+	bs := buf.Bytes()
+	for f := 0; f < cfg.Frames; f++ {
+		img := synth.GenerateImage(cfg.Width, cfg.Height, cfg.Seed+uint64(f)*131)
+		copy(bs[f*cfg.Width*cfg.Height:], img.Pix)
+	}
+}
+
+func sourceBody(cfg Config, out *kpn.FIFO, inBuf *mem.Region) func(*kpn.Ctx) {
+	return func(c *kpn.Ctx) {
+		line := make([]byte, cfg.Width)
+		for f := 0; f < cfg.Frames; f++ {
+			base := uint64(f * cfg.Width * cfg.Height)
+			for y := 0; y < cfg.Height; y++ {
+				c.LoadBytes(inBuf, base+uint64(y*cfg.Width), line)
+				c.Exec(uint64(cfg.Width / 4))
+				out.Write(c, line)
+			}
+		}
+		out.Close()
+	}
+}
+
+// slidingWindow runs a 3-line kernel task: it keeps the last three lines
+// in the private heap and calls emit(prev, cur, next) for every output
+// line, with replicated borders, for every frame of cfg.Frames.
+func slidingWindow(c *kpn.Ctx, cfg Config, in *kpn.FIFO,
+	emit func(prev, cur, next uint64)) {
+	heap := c.Heap()
+	w := uint64(cfg.Width)
+	line := make([]byte, cfg.Width)
+	rows := [3]uint64{0, w, 2 * w} // heap offsets of the window lines
+	for f := 0; f < cfg.Frames; f++ {
+		count := 0
+		var prev, cur int
+		for y := 0; y < cfg.Height; y++ {
+			if !in.Read(c, line) {
+				return
+			}
+			slot := y % 3
+			c.StoreBytes(heap, rows[slot], line)
+			switch count {
+			case 0:
+				prev, cur = slot, slot
+			case 1:
+				emit(rows[prev], rows[cur], rows[slot]) // line 0: window [0,0,1]
+				prev, cur = cur, slot
+			default:
+				emit(rows[prev], rows[cur], rows[slot])
+				prev, cur = cur, slot
+			}
+			count++
+		}
+		emit(rows[prev], rows[cur], rows[cur]) // last line: replicated
+	}
+}
+
+func lowPassBody(cfg Config, sc secs, in, outH, outV *kpn.FIFO) func(*kpn.Ctx) {
+	return func(c *kpn.Ctx) {
+		heap := c.Heap()
+		out := make([]byte, cfg.Width)
+		tab := sections.NewProbeTable(uint64(3*cfg.Width), stageTabBytes, cfg.Seed*3+1)
+		var k [9]int32
+		for i := range k {
+			k[i] = int32(c.Load32(sc.data, sections.KernelOff+uint64(i)*4))
+		}
+		y := 0
+		slidingWindow(c, cfg, in, func(prev, cur, next uint64) {
+			tab.Probe(c, heap, 8)
+			for x := 0; x < cfg.Width; x++ {
+				xm, xp := clampX(x-1, cfg.Width), clampX(x+1, cfg.Width)
+				var s int32
+				s += k[0]*int32(c.Load8(heap, prev+uint64(xm))) +
+					k[1]*int32(c.Load8(heap, prev+uint64(x))) +
+					k[2]*int32(c.Load8(heap, prev+uint64(xp)))
+				s += k[3]*int32(c.Load8(heap, cur+uint64(xm))) +
+					k[4]*int32(c.Load8(heap, cur+uint64(x))) +
+					k[5]*int32(c.Load8(heap, cur+uint64(xp)))
+				s += k[6]*int32(c.Load8(heap, next+uint64(xm))) +
+					k[7]*int32(c.Load8(heap, next+uint64(x))) +
+					k[8]*int32(c.Load8(heap, next+uint64(xp)))
+				out[x] = byte(s >> 4) // kernel sums to 16
+				c.Exec(14)
+			}
+			outH.Write(c, out)
+			outV.Write(c, out)
+			y++
+			if y%32 == 0 {
+				sections.Bump(c, sc.bss, 8)
+			}
+		})
+		outH.Close()
+		outV.Close()
+	}
+}
+
+// sobelBody builds a gradient task reading its kernel from appl data at
+// kernOff; counterSlot distinguishes the two instances' bss counters.
+func sobelBody(cfg Config, sc secs, in, out *kpn.FIFO, kernOff uint64, counterSlot uint64) func(*kpn.Ctx) {
+	return func(c *kpn.Ctx) {
+		heap := c.Heap()
+		outLine := make([]byte, cfg.Width)
+		tab := sections.NewProbeTable(uint64(3*cfg.Width), stageTabBytes, cfg.Seed*3+counterSlot-1)
+		var k [9]int32
+		for i := range k {
+			k[i] = int32(c.Load32(sc.data, kernOff+uint64(i)*4))
+		}
+		y := 0
+		slidingWindow(c, cfg, in, func(prev, cur, next uint64) {
+			tab.Probe(c, heap, 8)
+			for x := 0; x < cfg.Width; x++ {
+				xm, xp := clampX(x-1, cfg.Width), clampX(x+1, cfg.Width)
+				var s int32
+				s += k[0]*int32(c.Load8(heap, prev+uint64(xm))) +
+					k[1]*int32(c.Load8(heap, prev+uint64(x))) +
+					k[2]*int32(c.Load8(heap, prev+uint64(xp)))
+				s += k[3]*int32(c.Load8(heap, cur+uint64(xm))) +
+					k[4]*int32(c.Load8(heap, cur+uint64(x))) +
+					k[5]*int32(c.Load8(heap, cur+uint64(xp)))
+				s += k[6]*int32(c.Load8(heap, next+uint64(xm))) +
+					k[7]*int32(c.Load8(heap, next+uint64(x))) +
+					k[8]*int32(c.Load8(heap, next+uint64(xp)))
+				outLine[x] = gradMag(s)
+				c.Exec(14)
+			}
+			out.Write(c, outLine)
+			y++
+			if y%32 == 0 {
+				sections.Bump(c, sc.bss, counterSlot)
+			}
+		})
+		out.Close()
+	}
+}
+
+func horizNMSBody(cfg Config, sc secs, in, out *kpn.FIFO) func(*kpn.Ctx) {
+	return func(c *kpn.Ctx) {
+		heap := c.Heap()
+		line := make([]byte, cfg.Width)
+		outLine := make([]byte, cfg.Width)
+		tab := sections.NewProbeTable(uint64(cfg.Width), nmsTabBytes, cfg.Seed*3+4)
+		lines := 0
+		for {
+			if !in.Read(c, line) {
+				break
+			}
+			tab.Probe(c, heap, 4)
+			c.StoreBytes(heap, 0, line)
+			for x := 0; x < cfg.Width; x++ {
+				v := c.Load8(heap, uint64(x))
+				left := c.Load8(heap, uint64(clampX(x-1, cfg.Width)))
+				right := c.Load8(heap, uint64(clampX(x+1, cfg.Width)))
+				if v >= left && v > right {
+					outLine[x] = v
+				} else {
+					outLine[x] = 0
+				}
+				c.Exec(6)
+			}
+			out.Write(c, outLine)
+			lines++
+			if lines%32 == 0 {
+				sections.Bump(c, sc.bss, 5)
+			}
+		}
+		out.Close()
+	}
+}
+
+func vertNMSBody(cfg Config, sc secs, in, out *kpn.FIFO) func(*kpn.Ctx) {
+	return func(c *kpn.Ctx) {
+		heap := c.Heap()
+		outLine := make([]byte, cfg.Width)
+		tab := sections.NewProbeTable(uint64(3*cfg.Width), nmsTabBytes, cfg.Seed*3+5)
+		y := 0
+		slidingWindow(c, cfg, in, func(prev, cur, next uint64) {
+			tab.Probe(c, heap, 4)
+			for x := 0; x < cfg.Width; x++ {
+				v := c.Load8(heap, cur+uint64(x))
+				up := c.Load8(heap, prev+uint64(x))
+				down := c.Load8(heap, next+uint64(x))
+				if v >= up && v > down {
+					outLine[x] = v
+				} else {
+					outLine[x] = 0
+				}
+				c.Exec(6)
+			}
+			out.Write(c, outLine)
+			y++
+			if y%32 == 0 {
+				sections.Bump(c, sc.bss, 6)
+			}
+		})
+		out.Close()
+	}
+}
+
+func thresholdBody(cfg Config, sc secs, inH, inV *kpn.FIFO, outFrame *kpn.Frame) func(*kpn.Ctx) {
+	return func(c *kpn.Ctx) {
+		heap := c.Heap()
+		tab := sections.NewProbeTable(uint64(cfg.Width), nmsTabBytes, cfg.Seed*3+6)
+		h := make([]byte, cfg.Width)
+		v := make([]byte, cfg.Width)
+		outLine := make([]byte, cfg.Width)
+		y := 0
+		for {
+			okH := inH.Read(c, h)
+			okV := inV.Read(c, v)
+			if !okH || !okV {
+				break
+			}
+			tab.Probe(c, heap, 4)
+			for x := 0; x < cfg.Width; x++ {
+				if int32(h[x])+int32(v[x]) > cfg.Threshold {
+					outLine[x] = 255
+				} else {
+					outLine[x] = 0
+				}
+				c.Exec(4)
+				if x%32 == 0 {
+					sections.HistAdd(c, sc.bss, h[x])
+				}
+			}
+			outFrame.StoreRow(c, y, outLine)
+			y++
+			if y == cfg.Height {
+				y = 0
+			}
+		}
+	}
+}
+
+func clampX(x, w int) int {
+	if x < 0 {
+		return 0
+	}
+	if x >= w {
+		return w - 1
+	}
+	return x
+}
+
+// gradMag scales a signed Sobel response to an 8-bit magnitude.
+func gradMag(s int32) byte {
+	if s < 0 {
+		s = -s
+	}
+	s >>= 2
+	if s > 255 {
+		s = 255
+	}
+	return byte(s)
+}

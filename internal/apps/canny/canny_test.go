@@ -1,0 +1,158 @@
+package canny
+
+import (
+	"testing"
+
+	"repro/internal/apps/sections"
+	"repro/internal/core"
+	"repro/internal/platform"
+)
+
+func smallCfg() Config {
+	return Config{Width: 48, Height: 32, Frames: 1, Threshold: 60, Seed: 5,
+		CPUs: [7]int{0, 1, 0, 1, 0, 1, 0}}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := smallCfg().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := smallCfg()
+	bad.Width = 4
+	if err := bad.Validate(); err == nil {
+		t.Error("tiny width accepted")
+	}
+	bad = smallCfg()
+	bad.Frames = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero frames accepted")
+	}
+	bad = smallCfg()
+	bad.Threshold = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero threshold accepted")
+	}
+	if err := Default(1).Validate(); err != nil {
+		t.Errorf("default invalid: %v", err)
+	}
+}
+
+func buildApp(t *testing.T, cfg Config) (*core.App, *Pipeline) {
+	t.Helper()
+	b := core.NewBuilder("canny-test")
+	b.Sections(sections.DataSize, sections.BSSSize)
+	p, err := Build(b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sections.PreloadData(b.ApplData())
+	app, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app, p
+}
+
+func pcfg() platform.Config {
+	pc := platform.Default()
+	pc.NumCPUs = 2
+	return pc
+}
+
+func TestPipelineMatchesReference(t *testing.T) {
+	app, p := buildApp(t, smallCfg())
+	res, err := core.RunApp(app, core.RunConfig{Platform: pcfg()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Verify(); err != nil {
+		t.Fatalf("edge map wrong: %v", err)
+	}
+	// The edge map should not be trivial (all 0 or all 255).
+	var edges int
+	for _, v := range p.Reference {
+		if v == 255 {
+			edges++
+		}
+	}
+	if edges == 0 || edges == len(p.Reference) {
+		t.Errorf("degenerate edge map: %d edges of %d", edges, len(p.Reference))
+	}
+	for _, task := range []string{"Fr. canny", "LowPass", "HorizSobel", "VertSobel",
+		"HorizNMS", "VertNMS", "MaxTreshold"} {
+		if res.TaskCycles[task] == 0 {
+			t.Errorf("task %q consumed no cycles", task)
+		}
+	}
+}
+
+func TestPipelineMultiFrame(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Frames = 2
+	app, p := buildApp(t, cfg)
+	if _, err := core.RunApp(app, core.RunConfig{Platform: pcfg()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Verify(); err != nil {
+		t.Fatalf("multi-frame edge map wrong: %v", err)
+	}
+}
+
+func TestPipelinePartitioned(t *testing.T) {
+	app, p := buildApp(t, smallCfg())
+	alloc := core.Allocation{}
+	for _, e := range app.Entities() {
+		if e.Pinned > 0 {
+			alloc[e.Name] = e.Pinned
+		} else {
+			alloc[e.Name] = 2
+		}
+	}
+	if _, err := core.RunApp(app, core.RunConfig{
+		Platform: pcfg(), Strategy: core.Partitioned, Alloc: alloc,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Verify(); err != nil {
+		t.Fatalf("partitioned edge map wrong: %v", err)
+	}
+}
+
+func TestSevenTasksRegistered(t *testing.T) {
+	app, _ := buildApp(t, smallCfg())
+	if app.NumTasks() != 7 {
+		t.Fatalf("tasks = %d, want 7", app.NumTasks())
+	}
+	if len(app.FIFOs) != 7 {
+		t.Errorf("fifos = %d, want 7", len(app.FIFOs))
+	}
+	if len(app.Frames) != 1 {
+		t.Errorf("frames = %d, want 1", len(app.Frames))
+	}
+}
+
+func TestGradMag(t *testing.T) {
+	if gradMag(0) != 0 || gradMag(-40) != 10 || gradMag(40) != 10 {
+		t.Error("gradMag scaling wrong")
+	}
+	if gradMag(100000) != 255 || gradMag(-100000) != 255 {
+		t.Error("gradMag clamp wrong")
+	}
+}
+
+func TestClampX(t *testing.T) {
+	if clampX(-1, 10) != 0 || clampX(10, 10) != 9 || clampX(5, 10) != 5 {
+		t.Error("clampX wrong")
+	}
+}
+
+func TestVerifyDetectsCorruption(t *testing.T) {
+	app, p := buildApp(t, smallCfg())
+	if _, err := core.RunApp(app, core.RunConfig{Platform: pcfg()}); err != nil {
+		t.Fatal(err)
+	}
+	p.Out.Region.Bytes()[3] ^= 0x80
+	if err := p.Verify(); err == nil {
+		t.Fatal("corruption not detected")
+	}
+}

@@ -1,0 +1,98 @@
+package canny
+
+import (
+	"repro/internal/apps/sections"
+	"repro/internal/apps/synth"
+)
+
+// reference computes the expected edge map of the final frame with plain
+// Go, using exactly the integer operations of the pipeline tasks.
+func reference(cfg Config) []byte {
+	img := synth.GenerateImage(cfg.Width, cfg.Height, cfg.Seed+uint64(cfg.Frames-1)*131)
+	w, h := cfg.Width, cfg.Height
+
+	conv := func(src []byte, k [9]int32) []int32 {
+		out := make([]int32, w*h)
+		for y := 0; y < h; y++ {
+			ym, yp := clampX(y-1, h), clampX(y+1, h)
+			for x := 0; x < w; x++ {
+				xm, xp := clampX(x-1, w), clampX(x+1, w)
+				s := k[0]*int32(src[ym*w+xm]) + k[1]*int32(src[ym*w+x]) + k[2]*int32(src[ym*w+xp]) +
+					k[3]*int32(src[y*w+xm]) + k[4]*int32(src[y*w+x]) + k[5]*int32(src[y*w+xp]) +
+					k[6]*int32(src[yp*w+xm]) + k[7]*int32(src[yp*w+x]) + k[8]*int32(src[yp*w+xp])
+				out[y*w+x] = s
+			}
+		}
+		return out
+	}
+
+	// LowPass.
+	smooth := make([]byte, w*h)
+	for i, s := range conv(img.Pix, sections.Gaussian3) {
+		smooth[i] = byte(s >> 4)
+	}
+	// Gradients.
+	gx := make([]byte, w*h)
+	for i, s := range conv(smooth, sections.SobelX) {
+		gx[i] = gradMag(s)
+	}
+	gy := make([]byte, w*h)
+	for i, s := range conv(smooth, sections.SobelY) {
+		gy[i] = gradMag(s)
+	}
+	// Horizontal NMS on gx.
+	hn := make([]byte, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := gx[y*w+x]
+			left := gx[y*w+clampX(x-1, w)]
+			right := gx[y*w+clampX(x+1, w)]
+			if v >= left && v > right {
+				hn[y*w+x] = v
+			}
+		}
+	}
+	// Vertical NMS on gy.
+	vn := make([]byte, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := gy[y*w+x]
+			up := gy[clampX(y-1, h)*w+x]
+			down := gy[clampX(y+1, h)*w+x]
+			if v >= up && v > down {
+				vn[y*w+x] = v
+			}
+		}
+	}
+	// Threshold.
+	out := make([]byte, w*h)
+	for i := range out {
+		if int32(hn[i])+int32(vn[i]) > cfg.Threshold {
+			out[i] = 255
+		}
+	}
+	return out
+}
+
+// Verify compares the output frame against the reference edge map.
+func (p *Pipeline) Verify() error {
+	got := p.Out.Region.Bytes()
+	for i := range p.Reference {
+		if got[i] != p.Reference[i] {
+			return &VerifyError{Offset: i, Got: got[i], Want: p.Reference[i]}
+		}
+	}
+	return nil
+}
+
+// VerifyError reports the first output mismatch.
+type VerifyError struct {
+	Offset int
+	Got    byte
+	Want   byte
+}
+
+// Error implements error.
+func (e *VerifyError) Error() string {
+	return "apps: canny: edge map mismatch"
+}

@@ -1,0 +1,91 @@
+package jpeg
+
+import "repro/internal/apps/synth"
+
+// encodeAll generates the synthetic input images, forward-codes them into
+// one concatenated stream (build-time work standing in for a real JPEG
+// file), and computes the reference output: the bit-exact expected content
+// of the display frame after the pipeline decodes the final frame.
+func encodeAll(cfg Config) (stream []byte, reference []byte) {
+	for f := 0; f < cfg.Frames; f++ {
+		img := synth.GenerateImage(cfg.Width, cfg.Height, cfg.Seed+uint64(f)*977)
+		stream = encodeFrame(stream, img, cfg.Quality)
+	}
+	// Reference: decode the stream the way the pipeline does and keep the
+	// last frame after BackEnd's LUT.
+	reference = make([]byte, cfg.Width*cfg.Height)
+	pos := 0
+	for f := 0; f < cfg.Frames; f++ {
+		pos += decodeFrameReference(stream[pos:], cfg, reference)
+	}
+	return stream, reference
+}
+
+// encodeFrame appends one frame's coded blocks in block-row-major order.
+func encodeFrame(stream []byte, img *synth.Image, quality int32) []byte {
+	for by := 0; by < img.Height/8; by++ {
+		for bx := 0; bx < img.Width/8; bx++ {
+			var b [64]int32
+			for y := 0; y < 8; y++ {
+				for x := 0; x < 8; x++ {
+					b[y*8+x] = int32(img.At(bx*8+x, by*8+y)) - 128
+				}
+			}
+			synth.FDCT8(&b)
+			synth.Quantize(&b, quality)
+			stream = synth.EncodeBlock(stream, &b)
+		}
+	}
+	return stream
+}
+
+// decodeFrameReference decodes one frame into out using exactly the
+// integer operations of the pipeline tasks (dequantize, IDCT8, clamp,
+// gamma LUT) and returns the bytes consumed.
+func decodeFrameReference(stream []byte, cfg Config, out []byte) int {
+	pos := 0
+	for by := 0; by < cfg.Height/8; by++ {
+		for bx := 0; bx < cfg.Width/8; bx++ {
+			var b [64]int32
+			n, err := synth.DecodeBlock(stream[pos:], &b)
+			if err != nil {
+				panic("jpeg: reference decode of self-generated stream failed: " + err.Error())
+			}
+			pos += n
+			synth.Dequantize(&b, cfg.Quality)
+			synth.IDCT8(&b)
+			for y := 0; y < 8; y++ {
+				for x := 0; x < 8; x++ {
+					v := synth.Clamp8(b[y*8+x])
+					out[(by*8+y)*cfg.Width+bx*8+x] = gammaLUT(int(v))
+				}
+			}
+		}
+	}
+	return pos
+}
+
+// Verify compares the output frame buffer against the reference decode.
+// It must be called after the application ran to completion.
+func (p *Pipeline) Verify() error {
+	got := p.Out.Region.Bytes()
+	for i := range p.Reference {
+		if got[i] != p.Reference[i] {
+			return &VerifyError{Pipeline: "jpeg" + p.Suffix, Offset: i, Got: got[i], Want: p.Reference[i]}
+		}
+	}
+	return nil
+}
+
+// VerifyError reports the first decoded-output mismatch.
+type VerifyError struct {
+	Pipeline string
+	Offset   int
+	Got      byte
+	Want     byte
+}
+
+// Error implements error.
+func (e *VerifyError) Error() string {
+	return "apps: " + e.Pipeline + ": decoded output mismatch"
+}

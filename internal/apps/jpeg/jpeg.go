@@ -1,0 +1,318 @@
+// Package jpeg implements the four-task JPEG decoder pipeline of the
+// paper's first application (de Kock, ISSS 2002): FrontEnd (bitstream
+// parsing and variable-length decoding), IDCT, Raster (block-to-raster
+// conversion) and BackEnd (post-processing and display write-out), the
+// task names of Table 1.
+//
+// The decoder is functionally real: a synthetic image is forward-DCT
+// coded at build time, and the pipeline entropy-decodes, dequantizes,
+// inverse-transforms and post-processes it through simulated memory, so
+// every table lookup, FIFO token and frame-buffer write generates the
+// memory traffic the shared L2 sees on the CAKE platform. The decoded
+// output is verified bit-exactly against a plain-Go reference decode.
+package jpeg
+
+import (
+	"fmt"
+
+	"repro/internal/apps/sections"
+	"repro/internal/apps/synth"
+	"repro/internal/core"
+	"repro/internal/kpn"
+	"repro/internal/mem"
+)
+
+// Config describes one decoder instance.
+type Config struct {
+	Suffix  string // appended to task names: "1" -> "FrontEnd1"
+	Width   int    // pixels, multiple of 8
+	Height  int    // pixels, multiple of 8
+	Frames  int    // images decoded per application period
+	Quality int32  // quantizer scale, >= 1
+	Seed    uint64 // input-image seed
+	CPUs    [4]int // static CPU of FrontEnd, IDCT, Raster, BackEnd
+}
+
+// Default returns a 512×384, single-frame decoder.
+func Default(suffix string, seed uint64) Config {
+	return Config{Suffix: suffix, Width: 512, Height: 384, Frames: 1, Quality: 2, Seed: seed}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Width <= 0 || c.Width%8 != 0 || c.Height <= 0 || c.Height%8 != 0 {
+		return fmt.Errorf("jpeg: size %dx%d not a multiple of 8", c.Width, c.Height)
+	}
+	if c.Frames <= 0 {
+		return fmt.Errorf("jpeg: %d frames", c.Frames)
+	}
+	if c.Quality < 1 {
+		return fmt.Errorf("jpeg: quality %d", c.Quality)
+	}
+	return nil
+}
+
+// Pipeline is one built decoder instance plus its verification data.
+type Pipeline struct {
+	Config
+	Out       *kpn.Frame
+	Reference []byte // expected content of Out after the last frame
+}
+
+// FrontEnd heap layout: the coded stream, then the VLD tables.
+const (
+	rasterTabBytes  = 16 * 1024 // block reorder map
+	backEndTabBytes = 16 * 1024 // dither matrix
+	symLUTBytes     = 256
+	vlcTabWords     = 16 * 1024 // 64 KiB of VLC side tables
+)
+
+// gammaLUT is BackEnd's post-processing table (mild contrast stretch).
+func gammaLUT(v int) byte {
+	o := (v*9)/10 + 20
+	if o > 255 {
+		o = 255
+	}
+	return byte(o)
+}
+
+// Build adds the decoder's tasks, FIFOs and output frame to the builder.
+// The application's shared sections must already exist (Builder.Sections
+// plus sections.PreloadData), since the decoder reads the zigzag and
+// quantization tables from "appl data".
+func Build(b *core.Builder, cfg Config) (*Pipeline, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	stream, reference := encodeAll(cfg)
+	p := &Pipeline{Config: cfg, Reference: reference}
+	secs := appSections{data: b.ApplData(), bss: b.ApplBSS()}
+
+	coefF := b.AddFIFO("jpegCoef"+cfg.Suffix, 128, 8)
+	pixF := b.AddFIFO("jpegPix"+cfg.Suffix, 64, 16)
+	lineF := b.AddFIFO("jpegLine"+cfg.Suffix, cfg.Width, 8)
+	p.Out = b.AddFrame("jpegOut"+cfg.Suffix, cfg.Width, cfg.Height, 1)
+
+	blocksPerRow := cfg.Width / 8
+	blockRows := cfg.Height / 8
+	totalBlocks := blocksPerRow * blockRows * cfg.Frames
+
+	// The coded input stream is its own buffer entity, as a real input
+	// DMA buffer would be — it must not pollute FrontEnd's partition.
+	inBuf := b.AddBuffer("jpegIn"+cfg.Suffix, uint64(len(stream)))
+	copy(inBuf.Bytes(), stream)
+
+	// FrontEnd: parse + VLD + dezigzag.
+	fe := b.AddTask(core.TaskConfig{
+		Name: "FrontEnd" + cfg.Suffix, CPU: cfg.CPUs[0],
+		CodeSize: 20 * 1024, HotCode: 7 * 1024,
+		HeapSize: symLUTBytes + vlcTabWords*4 + 1024,
+		Body:     frontEndBody(cfg, secs, coefF, inBuf, totalBlocks),
+	})
+	preloadFrontEnd(fe.Heap)
+
+	// IDCT: dequantize + inverse transform. Deliberately tiny footprint
+	// (the paper allocates it a single unit).
+	idct := b.AddTask(core.TaskConfig{
+		Name: "IDCT" + cfg.Suffix, CPU: cfg.CPUs[1],
+		CodeSize: 20 * 1024, HotCode: 7 * 1024, HeapSize: 1024,
+		Body: idctBody(cfg, secs, coefF, pixF, totalBlocks),
+	})
+	_ = idct
+
+	// Raster: block-to-line conversion through a strip buffer, plus a
+	// block-reorder map probed per block.
+	rasterTab := uint64(cfg.Width * 8)
+	raster := b.AddTask(core.TaskConfig{
+		Name: "Raster" + cfg.Suffix, CPU: cfg.CPUs[2],
+		CodeSize: 20 * 1024, HotCode: 7 * 1024,
+		HeapSize: rasterTab + rasterTabBytes + 1024,
+		Body:     rasterBody(cfg, secs, pixF, lineF, rasterTab),
+	})
+	sections.FillTable(raster.Heap, rasterTab, rasterTabBytes, cfg.Seed*13+7)
+
+	// BackEnd: post-processing LUT and dither matrix + display write.
+	beTab := uint64(256 + cfg.Width)
+	be := b.AddTask(core.TaskConfig{
+		Name: "BackEnd" + cfg.Suffix, CPU: cfg.CPUs[3],
+		CodeSize: 20 * 1024, HotCode: 7 * 1024,
+		HeapSize: beTab + backEndTabBytes + 1024,
+		Body:     backEndBody(cfg, secs, lineF, p.Out, beTab),
+	})
+	sections.FillTable(be.Heap, beTab, backEndTabBytes, cfg.Seed*17+3)
+	return p, nil
+}
+
+// preloadFrontEnd installs the VLD tables in the FrontEnd heap backing
+// store, as the loader/init phase would. Layout: symbol LUT at 0, VLC
+// code book at symLUTBytes.
+func preloadFrontEnd(heap *mem.Region) {
+	bs := heap.Bytes()
+	for i := 0; i < symLUTBytes; i++ {
+		bs[i] = byte(i * 7)
+	}
+	rng := synth.NewRand(9173)
+	for i := 0; i < vlcTabWords; i++ {
+		v := uint32(rng.Next())
+		for k := 0; k < 4; k++ {
+			bs[symLUTBytes+i*4+k] = byte(v >> (8 * k))
+		}
+	}
+}
+
+func frontEndBody(cfg Config, app appSections, out *kpn.FIFO, inBuf *mem.Region, totalBlocks int) func(*kpn.Ctx) {
+	return func(c *kpn.Ctx) {
+		heap := c.Heap()
+		const symOff = uint64(0)
+		const vlcOff = uint64(symLUTBytes)
+		vlc := sections.NewProbeTable(vlcOff, vlcTabWords*4, cfg.Seed*29+11)
+		pos := uint64(0)
+		tok := make([]byte, 128)
+		for blk := 0; blk < totalBlocks; blk++ {
+			var coef [64]int32
+			idx := 0
+			for {
+				run := c.Load8(inBuf, pos)
+				_ = c.Load8(heap, symOff+uint64(run)) // symbol class LUT
+				c.Exec(8)
+				if run == synth.EOB {
+					pos++
+					break
+				}
+				lo := c.Load8(inBuf, pos+1)
+				hi := c.Load8(inBuf, pos+2)
+				pos += 3
+				v := int32(int16(uint16(lo) | uint16(hi)<<8))
+				// VLC code-book lookup: one table line per symbol.
+				vlc.Probe(c, heap, 1)
+				idx += int(run)
+				if v != 0 && idx < 64 {
+					// Dezigzag through the shared appl-data table.
+					zz := c.Load32(app.data, sections.ZigZagOff+uint64(idx)*4)
+					coef[zz] = v
+					idx++
+				}
+				c.Exec(12)
+			}
+			// Per-block code-book state refresh (EOB/AC tables).
+			vlc.Probe(c, heap, 8)
+			for i := 0; i < 64; i++ {
+				v := uint16(coef[i])
+				tok[i*2] = byte(v)
+				tok[i*2+1] = byte(v >> 8)
+			}
+			out.Write(c, tok)
+			sections.Bump(c, app.bss, 0)
+		}
+		out.Close()
+	}
+}
+
+func idctBody(cfg Config, app appSections, in, out *kpn.FIFO, totalBlocks int) func(*kpn.Ctx) {
+	return func(c *kpn.Ctx) {
+		tok := make([]byte, 128)
+		pix := make([]byte, 64)
+		for blk := 0; blk < totalBlocks; blk++ {
+			if !in.Read(c, tok) {
+				break
+			}
+			var b [64]int32
+			for i := 0; i < 64; i++ {
+				b[i] = int32(int16(uint16(tok[i*2]) | uint16(tok[i*2+1])<<8))
+			}
+			// Dequantize with the shared quantization matrix.
+			for i := 0; i < 64; i++ {
+				q := int32(c.Load32(app.data, sections.QuantOff+uint64(i)*4))
+				b[i] *= q * cfg.Quality
+				c.Exec(3)
+			}
+			// Touch the shared DCT basis table once per row pass, as the
+			// inner loops of a table-driven IDCT do.
+			for i := 0; i < 64; i++ {
+				_ = c.Load32(app.data, sections.CosOff+uint64(i)*4)
+			}
+			synth.IDCT8(&b)
+			c.Exec(1100)
+			for i := 0; i < 64; i++ {
+				pix[i] = synth.Clamp8(b[i])
+			}
+			out.Write(c, pix)
+			sections.Bump(c, app.bss, 1)
+		}
+		out.Close()
+	}
+}
+
+func rasterBody(cfg Config, app appSections, in, out *kpn.FIFO, tabOff uint64) func(*kpn.Ctx) {
+	return func(c *kpn.Ctx) {
+		heap := c.Heap()
+		tab := sections.NewProbeTable(tabOff, rasterTabBytes, cfg.Seed*13+7)
+		blocksPerRow := cfg.Width / 8
+		pix := make([]byte, 64)
+		line := make([]byte, cfg.Width)
+		bx, rows := 0, 0
+		for {
+			if !in.Read(c, pix) {
+				break
+			}
+			tab.Probe(c, heap, 6)
+			// Scatter the block into the strip buffer.
+			for y := 0; y < 8; y++ {
+				for x := 0; x < 8; x++ {
+					c.Store8(heap, uint64(y*cfg.Width+bx*8+x), pix[y*8+x])
+					c.Exec(2)
+				}
+			}
+			bx++
+			if bx == blocksPerRow {
+				bx = 0
+				for y := 0; y < 8; y++ {
+					c.LoadBytes(heap, uint64(y*cfg.Width), line)
+					out.Write(c, line)
+				}
+				rows++
+				sections.Bump(c, app.bss, 2)
+			}
+		}
+		out.Close()
+	}
+}
+
+func backEndBody(cfg Config, app appSections, in *kpn.FIFO, outFrame *kpn.Frame, tabOff uint64) func(*kpn.Ctx) {
+	return func(c *kpn.Ctx) {
+		heap := c.Heap()
+		tab := sections.NewProbeTable(tabOff, backEndTabBytes, cfg.Seed*17+3)
+		// Init: build the post-processing LUT in the private heap.
+		for v := 0; v < 256; v++ {
+			c.Store8(heap, uint64(v), gammaLUT(v))
+		}
+		line := make([]byte, cfg.Width)
+		outLine := make([]byte, cfg.Width)
+		y := 0
+		for {
+			if !in.Read(c, line) {
+				break
+			}
+			tab.Probe(c, heap, 8)
+			for x := 0; x < cfg.Width; x++ {
+				outLine[x] = c.Load8(heap, uint64(line[x]))
+				c.Exec(4)
+				if x%16 == 0 {
+					sections.HistAdd(c, app.bss, line[x])
+				}
+			}
+			outFrame.StoreRow(c, y, outLine)
+			y++
+			if y == cfg.Height {
+				y = 0 // next frame overwrites the display buffer
+			}
+		}
+	}
+}
+
+// appSections carries the application's shared static sections into the
+// task closures.
+type appSections struct {
+	data *mem.Region
+	bss  *mem.Region
+}

@@ -1,0 +1,185 @@
+package jpeg
+
+import (
+	"testing"
+
+	"repro/internal/apps/sections"
+	"repro/internal/core"
+	"repro/internal/platform"
+)
+
+func smallCfg() Config {
+	return Config{Suffix: "T", Width: 64, Height: 48, Frames: 1, Quality: 2, Seed: 11,
+		CPUs: [4]int{0, 1, 0, 1}}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := smallCfg().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := smallCfg()
+	bad.Width = 60
+	if err := bad.Validate(); err == nil {
+		t.Error("non-multiple-of-8 width accepted")
+	}
+	bad = smallCfg()
+	bad.Frames = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero frames accepted")
+	}
+	bad = smallCfg()
+	bad.Quality = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero quality accepted")
+	}
+	if err := Default("1", 5).Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+}
+
+func TestEncodeDecodeReferenceRoundTrip(t *testing.T) {
+	cfg := smallCfg()
+	stream, ref := encodeAll(cfg)
+	if len(stream) == 0 {
+		t.Fatal("empty stream")
+	}
+	if len(ref) != cfg.Width*cfg.Height {
+		t.Fatalf("reference size = %d", len(ref))
+	}
+	// The reference must be deterministic.
+	stream2, ref2 := encodeAll(cfg)
+	if len(stream2) != len(stream) {
+		t.Fatal("stream not deterministic")
+	}
+	for i := range ref {
+		if ref[i] != ref2[i] {
+			t.Fatal("reference not deterministic")
+		}
+	}
+}
+
+func TestGammaLUTMonotone(t *testing.T) {
+	prev := gammaLUT(0)
+	for v := 1; v < 256; v++ {
+		cur := gammaLUT(v)
+		if cur < prev {
+			t.Fatalf("gamma LUT not monotone at %d", v)
+		}
+		prev = cur
+	}
+}
+
+func buildApp(t *testing.T, cfg Config) (*core.App, *Pipeline) {
+	t.Helper()
+	b := core.NewBuilder("jpeg-test")
+	b.Sections(sections.DataSize, sections.BSSSize)
+	p, err := Build(b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sections.PreloadData(b.ApplData())
+	app, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app, p
+}
+
+func runPlatform(t *testing.T) platform.Config {
+	t.Helper()
+	pc := platform.Default()
+	pc.NumCPUs = 2
+	return pc
+}
+
+func TestPipelineDecodesCorrectly(t *testing.T) {
+	app, p := buildApp(t, smallCfg())
+	res, err := core.RunApp(app, core.RunConfig{Platform: runPlatform(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Verify(); err != nil {
+		t.Fatalf("decoded output wrong: %v", err)
+	}
+	if res.Platform.TotalInstrs == 0 || res.Platform.L2.Accesses == 0 {
+		t.Error("no work accounted")
+	}
+	// Every task consumed cycles.
+	for _, task := range []string{"FrontEndT", "IDCTT", "RasterT", "BackEndT"} {
+		if res.TaskCycles[task] == 0 {
+			t.Errorf("task %s consumed no cycles", task)
+		}
+	}
+}
+
+func TestPipelineMultiFrame(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Frames = 2
+	app, p := buildApp(t, cfg)
+	if _, err := core.RunApp(app, core.RunConfig{Platform: runPlatform(t)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Verify(); err != nil {
+		t.Fatalf("multi-frame decode wrong: %v", err)
+	}
+}
+
+func TestPipelinePartitionedStillCorrect(t *testing.T) {
+	// Functional behaviour must be identical under cache partitioning —
+	// only timing may change.
+	app, p := buildApp(t, smallCfg())
+	alloc := core.Allocation{}
+	for _, e := range app.Entities() {
+		if e.Pinned > 0 {
+			alloc[e.Name] = e.Pinned
+		} else {
+			alloc[e.Name] = 2
+		}
+	}
+	_, err := core.RunApp(app, core.RunConfig{
+		Platform: runPlatform(t),
+		Strategy: core.Partitioned,
+		Alloc:    alloc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Verify(); err != nil {
+		t.Fatalf("partitioned decode wrong: %v", err)
+	}
+}
+
+func TestEntityInventory(t *testing.T) {
+	app, _ := buildApp(t, smallCfg())
+	es := app.Entities()
+	wantNames := []string{
+		"FrontEndT", "IDCTT", "RasterT", "BackEndT",
+		"jpegCoefT", "jpegPixT", "jpegLineT", "jpegOutT",
+		"appl data", "appl bss", "rt data", "rt bss",
+	}
+	for _, n := range wantNames {
+		if core.EntityByName(es, n) == nil {
+			t.Errorf("missing entity %q", n)
+		}
+	}
+	// FIFOs are pinned, tasks are not.
+	if e := core.EntityByName(es, "jpegCoefT"); e.Pinned == 0 {
+		t.Error("FIFO entity not pinned")
+	}
+	if e := core.EntityByName(es, "FrontEndT"); e.Pinned != 0 {
+		t.Error("task entity pinned")
+	}
+}
+
+func TestVerifyDetectsCorruption(t *testing.T) {
+	app, p := buildApp(t, smallCfg())
+	if _, err := core.RunApp(app, core.RunConfig{Platform: runPlatform(t)}); err != nil {
+		t.Fatal(err)
+	}
+	p.Out.Region.Bytes()[10] ^= 0xFF
+	if err := p.Verify(); err == nil {
+		t.Fatal("corruption not detected")
+	} else if _, ok := err.(*VerifyError); !ok {
+		t.Fatalf("unexpected error type %T", err)
+	}
+}

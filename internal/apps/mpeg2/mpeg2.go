@@ -1,0 +1,616 @@
+package mpeg2
+
+import (
+	"repro/internal/apps/sections"
+	"repro/internal/apps/synth"
+	"repro/internal/core"
+	"repro/internal/kpn"
+	"repro/internal/mem"
+)
+
+// Pipeline is one built decoder plus verification data.
+type Pipeline struct {
+	Config
+	Display   *kpn.Frame
+	Reference []byte // expected display content after the last picture
+}
+
+type secs struct {
+	data *mem.Region
+	bss  *mem.Region
+}
+
+// MV-token flags.
+const (
+	mvInter  = 0
+	mvIntra  = 1
+	mvStartI = 2
+	mvStartP = 3
+)
+
+const (
+	chunkBytes  = 128
+	symLUTBytes = 256
+	vlcTabWords = 8 * 1024 // 32 KiB VLC side tables
+
+	// Private table footprints of the back-end tasks: sub-pel
+	// interpolation LUTs, frame-store page maps and raster maps.
+	predictRDTabBytes = 16 * 1024
+	memManTabBytes    = 8 * 1024
+	writeMBTabBytes   = 8 * 1024
+)
+
+// Build adds the thirteen tasks, FIFOs and frame stores to the builder.
+func Build(b *core.Builder, cfg Config) (*Pipeline, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	stream, reference := encode(cfg)
+	p := &Pipeline{Config: cfg, Reference: reference}
+	sc := secs{data: b.ApplData(), bss: b.ApplBSS()}
+
+	// Frame stores.
+	refFrame := b.AddFrame("mpegRef", cfg.Width, cfg.Height, 1)
+	decFrame := b.AddFrame("mpegDec", cfg.Width, cfg.Height, 1)
+	p.Display = b.AddFrame("mpegDisp", cfg.Width, cfg.Height, 1)
+
+	// FIFOs.
+	hdrIn := b.AddFIFO("mpgHdrIn", 8, 4)            // input -> hdr
+	chunks := b.AddFIFO("mpgChunks", chunkBytes, 8) // input -> vld
+	hdrPic := b.AddFIFO("mpgHdrPic", 8, 4)          // hdr -> vld
+	picMM := b.AddFIFO("mpgPicMM", 8, 4)            // hdr -> memMan
+	coefF := b.AddFIFO("mpgCoef", 128, 16)          // vld -> isiq
+	mvF := b.AddFIFO("mpgMV", 4, 32)                // vld -> decMV
+	iqF := b.AddFIFO("mpgIQ", 256, 8)               // isiq -> idct
+	resF := b.AddFIFO("mpgRes", 128, 8)             // idct -> add
+	mvRecF := b.AddFIFO("mpgMVRec", 4, 32)          // decMV -> predictRD
+	predRawF := b.AddFIFO("mpgPredRaw", 256, 4)     // predictRD -> predict
+	predF := b.AddFIFO("mpgPred", 256, 4)           // predict -> add
+	mbF := b.AddFIFO("mpgMB", 256, 4)               // add -> writeMB
+	mmWrite := b.AddFIFO("mpgMMWr", 8, 2)           // memMan -> writeMB
+	mmOut := b.AddFIFO("mpgMMOut", 8, 4)            // memMan -> output
+	wmDone := b.AddFIFO("mpgWMDone", 4, 2)          // writeMB -> store
+	mmStore := b.AddFIFO("mpgMMSt", 8, 4)           // memMan -> store
+	refReady := b.AddFIFO("mpgRefRdy", 4, 2)        // store -> predictRD
+	storeDone := b.AddFIFO("mpgStDone", 4, 2)       // store -> output
+	freeF := b.AddFIFO("mpgFree", 4, 2)             // output -> memMan
+
+	// The coded transport stream and the VBV picture buffer are their
+	// own buffer entities; they must not pollute any task's partition.
+	inBuf := b.AddBuffer("mpgIn", uint64(len(stream)))
+	copy(inBuf.Bytes(), stream)
+	maxPayload := maxPayloadLen(stream)
+	vbv := b.AddBuffer("mpgVBV", uint64(maxPayload)+chunkBytes)
+
+	// input.
+	b.AddTask(core.TaskConfig{
+		Name: "input", CPU: cfg.CPUs[0],
+		CodeSize: 20 * 1024, HotCode: 7 * 1024,
+		HeapSize: 2 * 1024,
+		Body:     inputBody(cfg, inBuf, hdrIn, chunks),
+	})
+
+	// vld.
+	vld := b.AddTask(core.TaskConfig{
+		Name: "vld", CPU: cfg.CPUs[1],
+		CodeSize: 20 * 1024, HotCode: 7 * 1024,
+		HeapSize: symLUTBytes + vlcTabWords*4 + 1024,
+		Body:     vldBody(cfg, sc, hdrPic, chunks, coefF, mvF, vbv),
+	})
+	preloadVLDTables(vld.Heap)
+
+	b.AddTask(core.TaskConfig{
+		Name: "hdr", CPU: cfg.CPUs[2],
+		CodeSize: 20 * 1024, HotCode: 7 * 1024, HeapSize: 2 * 1024,
+		Body: hdrBody(cfg, hdrIn, hdrPic, picMM),
+	})
+	b.AddTask(core.TaskConfig{
+		Name: "isiq", CPU: cfg.CPUs[3],
+		CodeSize: 20 * 1024, HotCode: 7 * 1024, HeapSize: 2 * 1024,
+		Body: isiqBody(cfg, sc, coefF, iqF),
+	})
+	mm := b.AddTask(core.TaskConfig{
+		Name: "memMan", CPU: cfg.CPUs[4],
+		CodeSize: 20 * 1024, HotCode: 7 * 1024, HeapSize: memManTabBytes + 2*1024,
+		Body: memManBody(cfg, picMM, mmWrite, mmStore, mmOut, freeF),
+	})
+	sections.FillTable(mm.Heap, 0, memManTabBytes, cfg.Seed*5+1)
+	b.AddTask(core.TaskConfig{
+		Name: "idct", CPU: cfg.CPUs[5],
+		CodeSize: 20 * 1024, HotCode: 7 * 1024, HeapSize: 1024,
+		Body: idctBody(cfg, sc, iqF, resF),
+	})
+	b.AddTask(core.TaskConfig{
+		Name: "add", CPU: cfg.CPUs[6],
+		CodeSize: 20 * 1024, HotCode: 7 * 1024, HeapSize: 2 * 1024,
+		Body: addBody(cfg, sc, predF, resF, mbF),
+	})
+	b.AddTask(core.TaskConfig{
+		Name: "decMV", CPU: cfg.CPUs[7],
+		CodeSize: 20 * 1024, HotCode: 7 * 1024, HeapSize: 2 * 1024,
+		Body: decMVBody(cfg, mvF, mvRecF),
+	})
+	b.AddTask(core.TaskConfig{
+		Name: "predict", CPU: cfg.CPUs[8],
+		CodeSize: 20 * 1024, HotCode: 7 * 1024, HeapSize: 2 * 1024,
+		Body: predictBody(cfg, predRawF, predF),
+	})
+	prd := b.AddTask(core.TaskConfig{
+		Name: "predictRD", CPU: cfg.CPUs[9],
+		CodeSize: 20 * 1024, HotCode: 7 * 1024, HeapSize: predictRDTabBytes + 2*1024,
+		Body: predictRDBody(cfg, mvRecF, refReady, predRawF, refFrame),
+	})
+	sections.FillTable(prd.Heap, 0, predictRDTabBytes, cfg.Seed*5+2)
+	wmb := b.AddTask(core.TaskConfig{
+		Name: "writeMB", CPU: cfg.CPUs[10],
+		CodeSize: 20 * 1024, HotCode: 7 * 1024, HeapSize: writeMBTabBytes + 2*1024,
+		Body: writeMBBody(cfg, sc, mmWrite, mbF, wmDone, decFrame),
+	})
+	sections.FillTable(wmb.Heap, 0, writeMBTabBytes, cfg.Seed*5+3)
+	b.AddTask(core.TaskConfig{
+		Name: "store", CPU: cfg.CPUs[11],
+		CodeSize: 20 * 1024, HotCode: 7 * 1024, HeapSize: 2 * 1024,
+		Body: storeBody(cfg, mmStore, wmDone, refReady, storeDone, decFrame, refFrame),
+	})
+	b.AddTask(core.TaskConfig{
+		Name: "output", CPU: cfg.CPUs[12],
+		CodeSize: 20 * 1024, HotCode: 7 * 1024, HeapSize: 2 * 1024,
+		Body: outputBody(cfg, sc, mmOut, storeDone, freeF, decFrame, p.Display),
+	})
+	return p, nil
+}
+
+// maxPayloadLen scans the stream for the largest picture payload.
+func maxPayloadLen(stream []byte) int {
+	best, pos := 0, 0
+	for pos+8 <= len(stream) {
+		h := decodeHeader(stream[pos : pos+8])
+		if int(h.PayloadLen) > best {
+			best = int(h.PayloadLen)
+		}
+		pos += 8 + int(h.PayloadLen)
+	}
+	return best
+}
+
+// preloadVLDTables fills vld's heap: symbol LUT at 0, VLC code book at
+// symLUTBytes.
+func preloadVLDTables(heap *mem.Region) {
+	bs := heap.Bytes()
+	for i := 0; i < symLUTBytes; i++ {
+		bs[i] = byte(i * 13)
+	}
+	rng := synth.NewRand(40961)
+	for i := 0; i < vlcTabWords; i++ {
+		v := uint32(rng.Next())
+		for k := 0; k < 4; k++ {
+			bs[symLUTBytes+i*4+k] = byte(v >> (8 * k))
+		}
+	}
+}
+
+func inputBody(cfg Config, inBuf *mem.Region, hdrIn, chunks *kpn.FIFO) func(*kpn.Ctx) {
+	return func(c *kpn.Ctx) {
+		hdr := make([]byte, 8)
+		chunk := make([]byte, chunkBytes)
+		pos := uint64(0)
+		for pic := 0; pic < cfg.Pictures; pic++ {
+			c.LoadBytes(inBuf, pos, hdr)
+			pos += 8
+			h := decodeHeader(hdr)
+			hdrIn.Write(c, hdr)
+			c.Exec(64)
+			remaining := uint64(h.PayloadLen)
+			for remaining > 0 {
+				n := uint64(chunkBytes)
+				if n > remaining {
+					n = remaining
+				}
+				c.LoadBytes(inBuf, pos, chunk[:n])
+				for i := n; i < chunkBytes; i++ {
+					chunk[i] = 0
+				}
+				chunks.Write(c, chunk)
+				pos += n
+				remaining -= n
+				c.Exec(32)
+			}
+		}
+		hdrIn.Close()
+		chunks.Close()
+	}
+}
+
+func hdrBody(cfg Config, in, toVLD, toMM *kpn.FIFO) func(*kpn.Ctx) {
+	return func(c *kpn.Ctx) {
+		tok := make([]byte, 8)
+		for in.Read(c, tok) {
+			c.Exec(128) // header parsing and validation work
+			toVLD.Write(c, tok)
+			toMM.Write(c, tok)
+		}
+		toVLD.Close()
+		toMM.Close()
+	}
+}
+
+func memManBody(cfg Config, in, toWrite, toStore, toOut, free *kpn.FIFO) func(*kpn.Ctx) {
+	return func(c *kpn.Ctx) {
+		tab := sections.NewProbeTable(0, memManTabBytes, cfg.Seed*5+1)
+		tok := make([]byte, 8)
+		cred := make([]byte, 4)
+		first := true
+		for in.Read(c, tok) {
+			tab.Probe(c, c.Heap(), 64)
+			if !first {
+				// Buffer management: wait for the display to release the
+				// single decoded-picture buffer.
+				if !free.Read(c, cred) {
+					break
+				}
+			}
+			first = false
+			c.Exec(96)
+			toWrite.Write(c, tok)
+			toStore.Write(c, tok)
+			toOut.Write(c, tok)
+		}
+		toWrite.Close()
+		toStore.Close()
+		toOut.Close()
+	}
+}
+
+func vldBody(cfg Config, sc secs, hdrPic, chunks, coefF, mvF *kpn.FIFO, vbv *mem.Region) func(*kpn.Ctx) {
+	return func(c *kpn.Ctx) {
+		heap := c.Heap()
+		const symOff = uint64(0)
+		const vlcOff = uint64(symLUTBytes)
+		vlc := sections.NewProbeTable(vlcOff, vlcTabWords*4, cfg.Seed*29+13)
+		hdr := make([]byte, 8)
+		chunk := make([]byte, chunkBytes)
+		coefTok := make([]byte, 128)
+		for hdrPic.Read(c, hdr) {
+			h := decodeHeader(hdr)
+			// Fill the picture buffer (VBV) from the chunk stream.
+			filled := uint64(0)
+			for filled < uint64(h.PayloadLen) {
+				if !chunks.Read(c, chunk) {
+					return
+				}
+				n := uint64(h.PayloadLen) - filled
+				if n > chunkBytes {
+					n = chunkBytes
+				}
+				c.StoreBytes(vbv, filled, chunk[:n])
+				filled += n
+			}
+			// Start-of-picture marker to the MV chain.
+			start := byte(mvStartI)
+			if h.Type == picP {
+				start = mvStartP
+			}
+			mvF.Write(c, []byte{0, 0, start, 0})
+			// Parse macroblocks.
+			pos := uint64(0)
+			for mb := 0; mb < cfg.mbCount(); mb++ {
+				if h.Type == picP {
+					dx := c.Load8(vbv, pos)
+					dy := c.Load8(vbv, pos+1)
+					pos += 2
+					mvF.Write(c, []byte{dx, dy, mvInter, 0})
+				} else {
+					mvF.Write(c, []byte{0, 0, mvIntra, 0})
+				}
+				for blk := 0; blk < 4; blk++ {
+					var coef [64]int16 // zigzag order
+					idx := 0
+					for {
+						run := c.Load8(vbv, pos)
+						_ = c.Load8(heap, symOff+uint64(run))
+						c.Exec(8)
+						if run == synth.EOB {
+							pos++
+							break
+						}
+						lo := c.Load8(vbv, pos+1)
+						hi := c.Load8(vbv, pos+2)
+						pos += 3
+						v := int16(uint16(lo) | uint16(hi)<<8)
+						vlc.Probe(c, heap, 2)
+						idx += int(run)
+						if v != 0 && idx < 64 {
+							coef[idx] = v
+							idx++
+						}
+						c.Exec(12)
+					}
+					vlc.Probe(c, heap, 20)
+					for i := 0; i < 64; i++ {
+						coefTok[i*2] = byte(uint16(coef[i]))
+						coefTok[i*2+1] = byte(uint16(coef[i]) >> 8)
+					}
+					coefF.Write(c, coefTok)
+				}
+				if mb%16 == 0 {
+					sections.Bump(c, sc.bss, 10)
+				}
+			}
+		}
+		coefF.Close()
+		mvF.Close()
+	}
+}
+
+func isiqBody(cfg Config, sc secs, in, out *kpn.FIFO) func(*kpn.Ctx) {
+	return func(c *kpn.Ctx) {
+		tok := make([]byte, 128)
+		outTok := make([]byte, 256)
+		for in.Read(c, tok) {
+			var b [64]int32
+			// Inverse scan through the shared zigzag table, then inverse
+			// quantization with the shared matrix.
+			for i := 0; i < 64; i++ {
+				v := int32(int16(uint16(tok[i*2]) | uint16(tok[i*2+1])<<8))
+				if v != 0 {
+					zz := c.Load32(sc.data, sections.ZigZagOff+uint64(i)*4)
+					q := int32(c.Load32(sc.data, sections.QuantOff+uint64(zz)*4))
+					b[zz] = v * q * cfg.QScale
+				}
+				c.Exec(4)
+			}
+			for i := 0; i < 64; i++ {
+				u := uint32(b[i])
+				outTok[i*4] = byte(u)
+				outTok[i*4+1] = byte(u >> 8)
+				outTok[i*4+2] = byte(u >> 16)
+				outTok[i*4+3] = byte(u >> 24)
+			}
+			out.Write(c, outTok)
+		}
+		out.Close()
+	}
+}
+
+func idctBody(cfg Config, sc secs, in, out *kpn.FIFO) func(*kpn.Ctx) {
+	return func(c *kpn.Ctx) {
+		tok := make([]byte, 256)
+		outTok := make([]byte, 128)
+		for in.Read(c, tok) {
+			var b [64]int32
+			for i := 0; i < 64; i++ {
+				b[i] = int32(uint32(tok[i*4]) | uint32(tok[i*4+1])<<8 |
+					uint32(tok[i*4+2])<<16 | uint32(tok[i*4+3])<<24)
+			}
+			for i := 0; i < 64; i++ {
+				_ = c.Load32(sc.data, sections.CosOff+uint64(i)*4)
+			}
+			synth.IDCT8(&b)
+			c.Exec(1100)
+			for i := 0; i < 64; i++ {
+				v := b[i]
+				if v > 32767 {
+					v = 32767
+				}
+				if v < -32768 {
+					v = -32768
+				}
+				outTok[i*2] = byte(uint16(int16(v)))
+				outTok[i*2+1] = byte(uint16(int16(v)) >> 8)
+			}
+			out.Write(c, outTok)
+		}
+		out.Close()
+	}
+}
+
+func decMVBody(cfg Config, in, out *kpn.FIFO) func(*kpn.Ctx) {
+	return func(c *kpn.Ctx) {
+		tok := make([]byte, 4)
+		var px, py int8
+		for in.Read(c, tok) {
+			switch tok[2] {
+			case mvStartI, mvStartP:
+				px, py = 0, 0
+				out.Write(c, tok)
+			case mvIntra:
+				px, py = 0, 0
+				out.Write(c, tok)
+			default:
+				px += int8(tok[0])
+				py += int8(tok[1])
+				out.Write(c, []byte{byte(px), byte(py), mvInter, 0})
+			}
+			c.Exec(24)
+		}
+		out.Close()
+	}
+}
+
+func predictRDBody(cfg Config, in, refReady, out *kpn.FIFO, ref *kpn.Frame) func(*kpn.Ctx) {
+	return func(c *kpn.Ctx) {
+		tab := sections.NewProbeTable(0, predictRDTabBytes, cfg.Seed*5+2)
+		tok := make([]byte, 4)
+		cred := make([]byte, 4)
+		pred := make([]byte, 256)
+		mb := 0
+		for in.Read(c, tok) {
+			switch tok[2] {
+			case mvStartI:
+				mb = 0
+				continue
+			case mvStartP:
+				mb = 0
+				// The reference picture must be stored before we read it.
+				if !refReady.Read(c, cred) {
+					return
+				}
+				continue
+			}
+			bx, by := mb%cfg.mbCols(), mb/cfg.mbCols()
+			tab.Probe(c, c.Heap(), 20)
+			if tok[2] == mvIntra {
+				for i := range pred {
+					pred[i] = 128 // neutral level: add reconstructs intra
+				}
+				c.Exec(64)
+			} else {
+				dx, dy := int(int8(tok[0])), int(int8(tok[1]))
+				px, py := bx*16+dx, by*16+dy
+				for y := 0; y < 16; y++ {
+					sy := clampI(py+y, cfg.Height-1)
+					for x := 0; x < 16; x++ {
+						sx := clampI(px+x, cfg.Width-1)
+						pred[y*16+x] = ref.Load8(c, sx, sy)
+						c.Exec(2)
+					}
+				}
+			}
+			out.Write(c, pred)
+			mb++
+		}
+		out.Close()
+	}
+}
+
+func predictBody(cfg Config, in, out *kpn.FIFO) func(*kpn.Ctx) {
+	return func(c *kpn.Ctx) {
+		tok := make([]byte, 256)
+		for in.Read(c, tok) {
+			// Full-pel vectors: the interpolation stage is a pass-through
+			// with its filter cost (half-pel would average neighbours).
+			c.Exec(256)
+			out.Write(c, tok)
+		}
+		out.Close()
+	}
+}
+
+func addBody(cfg Config, sc secs, predIn, resIn, out *kpn.FIFO) func(*kpn.Ctx) {
+	return func(c *kpn.Ctx) {
+		pred := make([]byte, 256)
+		res := make([]byte, 128)
+		mb := make([]byte, 256)
+		for predIn.Read(c, pred) {
+			for blk := 0; blk < 4; blk++ {
+				if !resIn.Read(c, res) {
+					out.Close()
+					return
+				}
+				ox, oy := (blk%2)*8, (blk/2)*8
+				for y := 0; y < 8; y++ {
+					for x := 0; x < 8; x++ {
+						r := int32(int16(uint16(res[(y*8+x)*2]) | uint16(res[(y*8+x)*2+1])<<8))
+						v := int32(pred[(oy+y)*16+ox+x]) + r
+						if v < 0 {
+							v = 0
+						}
+						if v > 255 {
+							v = 255
+						}
+						mb[(oy+y)*16+ox+x] = byte(v)
+						c.Exec(3)
+					}
+				}
+			}
+			out.Write(c, mb)
+		}
+		out.Close()
+	}
+}
+
+func writeMBBody(cfg Config, sc secs, mmIn, mbIn, done *kpn.FIFO, dec *kpn.Frame) func(*kpn.Ctx) {
+	return func(c *kpn.Ctx) {
+		tab := sections.NewProbeTable(0, writeMBTabBytes, cfg.Seed*5+3)
+		pic := make([]byte, 8)
+		mb := make([]byte, 256)
+		row := make([]byte, 16)
+		for mmIn.Read(c, pic) {
+			for i := 0; i < cfg.mbCount(); i++ {
+				if !mbIn.Read(c, mb) {
+					done.Close()
+					return
+				}
+				tab.Probe(c, c.Heap(), 10)
+				bx, by := i%cfg.mbCols(), i/cfg.mbCols()
+				for y := 0; y < 16; y++ {
+					copy(row, mb[y*16:(y+1)*16])
+					c.StoreBytes(dec.Region, uint64((by*16+y)*cfg.Width+bx*16), row)
+					c.Exec(8)
+				}
+				if i%16 == 0 {
+					sections.Bump(c, sc.bss, 20)
+				}
+			}
+			done.Write(c, []byte{1, 0, 0, 0})
+		}
+		done.Close()
+	}
+}
+
+func storeBody(cfg Config, mmIn, wmDone, refReady, storeDone *kpn.FIFO, dec, ref *kpn.Frame) func(*kpn.Ctx) {
+	return func(c *kpn.Ctx) {
+		pic := make([]byte, 8)
+		tok := make([]byte, 4)
+		line := make([]byte, cfg.Width)
+		for mmIn.Read(c, pic) {
+			if !wmDone.Read(c, tok) {
+				break
+			}
+			// Commit the decoded picture to the reference store.
+			for y := 0; y < cfg.Height; y++ {
+				dec.LoadRow(c, y, line)
+				ref.StoreRow(c, y, line)
+				c.Exec(16)
+			}
+			refReady.Write(c, []byte{1, 0, 0, 0})
+			storeDone.Write(c, []byte{1, 0, 0, 0})
+		}
+		refReady.Close()
+		storeDone.Close()
+	}
+}
+
+func outputBody(cfg Config, sc secs, mmIn, storeDone, free *kpn.FIFO, dec, disp *kpn.Frame) func(*kpn.Ctx) {
+	return func(c *kpn.Ctx) {
+		pic := make([]byte, 8)
+		tok := make([]byte, 4)
+		line := make([]byte, cfg.Width)
+		for mmIn.Read(c, pic) {
+			if !storeDone.Read(c, tok) {
+				break
+			}
+			for y := 0; y < cfg.Height; y++ {
+				dec.LoadRow(c, y, line)
+				disp.StoreRow(c, y, line)
+				if y%16 == 0 {
+					sections.HistAdd(c, sc.bss, line[0])
+				}
+				c.Exec(16)
+			}
+			free.Write(c, []byte{1, 0, 0, 0})
+		}
+		free.Close()
+	}
+}
+
+// Verify compares the display frame against the closed-loop reference.
+func (p *Pipeline) Verify() error {
+	got := p.Display.Region.Bytes()
+	for i := range p.Reference {
+		if got[i] != p.Reference[i] {
+			return &VerifyError{Offset: i, Got: got[i], Want: p.Reference[i]}
+		}
+	}
+	return nil
+}
+
+// VerifyError reports the first display mismatch.
+type VerifyError struct {
+	Offset int
+	Got    byte
+	Want   byte
+}
+
+// Error implements error.
+func (e *VerifyError) Error() string { return "apps: mpeg2: display output mismatch" }

@@ -1,0 +1,168 @@
+package mpeg2
+
+import (
+	"testing"
+
+	"repro/internal/apps/sections"
+	"repro/internal/core"
+	"repro/internal/platform"
+)
+
+func smallCfg() Config {
+	return Config{Width: 64, Height: 48, Pictures: 3, QScale: 2, Seed: 21,
+		CPUs: [13]int{0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3, 0}}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := smallCfg().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := smallCfg()
+	bad.Width = 60
+	if err := bad.Validate(); err == nil {
+		t.Error("non-multiple-of-16 width accepted")
+	}
+	bad = smallCfg()
+	bad.Pictures = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero pictures accepted")
+	}
+	bad = smallCfg()
+	bad.QScale = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero qscale accepted")
+	}
+	if err := Default(1).Validate(); err != nil {
+		t.Errorf("default invalid: %v", err)
+	}
+}
+
+func TestMacroblockGeometry(t *testing.T) {
+	cfg := smallCfg()
+	if cfg.mbCols() != 4 || cfg.mbRows() != 3 || cfg.mbCount() != 12 {
+		t.Errorf("geometry = %d/%d/%d", cfg.mbCols(), cfg.mbRows(), cfg.mbCount())
+	}
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	h := pictureHeader{Type: picP, Num: 1234, PayloadLen: 0xABCDEF}
+	var b [8]byte
+	h.encode(b[:])
+	if got := decodeHeader(b[:]); got != h {
+		t.Errorf("round trip = %+v", got)
+	}
+}
+
+func TestMotionBounded(t *testing.T) {
+	cfg := smallCfg()
+	for pic := 0; pic < 10; pic++ {
+		for by := 0; by < cfg.mbRows(); by++ {
+			for bx := 0; bx < cfg.mbCols(); bx++ {
+				dx, dy := motion(cfg, pic, bx, by)
+				if dx < -7 || dx > 7 || dy < -7 || dy > 7 {
+					t.Fatalf("motion (%d,%d) out of range", dx, dy)
+				}
+			}
+		}
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	s1, r1 := encode(smallCfg())
+	s2, r2 := encode(smallCfg())
+	if len(s1) != len(s2) || len(r1) != len(r2) {
+		t.Fatal("encode not deterministic in length")
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatal("stream not deterministic")
+		}
+	}
+	if mp := maxPayloadLen(s1); mp <= 0 {
+		t.Errorf("max payload = %d", mp)
+	}
+}
+
+func buildApp(t *testing.T, cfg Config) (*core.App, *Pipeline) {
+	t.Helper()
+	b := core.NewBuilder("mpeg2-test")
+	b.Sections(sections.DataSize, sections.BSSSize)
+	p, err := Build(b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sections.PreloadData(b.ApplData())
+	app, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app, p
+}
+
+func pcfg() platform.Config {
+	pc := platform.Default()
+	return pc
+}
+
+func TestDecoderMatchesReference(t *testing.T) {
+	app, p := buildApp(t, smallCfg())
+	res, err := core.RunApp(app, core.RunConfig{Platform: pcfg()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Verify(); err != nil {
+		t.Fatalf("display mismatch: %v", err)
+	}
+	if app.NumTasks() != 13 {
+		t.Errorf("tasks = %d, want 13", app.NumTasks())
+	}
+	for _, task := range []string{"input", "vld", "hdr", "isiq", "memMan", "idct",
+		"add", "decMV", "predict", "predictRD", "writeMB", "store", "output"} {
+		if res.TaskCycles[task] == 0 {
+			t.Errorf("task %q consumed no cycles", task)
+		}
+	}
+}
+
+func TestDecoderSinglePicture(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Pictures = 1 // intra-only
+	app, p := buildApp(t, cfg)
+	if _, err := core.RunApp(app, core.RunConfig{Platform: pcfg()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Verify(); err != nil {
+		t.Fatalf("intra-only decode wrong: %v", err)
+	}
+}
+
+func TestDecoderPartitioned(t *testing.T) {
+	app, p := buildApp(t, smallCfg())
+	alloc := core.Allocation{}
+	for _, e := range app.Entities() {
+		if e.Pinned > 0 {
+			alloc[e.Name] = e.Pinned
+		} else {
+			alloc[e.Name] = 2
+		}
+	}
+	if _, err := core.RunApp(app, core.RunConfig{
+		Platform: pcfg(), Strategy: core.Partitioned, Alloc: alloc,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Verify(); err != nil {
+		t.Fatalf("partitioned decode wrong: %v", err)
+	}
+}
+
+func TestVerifyDetectsCorruption(t *testing.T) {
+	app, p := buildApp(t, smallCfg())
+	if _, err := core.RunApp(app, core.RunConfig{Platform: pcfg()}); err != nil {
+		t.Fatal(err)
+	}
+	p.Display.Region.Bytes()[7] ^= 1
+	if err := p.Verify(); err == nil {
+		t.Fatal("corruption not detected")
+	}
+}

@@ -1,0 +1,235 @@
+// Package mpeg2 implements the parallel MPEG-2 video decoder of the
+// paper's second application (van der Wolf et al., CODES'99), with the
+// thirteen task names of Table 2: input, vld, hdr, isiq, memMan, idct,
+// add, decMV, predict, predictRD, writeMB, store and output.
+//
+// The decoder consumes a synthetic but structurally faithful coded video:
+// a GOP of one intra picture followed by predicted pictures, macroblocks
+// carrying differentially-coded full-pel motion vectors and run-length
+// coded quantized DCT residual blocks, reconstructed by closed-loop
+// motion compensation from a reference frame store. All stages move real
+// bytes through simulated memory and the display output is verified
+// bit-exactly against a plain-Go reference decode.
+package mpeg2
+
+import (
+	"fmt"
+
+	"repro/internal/apps/synth"
+)
+
+// Config describes the decoder workload.
+type Config struct {
+	Width, Height int // pixels, multiples of 16
+	Pictures      int // GOP length: 1 I picture + Pictures-1 P pictures
+	QScale        int32
+	Seed          uint64
+	CPUs          [13]int // static CPU per task, in Table 2 order
+}
+
+// Default returns a CIF-sized three-picture decoder.
+func Default(seed uint64) Config {
+	return Config{Width: 352, Height: 288, Pictures: 3, QScale: 2, Seed: seed}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Width <= 0 || c.Width%16 != 0 || c.Height <= 0 || c.Height%16 != 0 {
+		return fmt.Errorf("mpeg2: size %dx%d not a multiple of 16", c.Width, c.Height)
+	}
+	if c.Pictures <= 0 {
+		return fmt.Errorf("mpeg2: %d pictures", c.Pictures)
+	}
+	if c.QScale < 1 {
+		return fmt.Errorf("mpeg2: qscale %d", c.QScale)
+	}
+	return nil
+}
+
+func (c Config) mbCols() int  { return c.Width / 16 }
+func (c Config) mbRows() int  { return c.Height / 16 }
+func (c Config) mbCount() int { return c.mbCols() * c.mbRows() }
+
+// Picture types.
+const (
+	picI = 'I'
+	picP = 'P'
+)
+
+// pictureHeader is the 8-byte picture header token layout.
+type pictureHeader struct {
+	Type       byte
+	Num        uint16
+	PayloadLen uint32
+}
+
+func (h pictureHeader) encode(dst []byte) {
+	dst[0] = h.Type
+	dst[1] = 0
+	dst[2] = byte(h.Num)
+	dst[3] = byte(h.Num >> 8)
+	dst[4] = byte(h.PayloadLen)
+	dst[5] = byte(h.PayloadLen >> 8)
+	dst[6] = byte(h.PayloadLen >> 16)
+	dst[7] = byte(h.PayloadLen >> 24)
+}
+
+func decodeHeader(src []byte) pictureHeader {
+	return pictureHeader{
+		Type:       src[0],
+		Num:        uint16(src[2]) | uint16(src[3])<<8,
+		PayloadLen: uint32(src[4]) | uint32(src[5])<<8 | uint32(src[6])<<16 | uint32(src[7])<<24,
+	}
+}
+
+// motion returns the deterministic motion vector of macroblock (bx,by) in
+// picture pic: global per-picture drift plus a small local perturbation.
+func motion(cfg Config, pic, bx, by int) (int8, int8) {
+	gdx := int8((pic*3)%5 - 2)
+	gdy := int8((pic*2)%3 - 1)
+	lx := int8((bx+by+pic)%3 - 1)
+	ly := int8((bx*2+by)%3 - 1)
+	dx, dy := gdx+lx, gdy+ly
+	if dx > 7 {
+		dx = 7
+	}
+	if dx < -7 {
+		dx = -7
+	}
+	if dy > 7 {
+		dy = 7
+	}
+	if dy < -7 {
+		dy = -7
+	}
+	return dx, dy
+}
+
+// clampI keeps v in [0,hi].
+func clampI(v, hi int) int {
+	if v < 0 {
+		return 0
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// predictBlock fills pred (16×16) from the reference plane with per-pixel
+// border clamping — the exact operation predictRD performs through
+// simulated memory.
+func predictBlock(ref []byte, w, h, px, py int, pred *[256]byte) {
+	for y := 0; y < 16; y++ {
+		sy := clampI(py+y, h-1)
+		for x := 0; x < 16; x++ {
+			sx := clampI(px+x, w-1)
+			pred[y*16+x] = ref[sy*w+sx]
+		}
+	}
+}
+
+// encode builds the coded stream and, in the same closed loop, the
+// sequence of reconstructed pictures (the reference decode).
+func encode(cfg Config) (stream []byte, lastRecon []byte) {
+	w, h := cfg.Width, cfg.Height
+	ref := make([]byte, w*h) // previous reconstruction
+	recon := make([]byte, w*h)
+	base := synth.GenerateImage(w, h, cfg.Seed)
+
+	for pic := 0; pic < cfg.Pictures; pic++ {
+		cur := currentPicture(cfg, base, pic)
+		var payload []byte
+		var prevMVx, prevMVy int8
+		for by := 0; by < cfg.mbRows(); by++ {
+			for bx := 0; bx < cfg.mbCols(); bx++ {
+				var pred [256]byte
+				if pic > 0 {
+					dx, dy := motion(cfg, pic, bx, by)
+					payload = append(payload, byte(dx-prevMVx), byte(dy-prevMVy))
+					prevMVx, prevMVy = dx, dy
+					predictBlock(ref, w, h, bx*16+int(dx), by*16+int(dy), &pred)
+				}
+				// Four 8×8 residual blocks per macroblock.
+				for blk := 0; blk < 4; blk++ {
+					ox, oy := (blk%2)*8, (blk/2)*8
+					var b [64]int32
+					for y := 0; y < 8; y++ {
+						for x := 0; x < 8; x++ {
+							px, py := bx*16+ox+x, by*16+oy+y
+							c := int32(cur[py*w+px])
+							if pic == 0 {
+								b[y*8+x] = c - 128
+							} else {
+								b[y*8+x] = c - int32(pred[(oy+y)*16+ox+x])
+							}
+						}
+					}
+					synth.FDCT8(&b)
+					synth.Quantize(&b, cfg.QScale)
+					payload = synth.EncodeBlock(payload, &b)
+					// Closed loop: reconstruct exactly as the decoder will.
+					synth.Dequantize(&b, cfg.QScale)
+					synth.IDCT8(&b)
+					for y := 0; y < 8; y++ {
+						for x := 0; x < 8; x++ {
+							px, py := bx*16+ox+x, by*16+oy+y
+							var v int32
+							if pic == 0 {
+								v = b[y*8+x] + 128
+							} else {
+								v = int32(pred[(oy+y)*16+ox+x]) + b[y*8+x]
+							}
+							if v < 0 {
+								v = 0
+							}
+							if v > 255 {
+								v = 255
+							}
+							recon[py*w+px] = byte(v)
+						}
+					}
+				}
+			}
+		}
+		hd := pictureHeader{Type: picI, Num: uint16(pic), PayloadLen: uint32(len(payload))}
+		if pic > 0 {
+			hd.Type = picP
+		}
+		var hb [8]byte
+		hd.encode(hb[:])
+		stream = append(stream, hb[:]...)
+		stream = append(stream, payload...)
+		copy(ref, recon)
+	}
+	return stream, append([]byte(nil), recon...)
+}
+
+// currentPicture synthesizes picture pic: the base image translated by
+// the accumulated global motion plus fresh detail, so P pictures have
+// both predictable and innovative content.
+func currentPicture(cfg Config, base *synth.Image, pic int) []byte {
+	w, h := cfg.Width, cfg.Height
+	out := make([]byte, w*h)
+	// Accumulated global shift.
+	sx, sy := 0, 0
+	for p := 1; p <= pic; p++ {
+		sx += (p*3)%5 - 2
+		sy += (p*2)%3 - 1
+	}
+	rng := synth.NewRand(cfg.Seed*7 + uint64(pic)*911)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := int(base.At(x-sx, y-sy))
+			v += int(rng.Next()%5) - 2
+			if v < 0 {
+				v = 0
+			}
+			if v > 255 {
+				v = 255
+			}
+			out[y*w+x] = byte(v)
+		}
+	}
+	return out
+}

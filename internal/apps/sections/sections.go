@@ -1,0 +1,140 @@
+// Package sections defines the layout of the shared static sections
+// ("appl data" and "appl bss") used by the workloads, mirroring how a
+// linked multi-task binary lays out its initialized and uninitialized
+// globals. All tasks of one application access these regions, which is
+// precisely why the paper gives them exclusive cache partitions (section
+// 5: "the application and run time system static allocated data (data and
+// bss) is shared between tasks").
+package sections
+
+import (
+	"repro/internal/apps/synth"
+	"repro/internal/kpn"
+	"repro/internal/mem"
+)
+
+// Offsets into the "appl data" region (initialized shared constants).
+const (
+	ZigZagOff = 0    // 64 × int32: zigzag scan order
+	QuantOff  = 256  // 64 × int32: luminance quantization matrix
+	CosOff    = 512  // 64 × int32: DCT basis table
+	KernelOff = 768  // 3 kernels × 9 × int32: gaussian, sobel-x, sobel-y
+	DataSize  = 4096 // minimum region size
+)
+
+// Offsets into the "appl bss" region (shared, zero-initialized state).
+const (
+	HistOff    = 0    // 256 × int32: global luminance histogram
+	CounterOff = 1024 // 64 × int32: per-task progress counters
+	BSSSize    = 16 * 1024
+)
+
+// Gaussian3 is the 3×3 smoothing kernel (sums to 16).
+var Gaussian3 = [9]int32{1, 2, 1, 2, 4, 2, 1, 2, 1}
+
+// SobelX is the horizontal-gradient kernel.
+var SobelX = [9]int32{-1, 0, 1, -2, 0, 2, -1, 0, 1}
+
+// SobelY is the vertical-gradient kernel.
+var SobelY = [9]int32{-1, -2, -1, 0, 0, 0, 1, 2, 1}
+
+// ProbeTable models a task's lookups into a private heap-resident table —
+// Huffman/VLC code books, interpolation LUTs, block reorder maps, dither
+// matrices. Real media kernels sweep such state cyclically (scan tables,
+// window and strip buffers) with occasional data-dependent jumps. The
+// cyclic reuse is exactly what the paper's partitioning protects: an
+// exclusive partition at least as large as the table serves every sweep
+// after the first from cache, while the interleaved traffic of co-running
+// tasks pushes a shared LRU cache into loop-thrashing, missing on every
+// touch.
+type ProbeTable struct {
+	Off   uint64 // offset of the table inside the heap
+	Bytes uint64
+	rng   *synth.Rand
+	cur   uint64 // sweep cursor, in lines
+}
+
+// probeLine is the sweep granularity: one L2 line per probe.
+const probeLine = 64
+
+// NewProbeTable creates a prober with a deterministic access sequence.
+func NewProbeTable(off, bytes, seed uint64) *ProbeTable {
+	return &ProbeTable{Off: off, Bytes: bytes, rng: synth.NewRand(seed | 1)}
+}
+
+// Probe advances the cyclic sweep by n lines (one word read per line,
+// plus a data-dependent jump every 16th probe) and returns a value
+// derived from the table contents, so the loads are meaningful.
+func (t *ProbeTable) Probe(c *kpn.Ctx, heap *mem.Region, n int) uint32 {
+	lines := t.Bytes / probeLine
+	var acc uint32
+	for i := 0; i < n; i++ {
+		if t.rng.Next()%16 == 0 {
+			t.cur = (t.cur + t.rng.Next()%lines) % lines
+		}
+		acc ^= c.Load32(heap, t.Off+t.cur*probeLine)
+		t.cur = (t.cur + 1) % lines
+		c.Exec(6)
+	}
+	return acc
+}
+
+// FillTable initializes a heap table's backing store deterministically,
+// as the task's init phase would.
+func FillTable(heap *mem.Region, off, bytes, seed uint64) {
+	bs := heap.Bytes()
+	rng := synth.NewRand(seed | 1)
+	for i := uint64(0); i < bytes; i += 4 {
+		v := uint32(rng.Next())
+		for k := uint64(0); k < 4 && off+i+k < uint64(len(bs)); k++ {
+			bs[off+i+k] = byte(v >> (8 * k))
+		}
+	}
+}
+
+// Bump increments a task-progress counter in the shared bss section — the
+// read-modify-write traffic that makes "appl bss" a contended entity.
+func Bump(c *kpn.Ctx, bss *mem.Region, slot uint64) {
+	off := CounterOff + (slot%64)*4
+	v := c.Load32(bss, off)
+	c.Store32(bss, off, v+1)
+}
+
+// HistAdd increments the shared luminance histogram bucket for value.
+func HistAdd(c *kpn.Ctx, bss *mem.Region, value byte) {
+	off := HistOff + uint64(value)*4
+	v := c.Load32(bss, off)
+	c.Store32(bss, off, v+1)
+}
+
+func put32(b []byte, off int, v int32) {
+	b[off] = byte(v)
+	b[off+1] = byte(uint32(v) >> 8)
+	b[off+2] = byte(uint32(v) >> 16)
+	b[off+3] = byte(uint32(v) >> 24)
+}
+
+// PreloadData fills an "appl data" region's backing store with the shared
+// constant tables, as the loader would when mapping the .data section.
+func PreloadData(r *mem.Region) {
+	b := r.Bytes()
+	for i, v := range synth.ZigZag {
+		put32(b, ZigZagOff+i*4, int32(v))
+	}
+	for i, v := range synth.QuantLuma {
+		put32(b, QuantOff+i*4, v)
+	}
+	cos := synth.CosTable()
+	for i, v := range cos {
+		put32(b, CosOff+i*4, v)
+	}
+	for i, v := range Gaussian3 {
+		put32(b, KernelOff+i*4, v)
+	}
+	for i, v := range SobelX {
+		put32(b, KernelOff+36+i*4, v)
+	}
+	for i, v := range SobelY {
+		put32(b, KernelOff+72+i*4, v)
+	}
+}

@@ -1,0 +1,174 @@
+package sections
+
+import (
+	"testing"
+
+	"repro/internal/apps/synth"
+	"repro/internal/cpu"
+	"repro/internal/kpn"
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// runBody executes a task body to completion on a recording memory.
+func runBody(t *testing.T, as *mem.AddressSpace, body func(*kpn.Ctx)) *recMem {
+	t.Helper()
+	rec := &recMem{}
+	p := &kpn.Process{
+		Name: "t",
+		Body: body,
+		Code: as.MustAlloc("t.code", mem.KindCode, "t", 4096),
+		Heap: as.MustAlloc("t.heap", mem.KindHeap, "t", 64*1024),
+	}
+	p.Start()
+	core := cpu.New(cpu.Config{BaseCPI: 1})
+	for p.State() != kpn.Done && p.State() != kpn.Failed {
+		y := p.RunSlice(core, rec, 1<<40)
+		if y.Reason == kpn.YieldFailed {
+			t.Fatal(y.Err)
+		}
+	}
+	return rec
+}
+
+type recMem struct{ accesses []trace.Access }
+
+func (m *recMem) AccessAt(a trace.Access, now uint64) uint64 {
+	m.accesses = append(m.accesses, a)
+	return 0
+}
+
+func TestPreloadData(t *testing.T) {
+	as := mem.NewAddressSpace()
+	r := as.MustAlloc("appl data", mem.KindData, "", DataSize)
+	PreloadData(r)
+	// Zigzag at offset 0: second entry is 1, third is 8.
+	if v, _ := r.Load32(ZigZagOff + 4); v != 1 {
+		t.Errorf("zigzag[1] = %d", v)
+	}
+	if v, _ := r.Load32(ZigZagOff + 8); v != 8 {
+		t.Errorf("zigzag[2] = %d", v)
+	}
+	// Quant matrix.
+	if v, _ := r.Load32(QuantOff); int32(v) != synth.QuantLuma[0] {
+		t.Errorf("quant[0] = %d", v)
+	}
+	// Cos table (may be negative -> compare as int32).
+	cos := synth.CosTable()
+	if v, _ := r.Load32(CosOff + 9*4); int32(v) != cos[9] {
+		t.Errorf("cos[9] = %d, want %d", int32(v), cos[9])
+	}
+	// Kernels.
+	if v, _ := r.Load32(KernelOff + 4*4); int32(v) != Gaussian3[4] {
+		t.Errorf("gaussian[4] = %d", int32(v))
+	}
+	if v, _ := r.Load32(KernelOff + 36); int32(v) != SobelX[0] {
+		t.Errorf("sobelx[0] = %d", int32(v))
+	}
+	if v, _ := r.Load32(KernelOff + 72 + 8*4); int32(v) != SobelY[8] {
+		t.Errorf("sobely[8] = %d", int32(v))
+	}
+}
+
+func TestKernelsSumProperties(t *testing.T) {
+	var g, sx, sy int32
+	for i := 0; i < 9; i++ {
+		g += Gaussian3[i]
+		sx += SobelX[i]
+		sy += SobelY[i]
+	}
+	if g != 16 {
+		t.Errorf("gaussian sum = %d, want 16", g)
+	}
+	if sx != 0 || sy != 0 {
+		t.Errorf("sobel sums = %d/%d, want 0", sx, sy)
+	}
+}
+
+func TestProbeTableSweepsCyclically(t *testing.T) {
+	as := mem.NewAddressSpace()
+	rec := runBody(t, as, func(c *kpn.Ctx) {
+		FillTable(c.Heap(), 0, 4096, 7)
+		tab := NewProbeTable(0, 4096, 99)
+		tab.Probe(c, c.Heap(), 200) // > 64 lines: must wrap
+	})
+	heapBase := as.ByName("t.heap").Base
+	seen := map[uint64]bool{}
+	inBounds := 0
+	for _, a := range rec.accesses {
+		if a.Op != trace.Read || a.Addr < heapBase || a.Addr >= heapBase+4096 {
+			continue
+		}
+		inBounds++
+		seen[(a.Addr-heapBase)/64] = true
+	}
+	if inBounds != 200 {
+		t.Fatalf("probe reads = %d, want 200", inBounds)
+	}
+	// A cyclic sweep of 200 probes over a 64-line table covers nearly
+	// every line (the occasional data-dependent jump may skip a few).
+	if len(seen) < 56 {
+		t.Errorf("lines covered = %d, want >= 56 of 64", len(seen))
+	}
+}
+
+func TestProbeTableDeterministic(t *testing.T) {
+	addrsOf := func() []uint64 {
+		as := mem.NewAddressSpace()
+		rec := runBody(t, as, func(c *kpn.Ctx) {
+			FillTable(c.Heap(), 128, 2048, 3)
+			tab := NewProbeTable(128, 2048, 42)
+			tab.Probe(c, c.Heap(), 50)
+		})
+		var out []uint64
+		for _, a := range rec.accesses {
+			if a.Op == trace.Read {
+				out = append(out, a.Addr)
+			}
+		}
+		return out
+	}
+	a, b := addrsOf(), addrsOf()
+	if len(a) != len(b) || len(a) == 0 {
+		t.Fatalf("lengths %d/%d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("probe sequence not deterministic")
+		}
+	}
+}
+
+func TestFillTableBounded(t *testing.T) {
+	as := mem.NewAddressSpace()
+	r := as.MustAlloc("h", mem.KindHeap, "t", 1024)
+	FillTable(r, 512, 4096, 1) // larger than region: must not panic
+	if v, _ := r.Load8(100); v != 0 {
+		t.Error("FillTable wrote below its offset")
+	}
+}
+
+func TestBumpAndHistAdd(t *testing.T) {
+	as := mem.NewAddressSpace()
+	bss := as.MustAlloc("appl bss", mem.KindBSS, "", BSSSize)
+	runBody(t, as, func(c *kpn.Ctx) {
+		Bump(c, bss, 3)
+		Bump(c, bss, 3)
+		Bump(c, bss, 70) // wraps to slot 6
+		HistAdd(c, bss, 200)
+		HistAdd(c, bss, 200)
+		HistAdd(c, bss, 0)
+	})
+	if v, _ := bss.Load32(CounterOff + 3*4); v != 2 {
+		t.Errorf("counter 3 = %d", v)
+	}
+	if v, _ := bss.Load32(CounterOff + 6*4); v != 1 {
+		t.Errorf("counter 70%%64 = %d", v)
+	}
+	if v, _ := bss.Load32(HistOff + 200*4); v != 2 {
+		t.Errorf("hist[200] = %d", v)
+	}
+	if v, _ := bss.Load32(HistOff); v != 1 {
+		t.Errorf("hist[0] = %d", v)
+	}
+}

@@ -1,0 +1,86 @@
+package synth
+
+import (
+	"errors"
+	"fmt"
+)
+
+// The byte-oriented run-length entropy code used by the synthetic JPEG
+// and MPEG-2 streams. Each non-zero coefficient of a zigzag-scanned block
+// is coded as three bytes — run length of preceding zeros, then the
+// little-endian int16 value — and every block ends with an EOB marker.
+// It carries the same information as JPEG's (run,size)+amplitude coding
+// with a stable, compiler-independent layout.
+
+// EOB marks the end of a coded block.
+const EOB = 0xFF
+
+// ErrCorrupt is returned when a coded stream cannot be parsed.
+var ErrCorrupt = errors.New("synth: corrupt coded stream")
+
+// EncodeBlock appends the code of a quantized block (natural order) to
+// dst and returns the extended slice.
+func EncodeBlock(dst []byte, b *[64]int32) []byte {
+	run := 0
+	for i := 0; i < 64; i++ {
+		v := b[ZigZag[i]]
+		if v == 0 {
+			run++
+			continue
+		}
+		for run > 254 {
+			dst = append(dst, 254, 0, 0) // long zero runs split
+			run -= 254
+		}
+		dst = append(dst, byte(run), byte(uint16(v)), byte(uint16(v)>>8))
+		run = 0
+	}
+	return append(dst, EOB)
+}
+
+// DecodeBlock parses one coded block from src into b (natural order,
+// zeros included) and returns the number of bytes consumed.
+func DecodeBlock(src []byte, b *[64]int32) (int, error) {
+	for i := range b {
+		b[i] = 0
+	}
+	pos := 0
+	idx := 0
+	for {
+		if pos >= len(src) {
+			return 0, fmt.Errorf("%w: unterminated block", ErrCorrupt)
+		}
+		run := src[pos]
+		if run == EOB {
+			return pos + 1, nil
+		}
+		if pos+3 > len(src) {
+			return 0, fmt.Errorf("%w: truncated symbol", ErrCorrupt)
+		}
+		v := int32(int16(uint16(src[pos+1]) | uint16(src[pos+2])<<8))
+		pos += 3
+		idx += int(run)
+		if v != 0 {
+			if idx >= 64 {
+				return 0, fmt.Errorf("%w: coefficient index %d", ErrCorrupt, idx)
+			}
+			b[ZigZag[idx]] = v
+			idx++
+		}
+	}
+}
+
+// CodedBlockLen scans one coded block without decoding and returns its
+// length in bytes.
+func CodedBlockLen(src []byte) (int, error) {
+	pos := 0
+	for {
+		if pos >= len(src) {
+			return 0, fmt.Errorf("%w: unterminated block", ErrCorrupt)
+		}
+		if src[pos] == EOB {
+			return pos + 1, nil
+		}
+		pos += 3
+	}
+}

@@ -1,0 +1,266 @@
+package synth
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRandDeterministic(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("PRNG not deterministic")
+		}
+	}
+	if NewRand(0).Next() != NewRand(0).Next() {
+		t.Error("seed 0 not stable")
+	}
+}
+
+func TestRandIntnBounds(t *testing.T) {
+	r := NewRand(7)
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(13); v < 0 || v >= 13 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+	if NewRand(1).Intn(0) != 0 {
+		t.Error("Intn(0) should be 0")
+	}
+}
+
+func TestImageAtClamps(t *testing.T) {
+	im := NewImage(4, 4)
+	im.Set(0, 0, 10)
+	im.Set(3, 3, 20)
+	if im.At(-5, -5) != 10 {
+		t.Error("negative clamp failed")
+	}
+	if im.At(10, 10) != 20 {
+		t.Error("positive clamp failed")
+	}
+	im.Set(-1, 0, 99) // ignored
+	if im.At(0, 0) != 10 {
+		t.Error("out-of-range Set wrote")
+	}
+}
+
+func TestGenerateImageDeterministicAndVaried(t *testing.T) {
+	a := GenerateImage(64, 48, 1)
+	b := GenerateImage(64, 48, 1)
+	c := GenerateImage(64, 48, 2)
+	same, diff := 0, 0
+	for i := range a.Pix {
+		if a.Pix[i] != b.Pix[i] {
+			t.Fatal("same seed produced different images")
+		}
+		if a.Pix[i] != c.Pix[i] {
+			diff++
+		} else {
+			same++
+		}
+	}
+	if diff == 0 {
+		t.Error("different seeds produced identical images")
+	}
+	// The image is not flat.
+	min, max := a.Pix[0], a.Pix[0]
+	for _, p := range a.Pix {
+		if p < min {
+			min = p
+		}
+		if p > max {
+			max = p
+		}
+	}
+	if max-min < 50 {
+		t.Errorf("image dynamic range too small: %d", max-min)
+	}
+}
+
+func TestZigZagIsPermutation(t *testing.T) {
+	seen := [64]bool{}
+	for _, v := range ZigZag {
+		if v < 0 || v >= 64 || seen[v] {
+			t.Fatalf("zigzag not a permutation at %d", v)
+		}
+		seen[v] = true
+	}
+	// Spot-check the canonical prefix.
+	want := []int{0, 1, 8, 16, 9, 2}
+	for i, w := range want {
+		if ZigZag[i] != w {
+			t.Errorf("ZigZag[%d] = %d, want %d", i, ZigZag[i], w)
+		}
+	}
+}
+
+func TestCosTableMatchesMath(t *testing.T) {
+	tab := CosTable()
+	for k := 0; k < 8; k++ {
+		for n := 0; n < 8; n++ {
+			want := math.Cos(float64(2*n+1)*float64(k)*math.Pi/16) * 4096
+			got := float64(tab[k*8+n])
+			if math.Abs(got-want) > 1.5 {
+				t.Errorf("cos[%d][%d] = %v, want %v", k, n, got, want)
+			}
+		}
+	}
+}
+
+func TestDCTRoundTrip(t *testing.T) {
+	rng := NewRand(3)
+	var worst int32
+	for trial := 0; trial < 50; trial++ {
+		var orig, b [64]int32
+		for i := range b {
+			v := int32(rng.Intn(256) - 128)
+			orig[i], b[i] = v, v
+		}
+		FDCT8(&b)
+		IDCT8(&b)
+		for i := range b {
+			d := b[i] - orig[i]
+			if d < 0 {
+				d = -d
+			}
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	if worst > 8 {
+		t.Errorf("DCT round-trip worst error = %d, want <= 8", worst)
+	}
+}
+
+func TestDCTDCComponent(t *testing.T) {
+	var b [64]int32
+	for i := range b {
+		b[i] = 100
+	}
+	FDCT8(&b)
+	if b[0] < 700 || b[0] > 900 { // DC = 8*mean = 800
+		t.Errorf("DC = %d, want ~800", b[0])
+	}
+	for i := 1; i < 64; i++ {
+		if b[i] > 4 || b[i] < -4 {
+			t.Errorf("AC[%d] = %d for flat block", i, b[i])
+		}
+	}
+}
+
+func TestQuantizeRoundTrip(t *testing.T) {
+	var b [64]int32
+	for i := range b {
+		b[i] = int32(i*7 - 200)
+	}
+	orig := b
+	Quantize(&b, 1)
+	Dequantize(&b, 1)
+	for i := range b {
+		d := b[i] - orig[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > QuantLuma[i]/2+1 {
+			t.Errorf("quant error at %d: %d vs step %d", i, d, QuantLuma[i])
+		}
+	}
+}
+
+func TestClamp8(t *testing.T) {
+	if Clamp8(-500) != 0 || Clamp8(500) != 255 || Clamp8(0) != 128 || Clamp8(-128) != 0 {
+		t.Error("clamp wrong")
+	}
+}
+
+func TestEncodeDecodeBlock(t *testing.T) {
+	var b [64]int32
+	b[0] = 100
+	b[1] = -3
+	b[63] = 7
+	code := EncodeBlock(nil, &b)
+	var out [64]int32
+	n, err := DecodeBlock(code, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(code) {
+		t.Errorf("consumed %d of %d", n, len(code))
+	}
+	if out != b {
+		t.Errorf("decode mismatch: %v", out)
+	}
+	if ln, err := CodedBlockLen(code); err != nil || ln != len(code) {
+		t.Errorf("CodedBlockLen = %d,%v", ln, err)
+	}
+}
+
+func TestDecodeBlockErrors(t *testing.T) {
+	var out [64]int32
+	if _, err := DecodeBlock(nil, &out); err == nil {
+		t.Error("empty stream accepted")
+	}
+	if _, err := DecodeBlock([]byte{3, 1}, &out); err == nil {
+		t.Error("truncated symbol accepted")
+	}
+	// Index overflow: 60 zeros + value, then more.
+	bad := []byte{60, 1, 0, 60, 1, 0, EOB}
+	if _, err := DecodeBlock(bad, &out); err == nil {
+		t.Error("coefficient overflow accepted")
+	}
+	if _, err := CodedBlockLen([]byte{3, 1, 0}); err == nil {
+		t.Error("unterminated block accepted by CodedBlockLen")
+	}
+}
+
+// Property: encode/decode round-trips arbitrary sparse blocks.
+func TestRLERoundTripProperty(t *testing.T) {
+	f := func(seed int64, density uint8) bool {
+		rng := NewRand(uint64(seed))
+		var b [64]int32
+		n := int(density % 64)
+		for i := 0; i < n; i++ {
+			b[rng.Intn(64)] = int32(rng.Intn(4001) - 2000)
+		}
+		code := EncodeBlock(nil, &b)
+		var out [64]int32
+		used, err := DecodeBlock(code, &out)
+		return err == nil && used == len(code) && out == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: concatenated blocks decode sequentially.
+func TestRLEStreamProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := NewRand(uint64(seed))
+		var blocks [][64]int32
+		var stream []byte
+		for k := 0; k < 5; k++ {
+			var b [64]int32
+			for i := 0; i < rng.Intn(10); i++ {
+				b[rng.Intn(64)] = int32(rng.Intn(200) - 100)
+			}
+			blocks = append(blocks, b)
+			stream = EncodeBlock(stream, &b)
+		}
+		pos := 0
+		for _, want := range blocks {
+			var out [64]int32
+			n, err := DecodeBlock(stream[pos:], &out)
+			if err != nil || out != want {
+				return false
+			}
+			pos += n
+		}
+		return pos == len(stream)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

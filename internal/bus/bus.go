@@ -1,0 +1,135 @@
+// Package bus models the on-tile interconnect and off-chip memory of the
+// CAKE platform: a snooping, split-transaction bus shared by all
+// processors, in front of a set of interleaved memory banks.
+//
+// The paper assumes "a fast, high-bandwidth snooping interconnection
+// network" whose contention is low; the model here is accordingly
+// first-order: a request issued at local time t is granted at
+// max(t, busFree), occupies the bus for a fixed transfer time, then
+// occupies its (address-interleaved) bank for the memory latency. The
+// residual contention this produces is exactly the "neglected effect"
+// whose impact Figure 3 of the paper quantifies.
+package bus
+
+import "fmt"
+
+// Config describes the interconnect and memory timing.
+type Config struct {
+	TransferCycles uint64 // bus occupancy per line transfer
+	MemLatency     uint64 // bank access time per line
+	Banks          int    // number of interleaved memory banks
+	LineSize       int    // bytes per line, for bank interleaving
+}
+
+// DefaultConfig returns timing in the spirit of a 2005-era embedded tile:
+// a few cycles of bus occupancy and tens of cycles of DRAM latency.
+func DefaultConfig() Config {
+	return Config{TransferCycles: 4, MemLatency: 40, Banks: 4, LineSize: 64}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Banks <= 0 {
+		return fmt.Errorf("bus: banks %d not positive", c.Banks)
+	}
+	if c.LineSize <= 0 || c.LineSize&(c.LineSize-1) != 0 {
+		return fmt.Errorf("bus: line size %d not a positive power of two", c.LineSize)
+	}
+	return nil
+}
+
+// Stats aggregates interconnect activity.
+type Stats struct {
+	Requests   uint64 // demand line fills
+	Posts      uint64 // posted writebacks
+	WaitCycles uint64 // total cycles requests waited for the bus
+	BusyCycles uint64 // total bus occupancy
+}
+
+// Bus is the shared interconnect. It is not safe for concurrent use; the
+// platform engine serializes all simulated processors.
+type Bus struct {
+	cfg      Config
+	busFree  uint64
+	bankFree []uint64
+	stats    Stats
+	perBank  []uint64 // accesses per bank
+}
+
+// New creates a bus. It panics on an invalid configuration.
+func New(cfg Config) *Bus {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Bus{
+		cfg:      cfg,
+		bankFree: make([]uint64, cfg.Banks),
+		perBank:  make([]uint64, cfg.Banks),
+	}
+}
+
+// Config returns the bus configuration.
+func (b *Bus) Config() Config { return b.cfg }
+
+func (b *Bus) bankOf(addr uint64) int {
+	return int((addr / uint64(b.cfg.LineSize)) % uint64(b.cfg.Banks))
+}
+
+// transfer arbitrates the bus and the bank and returns the completion time.
+func (b *Bus) transfer(addr, now uint64) uint64 {
+	grant := now
+	if b.busFree > grant {
+		grant = b.busFree
+	}
+	b.stats.WaitCycles += grant - now
+	b.busFree = grant + b.cfg.TransferCycles
+	b.stats.BusyCycles += b.cfg.TransferCycles
+
+	bank := b.bankOf(addr)
+	b.perBank[bank]++
+	start := grant + b.cfg.TransferCycles
+	if b.bankFree[bank] > start {
+		start = b.bankFree[bank]
+	}
+	done := start + b.cfg.MemLatency
+	b.bankFree[bank] = done
+	return done
+}
+
+// Request implements cache.MemPort: a demand line fill. The returned
+// latency is charged to the issuing core.
+func (b *Bus) Request(addr, now uint64) uint64 {
+	b.stats.Requests++
+	return b.transfer(addr, now) - now
+}
+
+// Post implements cache.MemPort: a posted writeback. It consumes bus and
+// bank bandwidth but does not stall the core.
+func (b *Bus) Post(addr, now uint64) {
+	b.stats.Posts++
+	b.transfer(addr, now)
+}
+
+// Stats returns the accumulated counters.
+func (b *Bus) Stats() Stats { return b.stats }
+
+// BankAccesses returns the per-bank access counts.
+func (b *Bus) BankAccesses() []uint64 {
+	out := make([]uint64, len(b.perBank))
+	copy(out, b.perBank)
+	return out
+}
+
+// Traffic returns the total number of line transfers (fills + writebacks),
+// the memory-traffic term of the paper's power model.
+func (b *Bus) Traffic() uint64 { return b.stats.Requests + b.stats.Posts }
+
+// Reset clears both timing state and statistics.
+func (b *Bus) Reset() {
+	b.busFree = 0
+	for i := range b.bankFree {
+		b.bankFree[i] = 0
+		b.perBank[i] = 0
+	}
+	b.stats = Stats{}
+}

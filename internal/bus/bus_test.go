@@ -1,0 +1,172 @@
+package bus
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func cfg() Config {
+	return Config{TransferCycles: 4, MemLatency: 40, Banks: 4, LineSize: 64}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := cfg().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Config{Banks: 0, LineSize: 64}).Validate(); err == nil {
+		t.Error("zero banks accepted")
+	}
+	if err := (Config{Banks: 2, LineSize: 48}).Validate(); err == nil {
+		t.Error("bad line size accepted")
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+}
+
+func TestNewPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(Config{Banks: -1, LineSize: 64})
+}
+
+func TestUncontendedRequestLatency(t *testing.T) {
+	b := New(cfg())
+	if lat := b.Request(0, 100); lat != 4+40 {
+		t.Errorf("latency = %d, want 44", lat)
+	}
+}
+
+func TestBusContentionSerializes(t *testing.T) {
+	b := New(cfg())
+	// Two requests to different banks at the same instant: the second
+	// waits for the bus transfer of the first (4 cycles).
+	lat1 := b.Request(0, 0)  // bank 0
+	lat2 := b.Request(64, 0) // bank 1
+	if lat1 != 44 {
+		t.Errorf("first latency = %d, want 44", lat1)
+	}
+	if lat2 != 4+4+40 {
+		t.Errorf("second latency = %d, want 48 (waits one bus slot)", lat2)
+	}
+	if b.Stats().WaitCycles != 4 {
+		t.Errorf("wait cycles = %d, want 4", b.Stats().WaitCycles)
+	}
+}
+
+func TestBankContention(t *testing.T) {
+	b := New(cfg())
+	// Two requests to the same bank: the second also waits for the bank.
+	b.Request(0, 0)
+	lat2 := b.Request(256, 0) // 256/64 = line 4 -> bank 0 again
+	// grant at 4, bus done at 8, bank busy until 44, done 84 -> 84.
+	if lat2 != 84 {
+		t.Errorf("same-bank latency = %d, want 84", lat2)
+	}
+}
+
+func TestBankInterleaving(t *testing.T) {
+	b := New(cfg())
+	for i := 0; i < 8; i++ {
+		b.Request(uint64(i*64), uint64(i*1000))
+	}
+	for bank, n := range b.BankAccesses() {
+		if n != 2 {
+			t.Errorf("bank %d accesses = %d, want 2", bank, n)
+		}
+	}
+}
+
+func TestPostConsumesBandwidthNoStall(t *testing.T) {
+	b := New(cfg())
+	b.Post(0, 0)
+	if b.Stats().Posts != 1 {
+		t.Error("post not counted")
+	}
+	// A request right after the post waits for the bus.
+	if lat := b.Request(64, 0); lat != 4+4+40 {
+		t.Errorf("request after post latency = %d, want 48", lat)
+	}
+	if b.Traffic() != 2 {
+		t.Errorf("traffic = %d, want 2", b.Traffic())
+	}
+}
+
+func TestIdleBusNoWait(t *testing.T) {
+	b := New(cfg())
+	b.Request(0, 0)
+	// Long after the bus is free again: no wait.
+	if lat := b.Request(64, 10_000); lat != 44 {
+		t.Errorf("idle-bus latency = %d, want 44", lat)
+	}
+	if b.Stats().WaitCycles != 0 {
+		t.Errorf("wait cycles = %d, want 0", b.Stats().WaitCycles)
+	}
+}
+
+func TestReset(t *testing.T) {
+	b := New(cfg())
+	b.Request(0, 0)
+	b.Post(64, 0)
+	b.Reset()
+	s := b.Stats()
+	if s.Requests != 0 || s.Posts != 0 || s.WaitCycles != 0 || s.BusyCycles != 0 {
+		t.Errorf("stats after reset = %+v", s)
+	}
+	if lat := b.Request(0, 0); lat != 44 {
+		t.Errorf("latency after reset = %d, want 44", lat)
+	}
+	for _, n := range b.BankAccesses() {
+		if n > 1 {
+			t.Error("bank counters not reset")
+		}
+	}
+}
+
+// Property: latency is always at least the uncontended minimum, and the
+// total wait never decreases.
+func TestLatencyLowerBoundProperty(t *testing.T) {
+	f := func(addrs []uint32, gaps []uint8) bool {
+		b := New(cfg())
+		now := uint64(0)
+		var lastWait uint64
+		for i, a := range addrs {
+			if i < len(gaps) {
+				now += uint64(gaps[i])
+			}
+			lat := b.Request(uint64(a), now)
+			if lat < 44 {
+				return false
+			}
+			w := b.Stats().WaitCycles
+			if w < lastWait {
+				return false
+			}
+			lastWait = w
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: with requests spaced farther apart than the total service
+// time, there is never any waiting.
+func TestNoContentionWhenSpacedProperty(t *testing.T) {
+	f := func(addrs []uint32) bool {
+		b := New(cfg())
+		now := uint64(0)
+		for _, a := range addrs {
+			b.Request(uint64(a), now)
+			now += 1000
+		}
+		return b.Stats().WaitCycles == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,337 @@
+// Package cache implements the set-associative, partitionable cache model
+// at the heart of the reproduction.
+//
+// A Cache is a conventional write-back, write-allocate, LRU
+// set-associative cache. Compositionality is induced exactly as in the
+// paper (section 4.2): the conventional set index of every access can be
+// translated through a PartitionTable that maps the access's owning
+// entity (task or communication buffer, identified by its mem.RegionID)
+// to an exclusive, power-of-two-sized range of sets. With a nil
+// PartitionTable the cache behaves as an ordinary shared cache — the
+// baseline of the paper's evaluation.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// Config describes the geometry of one cache.
+type Config struct {
+	Name     string
+	Sets     int // number of sets; power of two
+	Ways     int // associativity
+	LineSize int // bytes per line; power of two
+}
+
+// SizeBytes returns the capacity of a cache with this geometry.
+func (c Config) SizeBytes() int { return c.Sets * c.Ways * c.LineSize }
+
+// Validate checks the geometry.
+func (c Config) Validate() error {
+	if c.Sets <= 0 || c.Sets&(c.Sets-1) != 0 {
+		return fmt.Errorf("cache %q: sets %d not a positive power of two", c.Name, c.Sets)
+	}
+	if c.Ways <= 0 {
+		return fmt.Errorf("cache %q: ways %d not positive", c.Name, c.Ways)
+	}
+	if c.LineSize <= 0 || c.LineSize&(c.LineSize-1) != 0 {
+		return fmt.Errorf("cache %q: line size %d not a positive power of two", c.Name, c.LineSize)
+	}
+	return nil
+}
+
+// Stats aggregates access outcomes for a cache or a partition of it.
+type Stats struct {
+	Accesses   uint64
+	Hits       uint64
+	Misses     uint64
+	Evictions  uint64
+	Writebacks uint64
+}
+
+// MissRate returns Misses/Accesses, or 0 for an idle cache.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Accesses += other.Accesses
+	s.Hits += other.Hits
+	s.Misses += other.Misses
+	s.Evictions += other.Evictions
+	s.Writebacks += other.Writebacks
+}
+
+// EntityStats are the per-entity (per-region) counters that Figures 2 and
+// 3 of the paper are drawn from.
+type EntityStats struct {
+	Accesses uint64
+	Misses   uint64
+}
+
+type line struct {
+	tag   uint64 // full line address (Addr >> lineShift); unique across partitions
+	last  uint64 // LRU timestamp
+	valid bool
+	dirty bool
+}
+
+// Cache is one level of the memory hierarchy.
+type Cache struct {
+	cfg       Config
+	lineShift uint
+	setMask   uint64
+	lines     []line // sets*ways, set-major
+	table     *PartitionTable
+
+	clock   uint64
+	stats   Stats
+	byOp    [3]Stats
+	regions []EntityStats // indexed by mem.RegionID, grown on demand
+	parts   []Stats       // indexed by partition id when table != nil
+
+	// Observer, when non-nil, sees every line reference before it is
+	// performed. The profiler taps the L2-bound stream this way.
+	Observer func(lineAddr uint64, write bool, region mem.RegionID)
+}
+
+// New builds a cache with the given geometry. It panics on an invalid
+// configuration: geometry is fixed by the platform description and a bad
+// one is a programming error.
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Cache{
+		cfg:       cfg,
+		lineShift: uint(bits.TrailingZeros(uint(cfg.LineSize))),
+		setMask:   uint64(cfg.Sets - 1),
+		lines:     make([]line, cfg.Sets*cfg.Ways),
+	}
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// SetPartitionTable installs (or removes, with nil) the index-translation
+// table. Installing a table flushes the cache: the translation changes
+// where lines live, as it would on real hardware when the OS reloads the
+// interval table.
+func (c *Cache) SetPartitionTable(t *PartitionTable) {
+	if t != nil && t.totalSets != c.cfg.Sets {
+		panic(fmt.Sprintf("cache %q: partition table covers %d sets, cache has %d",
+			c.cfg.Name, t.totalSets, c.cfg.Sets))
+	}
+	c.table = t
+	c.Flush()
+	if t != nil {
+		c.parts = make([]Stats, len(t.parts))
+	} else {
+		c.parts = nil
+	}
+}
+
+// PartitionTable returns the installed table, or nil for a shared cache.
+func (c *Cache) PartitionTable() *PartitionTable { return c.table }
+
+// Flush invalidates every line without counting writebacks or evictions.
+func (c *Cache) Flush() {
+	for i := range c.lines {
+		c.lines[i] = line{}
+	}
+}
+
+// ResetStats zeroes all counters (but keeps cache contents), so that
+// warm-up can be excluded from measurements.
+func (c *Cache) ResetStats() {
+	c.stats = Stats{}
+	c.byOp = [3]Stats{}
+	for i := range c.regions {
+		c.regions[i] = EntityStats{}
+	}
+	for i := range c.parts {
+		c.parts[i] = Stats{}
+	}
+}
+
+// Result describes the outcome of one line reference.
+type Result struct {
+	Hit       bool
+	Writeback bool   // a dirty victim was evicted
+	VictimTag uint64 // line address of the evicted victim, valid when Writeback
+}
+
+// Access performs one memory access, possibly split over two lines, and
+// returns true if every referenced line hit. This is the trace.Sink shape
+// used by tests; the hierarchy uses AccessLine for latency accounting.
+func (c *Cache) Access(a trace.Access) bool {
+	size := uint64(a.Size)
+	if size == 0 {
+		size = 1
+	}
+	first := a.Addr >> c.lineShift
+	last := (a.Addr + size - 1) >> c.lineShift
+	hit := true
+	for ln := first; ln <= last; ln++ {
+		r := c.AccessLine(ln, a.Op == trace.Write, a.Region)
+		hit = hit && r.Hit
+	}
+	return hit
+}
+
+// AccessLine references one line (identified by Addr>>lineShift) and
+// returns the outcome. The region id selects the partition when a
+// PartitionTable is installed.
+func (c *Cache) AccessLine(lineAddr uint64, write bool, region mem.RegionID) Result {
+	if c.Observer != nil {
+		c.Observer(lineAddr, write, region)
+	}
+	c.clock++
+	set := lineAddr & c.setMask
+	part := 0
+	if c.table != nil {
+		set, part = c.table.mapSet(set, region)
+	}
+	base := int(set) * c.cfg.Ways
+	ways := c.lines[base : base+c.cfg.Ways]
+
+	var res Result
+	// Hit path.
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == lineAddr {
+			ways[i].last = c.clock
+			if write {
+				ways[i].dirty = true
+			}
+			res.Hit = true
+			c.record(region, part, res, write)
+			return res
+		}
+	}
+	// Miss: pick invalid way or LRU victim.
+	victim := 0
+	for i := range ways {
+		if !ways[i].valid {
+			victim = i
+			goto fill
+		}
+		if ways[i].last < ways[victim].last {
+			victim = i
+		}
+	}
+	c.stats.Evictions++
+	if c.table != nil {
+		c.parts[part].Evictions++
+	}
+	if ways[victim].dirty {
+		res.Writeback = true
+		res.VictimTag = ways[victim].tag
+	}
+fill:
+	ways[victim] = line{tag: lineAddr, last: c.clock, valid: true, dirty: write}
+	c.record(region, part, res, write)
+	return res
+}
+
+func (c *Cache) record(region mem.RegionID, part int, res Result, write bool) {
+	c.stats.Accesses++
+	op := trace.Read
+	if write {
+		op = trace.Write
+	}
+	c.byOp[op].Accesses++
+	if res.Hit {
+		c.stats.Hits++
+		c.byOp[op].Hits++
+	} else {
+		c.stats.Misses++
+		c.byOp[op].Misses++
+	}
+	if res.Writeback {
+		c.stats.Writebacks++
+	}
+	if region >= 0 {
+		for int(region) >= len(c.regions) {
+			c.regions = append(c.regions, EntityStats{})
+		}
+		c.regions[region].Accesses++
+		if !res.Hit {
+			c.regions[region].Misses++
+		}
+	}
+	if c.table != nil {
+		p := &c.parts[part]
+		p.Accesses++
+		if res.Hit {
+			p.Hits++
+		} else {
+			p.Misses++
+		}
+		if res.Writeback {
+			p.Writebacks++
+		}
+	}
+}
+
+// Probe reports whether the line containing addr is present, without
+// touching LRU state or statistics. Region selects the partition.
+func (c *Cache) Probe(addr uint64, region mem.RegionID) bool {
+	lineAddr := addr >> c.lineShift
+	set := lineAddr & c.setMask
+	if c.table != nil {
+		set, _ = c.table.mapSet(set, region)
+	}
+	base := int(set) * c.cfg.Ways
+	for _, w := range c.lines[base : base+c.cfg.Ways] {
+		if w.valid && w.tag == lineAddr {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats returns the aggregate counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// OpStats returns the counters for one access operation (reads or writes;
+// fetches are recorded as reads at the cache level).
+func (c *Cache) OpStats(op trace.Op) Stats { return c.byOp[op] }
+
+// RegionStats returns the counters for one entity.
+func (c *Cache) RegionStats(id mem.RegionID) EntityStats {
+	if id < 0 || int(id) >= len(c.regions) {
+		return EntityStats{}
+	}
+	return c.regions[id]
+}
+
+// NumTrackedRegions returns how many region ids have been observed.
+func (c *Cache) NumTrackedRegions() int { return len(c.regions) }
+
+// PartitionStats returns the counters for one partition; zero Stats when
+// no table is installed or the id is out of range.
+func (c *Cache) PartitionStats(part int) Stats {
+	if part < 0 || part >= len(c.parts) {
+		return Stats{}
+	}
+	return c.parts[part]
+}
+
+// OccupiedLines counts currently valid lines (test/diagnostic helper).
+func (c *Cache) OccupiedLines() int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].valid {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,285 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+func small() Config { return Config{Name: "t", Sets: 4, Ways: 2, LineSize: 64} }
+
+func TestConfigValidate(t *testing.T) {
+	good := small()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{Name: "s", Sets: 3, Ways: 2, LineSize: 64},
+		{Name: "s", Sets: 0, Ways: 2, LineSize: 64},
+		{Name: "w", Sets: 4, Ways: 0, LineSize: 64},
+		{Name: "l", Sets: 4, Ways: 2, LineSize: 48},
+		{Name: "l", Sets: 4, Ways: 2, LineSize: 0},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %+v validated", c)
+		}
+	}
+}
+
+func TestConfigSizeBytes(t *testing.T) {
+	c := Config{Sets: 2048, Ways: 4, LineSize: 64}
+	if c.SizeBytes() != 512*1024 {
+		t.Errorf("SizeBytes = %d, want 512KiB", c.SizeBytes())
+	}
+}
+
+func TestNewPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New did not panic")
+		}
+	}()
+	New(Config{Sets: 3, Ways: 1, LineSize: 64})
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c := New(small())
+	a := trace.Access{Addr: 0x1000, Size: 4, Op: trace.Read}
+	if c.Access(a) {
+		t.Error("cold access hit")
+	}
+	if !c.Access(a) {
+		t.Error("second access missed")
+	}
+	s := c.Stats()
+	if s.Accesses != 2 || s.Misses != 1 || s.Hits != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestSameSetDifferentTags(t *testing.T) {
+	c := New(small()) // 4 sets * 64B lines -> set stride 256B
+	a1 := trace.Access{Addr: 0x0000, Size: 4}
+	a2 := trace.Access{Addr: 0x0100, Size: 4} // same set, different tag
+	c.Access(a1)
+	c.Access(a2)
+	if !c.Access(a1) || !c.Access(a2) {
+		t.Error("both lines should fit in a 2-way set")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(small()) // 2 ways
+	mk := func(i int) trace.Access {
+		return trace.Access{Addr: uint64(i) * 256, Size: 4} // all map to set 0
+	}
+	c.Access(mk(0)) // miss, fill way A
+	c.Access(mk(1)) // miss, fill way B
+	c.Access(mk(0)) // hit: 0 is now MRU
+	c.Access(mk(2)) // miss: evicts 1 (LRU)
+	if !c.Probe(0, -1) {
+		t.Error("line 0 (MRU) was evicted")
+	}
+	if c.Probe(256, -1) {
+		t.Error("line 1 (LRU) survived")
+	}
+	if !c.Probe(512, -1) {
+		t.Error("line 2 missing after fill")
+	}
+	if c.Stats().Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", c.Stats().Evictions)
+	}
+}
+
+func TestDirtyWritebackOnEviction(t *testing.T) {
+	c := New(small())
+	w := trace.Access{Addr: 0, Size: 4, Op: trace.Write}
+	c.Access(w)                                    // dirty line in set 0
+	c.Access(trace.Access{Addr: 256, Size: 4})     // fills other way
+	r := c.AccessLine(512/64, false, mem.NoRegion) // evicts line 0
+	if !r.Writeback {
+		t.Fatal("expected writeback of dirty victim")
+	}
+	if r.VictimTag != 0 {
+		t.Errorf("victim tag = %#x, want 0", r.VictimTag)
+	}
+	if c.Stats().Writebacks != 1 {
+		t.Errorf("writebacks = %d, want 1", c.Stats().Writebacks)
+	}
+}
+
+func TestCleanEvictionNoWriteback(t *testing.T) {
+	c := New(small())
+	c.Access(trace.Access{Addr: 0, Size: 4, Op: trace.Read})
+	c.Access(trace.Access{Addr: 256, Size: 4, Op: trace.Read})
+	r := c.AccessLine(512/64, false, mem.NoRegion)
+	if r.Writeback {
+		t.Error("clean victim triggered writeback")
+	}
+}
+
+func TestWriteHitSetsDirty(t *testing.T) {
+	c := New(small())
+	c.Access(trace.Access{Addr: 0, Size: 4, Op: trace.Read})  // clean fill
+	c.Access(trace.Access{Addr: 0, Size: 4, Op: trace.Write}) // dirty it
+	c.Access(trace.Access{Addr: 256, Size: 4})
+	r := c.AccessLine(512/64, false, mem.NoRegion)
+	if !r.Writeback {
+		t.Error("write-hit did not mark line dirty")
+	}
+}
+
+func TestStraddlingAccessTouchesTwoLines(t *testing.T) {
+	c := New(small())
+	a := trace.Access{Addr: 62, Size: 8, Op: trace.Read} // spans lines 0 and 1
+	c.Access(a)
+	if !c.Probe(0, -1) || !c.Probe(64, -1) {
+		t.Error("straddling access did not fill both lines")
+	}
+	if c.Stats().Accesses != 2 {
+		t.Errorf("straddling access recorded %d line refs, want 2", c.Stats().Accesses)
+	}
+}
+
+func TestZeroSizeAccessTreatedAsOneByte(t *testing.T) {
+	c := New(small())
+	c.Access(trace.Access{Addr: 10, Size: 0})
+	if c.Stats().Accesses != 1 {
+		t.Errorf("accesses = %d, want 1", c.Stats().Accesses)
+	}
+}
+
+func TestRegionStats(t *testing.T) {
+	c := New(small())
+	c.Access(trace.Access{Addr: 0, Size: 4, Region: 3})
+	c.Access(trace.Access{Addr: 0, Size: 4, Region: 3})
+	c.Access(trace.Access{Addr: 64, Size: 4, Region: 1})
+	if rs := c.RegionStats(3); rs.Accesses != 2 || rs.Misses != 1 {
+		t.Errorf("region 3 stats = %+v", rs)
+	}
+	if rs := c.RegionStats(1); rs.Accesses != 1 || rs.Misses != 1 {
+		t.Errorf("region 1 stats = %+v", rs)
+	}
+	if rs := c.RegionStats(99); rs.Accesses != 0 {
+		t.Error("unknown region should have zero stats")
+	}
+	if rs := c.RegionStats(mem.NoRegion); rs.Accesses != 0 {
+		t.Error("NoRegion should have zero stats")
+	}
+	if c.NumTrackedRegions() != 4 {
+		t.Errorf("NumTrackedRegions = %d, want 4", c.NumTrackedRegions())
+	}
+}
+
+func TestOpStats(t *testing.T) {
+	c := New(small())
+	c.Access(trace.Access{Addr: 0, Size: 4, Op: trace.Read})
+	c.Access(trace.Access{Addr: 64, Size: 4, Op: trace.Write})
+	c.Access(trace.Access{Addr: 64, Size: 4, Op: trace.Write})
+	if r := c.OpStats(trace.Read); r.Accesses != 1 || r.Misses != 1 {
+		t.Errorf("read stats = %+v", r)
+	}
+	if w := c.OpStats(trace.Write); w.Accesses != 2 || w.Hits != 1 {
+		t.Errorf("write stats = %+v", w)
+	}
+}
+
+func TestFlushAndResetStats(t *testing.T) {
+	c := New(small())
+	c.Access(trace.Access{Addr: 0, Size: 4})
+	if c.OccupiedLines() != 1 {
+		t.Fatalf("occupied = %d", c.OccupiedLines())
+	}
+	c.Flush()
+	if c.OccupiedLines() != 0 {
+		t.Error("flush left valid lines")
+	}
+	if c.Stats().Accesses != 1 {
+		t.Error("flush should not clear stats")
+	}
+	c.ResetStats()
+	if c.Stats().Accesses != 0 {
+		t.Error("ResetStats did not clear stats")
+	}
+}
+
+func TestStatsAddAndMissRate(t *testing.T) {
+	var s Stats
+	if s.MissRate() != 0 {
+		t.Error("idle miss rate should be 0")
+	}
+	s.Add(Stats{Accesses: 10, Hits: 7, Misses: 3, Evictions: 1, Writebacks: 2})
+	s.Add(Stats{Accesses: 10, Hits: 8, Misses: 2})
+	if s.Accesses != 20 || s.Misses != 5 || s.Evictions != 1 || s.Writebacks != 2 {
+		t.Errorf("sum = %+v", s)
+	}
+	if got := s.MissRate(); got != 0.25 {
+		t.Errorf("miss rate = %v, want 0.25", got)
+	}
+}
+
+// Property: miss count of an LRU cache never exceeds the reference count,
+// hits+misses == accesses, and a working set that fits entirely in the
+// cache produces only cold misses.
+func TestWorkingSetFitsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := New(Config{Name: "p", Sets: 16, Ways: 4, LineSize: 64})
+		// Working set: exactly the cache capacity in distinct lines.
+		lines := make([]uint64, 16*4)
+		for i := range lines {
+			// one line per (set,way): set i%16, tag varies
+			lines[i] = uint64(i%16)*64 + uint64(i/16)*16*64
+		}
+		for n := 0; n < 4000; n++ {
+			addr := lines[rng.Intn(len(lines))]
+			c.Access(trace.Access{Addr: addr, Size: 4})
+		}
+		s := c.Stats()
+		if s.Hits+s.Misses != s.Accesses {
+			return false
+		}
+		// With LRU and a fitting working set there are only cold misses.
+		return s.Misses <= uint64(len(lines))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: LRU inclusion — a cache with more ways never misses more than
+// one with fewer ways on the same trace (same number of sets).
+func TestLRUInclusionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c2 := New(Config{Name: "a", Sets: 8, Ways: 2, LineSize: 64})
+		c4 := New(Config{Name: "b", Sets: 8, Ways: 4, LineSize: 64})
+		for n := 0; n < 3000; n++ {
+			addr := uint64(rng.Intn(1 << 14))
+			a := trace.Access{Addr: addr, Size: 1}
+			c2.Access(a)
+			c4.Access(a)
+		}
+		return c4.Stats().Misses <= c2.Stats().Misses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkCacheAccess(b *testing.B) {
+	c := New(Config{Name: "l2", Sets: 2048, Ways: 4, LineSize: 64})
+	rng := rand.New(rand.NewSource(1))
+	addrs := make([]uint64, 8192)
+	for i := range addrs {
+		addrs[i] = uint64(rng.Intn(1 << 22))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(trace.Access{Addr: addrs[i%len(addrs)], Size: 4})
+	}
+}

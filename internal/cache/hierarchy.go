@@ -1,0 +1,168 @@
+package cache
+
+import (
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// MemPort is the interface to whatever lies below the last cache level —
+// in the CAKE tile, the snooping interconnect plus off-chip memory
+// (internal/bus). Request is a demand line fill whose latency stalls the
+// core; Post is a posted writeback that occupies bandwidth but does not
+// stall the issuing core. addr is the byte address of the line, used for
+// memory-bank interleaving.
+type MemPort interface {
+	Request(addr, now uint64) uint64
+	Post(addr, now uint64)
+}
+
+// FixedMem is a MemPort with constant latency and no contention, used in
+// unit tests and in isolated (single-entity) profiling runs.
+type FixedMem struct {
+	Latency uint64
+	Reads   uint64
+	Writes  uint64
+}
+
+// Request implements MemPort.
+func (m *FixedMem) Request(addr, now uint64) uint64 {
+	m.Reads++
+	return m.Latency
+}
+
+// Post implements MemPort.
+func (m *FixedMem) Post(addr, now uint64) { m.Writes++ }
+
+// Hierarchy wires one core's private L1 to the shared L2 and the memory
+// port, and charges latencies. It mirrors the CAKE tile of Figure 1: the
+// L1 is private to a processor, the L2 is shared between all processors
+// (pass the same *Cache to every Hierarchy), and below the L2 sits the
+// interconnect.
+//
+// Shared regions (FIFOs, frame buffers, data/bss) bypass the L1: their
+// lines live only in the L2. This stands in for L1 coherence — on the
+// real platform the snooping protocol keeps shared lines effectively out
+// of the private caches, and the paper's analysis (section 3) likewise
+// places all inter-task interaction in the shared L2. The substitution is
+// recorded in DESIGN.md.
+type Hierarchy struct {
+	L1 *Cache // may be nil: two-level systems without private caches
+	L2 *Cache
+
+	L1HitLat uint64 // total L1 hit latency (cycles)
+	L2HitLat uint64 // additional latency of an L2 hit after an L1 miss
+	Mem      MemPort
+
+	// L1Cacheable decides whether a region's lines may live in the L1.
+	// nil means everything is L1-cacheable (single-task unit tests).
+	L1Cacheable func(mem.RegionID) bool
+
+	// RegionOf resolves a line address back to its owning entity, for
+	// attributing writeback traffic. nil disables attribution.
+	RegionOf func(addr uint64) mem.RegionID
+
+	// DemandFills counts L2->L1 fills; WritebacksToL2/Mem count victim
+	// traffic, for the power model (traffic-proportional energy).
+	DemandFills     uint64
+	WritebacksToL2  uint64
+	WritebacksToMem uint64
+
+	// Burst merging on the L1-bypass path: word-by-word streaming
+	// through a FIFO or frame buffer touches the same L2 line many
+	// times in a row; the hardware serves those from the line buffer of
+	// the outstanding transaction. Only the first touch of a line is an
+	// L2 access; subsequent touches cost one cycle. (The L1 performs
+	// the equivalent merging for cacheable regions.)
+	lastBypassLine uint64
+	haveBypassLine bool
+	MergedBursts   uint64
+}
+
+// AccessAt performs one access at local time now and returns the latency
+// charged to the core. Accesses that straddle a line boundary are split.
+func (h *Hierarchy) AccessAt(a trace.Access, now uint64) uint64 {
+	size := uint64(a.Size)
+	if size == 0 {
+		size = 1
+	}
+	shift := h.L2.lineShift
+	if h.L1 != nil {
+		shift = h.L1.lineShift
+	}
+	first := a.Addr >> shift
+	last := (a.Addr + size - 1) >> shift
+	var lat uint64
+	for ln := first; ln <= last; ln++ {
+		lat += h.accessLine(ln, shift, a.Op == trace.Write, a.Region, now+lat)
+	}
+	return lat
+}
+
+func (h *Hierarchy) accessLine(lineAddr uint64, shift uint, write bool, region mem.RegionID, now uint64) uint64 {
+	lat := h.L1HitLat
+	useL1 := h.L1 != nil && (h.L1Cacheable == nil || h.L1Cacheable(region))
+	if !useL1 {
+		if h.haveBypassLine && h.lastBypassLine == lineAddr {
+			h.MergedBursts++
+			return lat + 1
+		}
+		h.lastBypassLine = lineAddr
+		h.haveBypassLine = true
+	}
+	if useL1 {
+		r := h.L1.AccessLine(lineAddr, write, region)
+		if r.Writeback {
+			h.WritebacksToL2++
+			h.writebackToL2(r.VictimTag, shift, now)
+		}
+		if r.Hit {
+			return lat
+		}
+	}
+	// L1 miss (or bypass): go to the shared L2. When the L1 holds the
+	// line, the L2 sees a read fill even for stores (write-allocate in
+	// L1); on the bypass path the L2 sees the access's own operation.
+	l2Write := write && !useL1
+	l2Line := lineAddr >> (h.L2.lineShift - shift)
+	if shift > h.L2.lineShift {
+		l2Line = lineAddr << (shift - h.L2.lineShift)
+	}
+	r2 := h.L2.AccessLine(l2Line, l2Write, region)
+	lat += h.L2HitLat
+	if r2.Writeback {
+		h.WritebacksToMem++
+		if h.Mem != nil {
+			h.Mem.Post(r2.VictimTag<<h.L2.lineShift, now+lat)
+		}
+	}
+	if !r2.Hit {
+		if h.Mem != nil {
+			lat += h.Mem.Request(l2Line<<h.L2.lineShift, now+lat)
+		}
+	}
+	if useL1 {
+		h.DemandFills++
+	}
+	return lat
+}
+
+// writebackToL2 inserts an L1 victim into the L2 as a posted write.
+func (h *Hierarchy) writebackToL2(victimTag uint64, shift uint, now uint64) {
+	region := mem.NoRegion
+	if h.RegionOf != nil {
+		region = h.RegionOf(victimTag << shift)
+	}
+	l2Line := victimTag
+	if shift < h.L2.lineShift {
+		l2Line = victimTag >> (h.L2.lineShift - shift)
+	} else if shift > h.L2.lineShift {
+		l2Line = victimTag << (shift - h.L2.lineShift)
+	}
+	r := h.L2.AccessLine(l2Line, true, region)
+	if r.Writeback {
+		h.WritebacksToMem++
+		if h.Mem != nil {
+			h.Mem.Post(r.VictimTag<<h.L2.lineShift, now)
+		}
+	}
+}

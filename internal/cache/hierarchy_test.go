@@ -1,0 +1,167 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+func newHier() (*Hierarchy, *Cache, *Cache, *FixedMem) {
+	l1 := New(Config{Name: "l1", Sets: 8, Ways: 2, LineSize: 64})
+	l2 := New(Config{Name: "l2", Sets: 64, Ways: 4, LineSize: 64})
+	m := &FixedMem{Latency: 50}
+	h := &Hierarchy{L1: l1, L2: l2, L1HitLat: 1, L2HitLat: 8, Mem: m}
+	return h, l1, l2, m
+}
+
+func TestHierarchyLatencies(t *testing.T) {
+	h, _, _, _ := newHier()
+	a := trace.Access{Addr: 0x1000, Size: 4, Op: trace.Read}
+	// Cold: L1 miss + L2 miss + memory.
+	if lat := h.AccessAt(a, 0); lat != 1+8+50 {
+		t.Errorf("cold latency = %d, want 59", lat)
+	}
+	// Warm: L1 hit.
+	if lat := h.AccessAt(a, 100); lat != 1 {
+		t.Errorf("L1 hit latency = %d, want 1", lat)
+	}
+}
+
+func TestHierarchyL2HitAfterL1Evict(t *testing.T) {
+	h, l1, _, _ := newHier()
+	// Fill a line, then evict it from L1 (2 ways, 8 sets -> same set every
+	// 512 bytes) with two more lines; L2 keeps it.
+	h.AccessAt(trace.Access{Addr: 0, Size: 4}, 0)
+	h.AccessAt(trace.Access{Addr: 512, Size: 4}, 0)
+	h.AccessAt(trace.Access{Addr: 1024, Size: 4}, 0)
+	if l1.Probe(0, -1) {
+		t.Fatal("line 0 still in L1")
+	}
+	if lat := h.AccessAt(trace.Access{Addr: 0, Size: 4}, 0); lat != 1+8 {
+		t.Errorf("L2 hit latency = %d, want 9", lat)
+	}
+}
+
+func TestHierarchyFillCounting(t *testing.T) {
+	h, _, _, m := newHier()
+	h.AccessAt(trace.Access{Addr: 0, Size: 4}, 0)
+	if h.DemandFills != 1 {
+		t.Errorf("demand fills = %d, want 1", h.DemandFills)
+	}
+	if m.Reads != 1 {
+		t.Errorf("memory reads = %d, want 1", m.Reads)
+	}
+}
+
+func TestHierarchyL1WritebackGoesToL2(t *testing.T) {
+	h, _, l2, _ := newHier()
+	// Dirty line 0 in L1, then evict it via two conflicting fills.
+	h.AccessAt(trace.Access{Addr: 0, Size: 4, Op: trace.Write}, 0)
+	h.AccessAt(trace.Access{Addr: 512, Size: 4}, 0)
+	before := l2.OpStats(trace.Write).Accesses
+	h.AccessAt(trace.Access{Addr: 1024, Size: 4}, 0)
+	if h.WritebacksToL2 != 1 {
+		t.Fatalf("writebacks to L2 = %d, want 1", h.WritebacksToL2)
+	}
+	if l2.OpStats(trace.Write).Accesses != before+1 {
+		t.Error("L1 victim did not reach L2 as a write")
+	}
+}
+
+func TestHierarchyL2WritebackPostsToMemory(t *testing.T) {
+	l2 := New(Config{Name: "l2", Sets: 1, Ways: 1, LineSize: 64})
+	m := &FixedMem{Latency: 50}
+	h := &Hierarchy{L2: l2, L2HitLat: 8, Mem: m} // no L1
+	h.AccessAt(trace.Access{Addr: 0, Size: 4, Op: trace.Write}, 0)
+	h.AccessAt(trace.Access{Addr: 64, Size: 4, Op: trace.Read}, 0) // evicts dirty 0
+	if h.WritebacksToMem != 1 {
+		t.Errorf("writebacks to mem = %d, want 1", h.WritebacksToMem)
+	}
+	if m.Writes != 1 {
+		t.Errorf("posted writes = %d, want 1", m.Writes)
+	}
+}
+
+func TestHierarchyBypassSharedRegions(t *testing.T) {
+	h, l1, l2, _ := newHier()
+	const fifoRegion = mem.RegionID(4)
+	h.L1Cacheable = func(r mem.RegionID) bool { return r != fifoRegion }
+
+	a := trace.Access{Addr: 0x2000, Size: 4, Op: trace.Write, Region: fifoRegion}
+	lat := h.AccessAt(a, 0)
+	if lat != 1+8+50 {
+		t.Errorf("bypass cold latency = %d, want 59", lat)
+	}
+	if l1.OccupiedLines() != 0 {
+		t.Error("bypassed access was cached in L1")
+	}
+	if l2.OpStats(trace.Write).Accesses != 1 {
+		t.Error("bypassed write should reach L2 as a write")
+	}
+	// Second touch of the same line: merged into the outstanding burst.
+	if lat := h.AccessAt(a, 0); lat != 1+1 {
+		t.Errorf("bypass burst latency = %d, want 2", lat)
+	}
+	if h.MergedBursts != 1 {
+		t.Errorf("merged bursts = %d, want 1", h.MergedBursts)
+	}
+	// A different line is a fresh L2 access (hit, since nothing evicted).
+	b := a
+	b.Addr += 64
+	h.AccessAt(b, 0)
+	if lat := h.AccessAt(a, 0); lat != 1+8 {
+		t.Errorf("bypass re-access latency = %d, want 9 (L2 hit)", lat)
+	}
+}
+
+func TestHierarchyWithoutL1(t *testing.T) {
+	l2 := New(Config{Name: "l2", Sets: 64, Ways: 4, LineSize: 64})
+	h := &Hierarchy{L2: l2, L2HitLat: 8, Mem: &FixedMem{Latency: 50}}
+	if lat := h.AccessAt(trace.Access{Addr: 0, Size: 4}, 0); lat != 8+50 {
+		t.Errorf("no-L1 cold latency = %d, want 58", lat)
+	}
+	// Same line again: burst-merged.
+	if lat := h.AccessAt(trace.Access{Addr: 0, Size: 4}, 0); lat != 1 {
+		t.Errorf("no-L1 burst latency = %d, want 1", lat)
+	}
+	// Different line, then back: a real L2 hit.
+	h.AccessAt(trace.Access{Addr: 64, Size: 4}, 0)
+	if lat := h.AccessAt(trace.Access{Addr: 0, Size: 4}, 0); lat != 8 {
+		t.Errorf("no-L1 warm latency = %d, want 8", lat)
+	}
+}
+
+func TestHierarchyStraddle(t *testing.T) {
+	h, _, _, _ := newHier()
+	lat := h.AccessAt(trace.Access{Addr: 60, Size: 8}, 0)
+	if lat != 2*(1+8+50) {
+		t.Errorf("straddle latency = %d, want %d", lat, 2*59)
+	}
+}
+
+func TestHierarchySharedL2BetweenCores(t *testing.T) {
+	// Two hierarchies (cores) share one L2, like the CAKE tile.
+	l2 := New(Config{Name: "l2", Sets: 64, Ways: 4, LineSize: 64})
+	mk := func() *Hierarchy {
+		l1 := New(Config{Name: "l1", Sets: 8, Ways: 2, LineSize: 64})
+		return &Hierarchy{L1: l1, L2: l2, L1HitLat: 1, L2HitLat: 8, Mem: &FixedMem{Latency: 50}}
+	}
+	h0, h1 := mk(), mk()
+	h0.AccessAt(trace.Access{Addr: 0x4000, Size: 4}, 0)
+	// Core 1 misses its own L1 but hits the shared L2.
+	if lat := h1.AccessAt(trace.Access{Addr: 0x4000, Size: 4}, 0); lat != 1+8 {
+		t.Errorf("cross-core L2 hit latency = %d, want 9", lat)
+	}
+}
+
+func TestFixedMemCounters(t *testing.T) {
+	m := &FixedMem{Latency: 7}
+	if m.Request(0, 0) != 7 {
+		t.Error("latency wrong")
+	}
+	m.Post(0, 0)
+	if m.Reads != 1 || m.Writes != 1 {
+		t.Errorf("counters = %d/%d", m.Reads, m.Writes)
+	}
+}

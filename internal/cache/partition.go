@@ -1,0 +1,146 @@
+package cache
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mem"
+)
+
+// PartitionTable is the index-translation table of the paper's third
+// implementation alternative: the operating system loads intervals of
+// shared memory (here: region ids, which the address space resolves from
+// intervals) and the cache looks up, for every access, the exclusive set
+// range of the owning entity. The effective set index becomes
+//
+//	base + (conventionalSet mod partitionSize)
+//
+// with partitionSize a power of two, so the translation is a mask and an
+// add, as cheap as the hardware scheme the paper sketches.
+type PartitionTable struct {
+	totalSets int
+	parts     []Partition
+	byRegion  map[mem.RegionID]int
+	defaultID int
+	allocated int
+}
+
+// Partition is one exclusive range of cache sets.
+type Partition struct {
+	ID      int
+	Name    string
+	BaseSet int
+	NumSets int // power of two
+}
+
+// NewPartitionTable creates a table for a cache with totalSets sets.
+// A default partition named defaultName of defaultSets sets is created at
+// the bottom of the cache; entities that were never assigned fall into it
+// (in the paper this is the partition of the run-time system).
+func NewPartitionTable(totalSets int, defaultName string, defaultSets int) (*PartitionTable, error) {
+	if totalSets <= 0 || totalSets&(totalSets-1) != 0 {
+		return nil, fmt.Errorf("cache: total sets %d not a positive power of two", totalSets)
+	}
+	t := &PartitionTable{
+		totalSets: totalSets,
+		byRegion:  make(map[mem.RegionID]int),
+		defaultID: -1,
+	}
+	id, err := t.AddPartition(defaultName, defaultSets)
+	if err != nil {
+		return nil, err
+	}
+	t.defaultID = id
+	return t, nil
+}
+
+// AddPartition appends a new exclusive partition of numSets sets (a power
+// of two) and returns its id. Partitions are packed contiguously from set
+// 0 upward; an error is returned when the cache is over-committed.
+func (t *PartitionTable) AddPartition(name string, numSets int) (int, error) {
+	if numSets <= 0 || numSets&(numSets-1) != 0 {
+		return 0, fmt.Errorf("cache: partition %q size %d not a positive power of two", name, numSets)
+	}
+	if t.allocated+numSets > t.totalSets {
+		return 0, fmt.Errorf("cache: partition %q (%d sets) over-commits cache: %d of %d sets already allocated",
+			name, numSets, t.allocated, t.totalSets)
+	}
+	p := Partition{ID: len(t.parts), Name: name, BaseSet: t.allocated, NumSets: numSets}
+	t.parts = append(t.parts, p)
+	t.allocated += numSets
+	return p.ID, nil
+}
+
+// Assign maps an entity (region) to a partition. Several regions may
+// share one partition (e.g. a task's code, stack and heap all live in the
+// task's partition).
+func (t *PartitionTable) Assign(region mem.RegionID, part int) error {
+	if part < 0 || part >= len(t.parts) {
+		return fmt.Errorf("cache: assign region %d to unknown partition %d", region, part)
+	}
+	t.byRegion[region] = part
+	return nil
+}
+
+// PartitionOf returns the partition id an entity maps to.
+func (t *PartitionTable) PartitionOf(region mem.RegionID) int {
+	if p, ok := t.byRegion[region]; ok {
+		return p
+	}
+	return t.defaultID
+}
+
+// Partition returns the descriptor for one partition id.
+func (t *PartitionTable) Partition(id int) Partition {
+	return t.parts[id]
+}
+
+// Partitions returns all partitions in creation order. The slice must not
+// be modified.
+func (t *PartitionTable) Partitions() []Partition { return t.parts }
+
+// DefaultID returns the id of the default (run-time system) partition.
+func (t *PartitionTable) DefaultID() int { return t.defaultID }
+
+// AllocatedSets returns the number of sets already handed out.
+func (t *PartitionTable) AllocatedSets() int { return t.allocated }
+
+// FreeSets returns the number of sets still unassigned.
+func (t *PartitionTable) FreeSets() int { return t.totalSets - t.allocated }
+
+func (t *PartitionTable) mapSet(set uint64, region mem.RegionID) (uint64, int) {
+	id := t.defaultID
+	if p, ok := t.byRegion[region]; ok {
+		id = p
+	}
+	p := &t.parts[id]
+	return uint64(p.BaseSet) + (set & uint64(p.NumSets-1)), id
+}
+
+// MapSet is the exported form of the translation, used by tests and by
+// diagnostic tooling.
+func (t *PartitionTable) MapSet(set uint64, region mem.RegionID) (uint64, int) {
+	return t.mapSet(set, region)
+}
+
+// Validate checks the structural invariants: partitions within bounds,
+// pairwise disjoint, power-of-two sized.
+func (t *PartitionTable) Validate() error {
+	ps := make([]Partition, len(t.parts))
+	copy(ps, t.parts)
+	sort.Slice(ps, func(i, j int) bool { return ps[i].BaseSet < ps[j].BaseSet })
+	end := 0
+	for _, p := range ps {
+		if p.NumSets <= 0 || p.NumSets&(p.NumSets-1) != 0 {
+			return fmt.Errorf("cache: partition %q size %d not a power of two", p.Name, p.NumSets)
+		}
+		if p.BaseSet < end {
+			return fmt.Errorf("cache: partition %q overlaps previous partition", p.Name)
+		}
+		end = p.BaseSet + p.NumSets
+		if end > t.totalSets {
+			return fmt.Errorf("cache: partition %q exceeds cache sets", p.Name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,208 @@
+// Package core implements the paper's contribution: compositional memory
+// systems for multimedia communicating tasks.
+//
+// It provides the YAPI application model (tasks + FIFOs + frame buffers +
+// shared static sections) as cache-allocation *entities*, the two cache
+// strategies of the evaluation (conventional shared L2 vs exclusively
+// partitioned L2), the miss-curve profiler, the (M)ILP/MCKP optimization
+// method of section 3.2 that chooses the partitioning ratio, the
+// throughput and power models of section 3.1, and the compositionality
+// analysis of Figure 3.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/kpn"
+	"repro/internal/mem"
+)
+
+// Task binds a process to its static processor assignment.
+type Task struct {
+	Proc *kpn.Process
+	CPU  int
+}
+
+// App is a fully constructed YAPI application instance. An App can be run
+// exactly once (its task goroutines terminate); experiments therefore
+// work with factories (see Workload).
+type App struct {
+	Name    string
+	AS      *mem.AddressSpace
+	Tasks   []*Task
+	FIFOs   []*kpn.FIFO
+	Frames  []*kpn.Frame
+	Buffers []*mem.Region // raw streaming buffers: coded inputs, VBV
+
+	// Shared static sections (paper, section 5: "the application and
+	// run time system static allocated data (data and bss) is shared
+	// between tasks so ... exclusive cache partitions are allocated for
+	// them as well").
+	ApplData *mem.Region
+	ApplBSS  *mem.Region
+	RTData   *mem.Region
+	RTBSS    *mem.Region
+
+	// SplitTaskSections switches the entity model to separate
+	// instruction and data partitions per task (see Entities).
+	SplitTaskSections bool
+}
+
+// Workload is a reproducible application: calling Factory yields a fresh,
+// identical App instance (same graph, same synthetic input).
+type Workload struct {
+	Name    string
+	Factory func() (*App, error)
+}
+
+// TaskConfig describes one task for the Builder.
+type TaskConfig struct {
+	Name     string
+	CPU      int
+	CodeSize uint64 // bytes of code; 0 = 8 KiB
+	HotCode  uint64 // inner-loop footprint; 0 = whole code region
+	HeapSize uint64 // task-private tables and scratch; 0 = 16 KiB
+	Body     func(*kpn.Ctx)
+}
+
+// Builder incrementally constructs an App and its address space.
+type Builder struct {
+	app   *App
+	built bool
+	err   error
+}
+
+// NewBuilder starts an application. The run-time system sections are
+// allocated first, at the bottom of the address space, as a loader would.
+func NewBuilder(name string) *Builder {
+	as := mem.NewAddressSpace()
+	app := &App{Name: name, AS: as}
+	app.RTData = as.MustAlloc("rt data", mem.KindRTData, "", 8*1024)
+	app.RTBSS = as.MustAlloc("rt bss", mem.KindRTBSS, "", 16*1024)
+	return &Builder{app: app}
+}
+
+// Sections allocates the application's shared data and bss sections. It
+// must be called once, before any task body runs; tasks reach the
+// sections via App.ApplData / App.ApplBSS.
+func (b *Builder) Sections(dataBytes, bssBytes uint64) *Builder {
+	if b.app.ApplData != nil {
+		b.fail(fmt.Errorf("core: Sections called twice"))
+		return b
+	}
+	b.app.ApplData = b.app.AS.MustAlloc("appl data", mem.KindData, "", dataBytes)
+	b.app.ApplBSS = b.app.AS.MustAlloc("appl bss", mem.KindBSS, "", bssBytes)
+	return b
+}
+
+// AddTask creates a task with its private code/stack/heap regions.
+func (b *Builder) AddTask(tc TaskConfig) *kpn.Process {
+	if tc.CodeSize == 0 {
+		tc.CodeSize = 8 * 1024
+	}
+	if tc.HeapSize == 0 {
+		tc.HeapSize = 16 * 1024
+	}
+	as := b.app.AS
+	p := &kpn.Process{
+		Name:    tc.Name,
+		Body:    tc.Body,
+		Code:    as.MustAlloc(tc.Name+".code", mem.KindCode, tc.Name, tc.CodeSize),
+		Stack:   as.MustAlloc(tc.Name+".stack", mem.KindStack, tc.Name, 4*1024),
+		Heap:    as.MustAlloc(tc.Name+".heap", mem.KindHeap, tc.Name, tc.HeapSize),
+		HotCode: tc.HotCode,
+	}
+	b.app.Tasks = append(b.app.Tasks, &Task{Proc: p, CPU: tc.CPU})
+	return p
+}
+
+// AddFIFO creates an inter-task FIFO with its own buffer region.
+func (b *Builder) AddFIFO(name string, tokenBytes, capTokens int) *kpn.FIFO {
+	f, err := kpn.NewFIFO(b.app.AS, name, tokenBytes, capTokens)
+	if err != nil {
+		b.fail(err)
+		return nil
+	}
+	b.app.FIFOs = append(b.app.FIFOs, f)
+	return f
+}
+
+// AddBuffer allocates a raw streaming buffer with its own region and
+// allocation entity: coded input streams, VBV picture buffers — data that
+// is written and read sequentially, exactly once per pass, and must not
+// pollute any task's partition.
+func (b *Builder) AddBuffer(name string, size uint64) *mem.Region {
+	r, err := b.app.AS.Alloc(name, mem.KindFrame, "", size)
+	if err != nil {
+		b.fail(err)
+		return nil
+	}
+	b.app.Buffers = append(b.app.Buffers, r)
+	return r
+}
+
+// AddFrame creates a frame buffer with its own region.
+func (b *Builder) AddFrame(name string, w, h, pixelBytes int) *kpn.Frame {
+	f, err := kpn.NewFrame(b.app.AS, name, w, h, pixelBytes)
+	if err != nil {
+		b.fail(err)
+		return nil
+	}
+	b.app.Frames = append(b.app.Frames, f)
+	return f
+}
+
+func (b *Builder) fail(err error) {
+	if b.err == nil {
+		b.err = err
+	}
+}
+
+// ApplData returns the shared initialized-data section, allocating the
+// default-sized sections on first use.
+func (b *Builder) ApplData() *mem.Region {
+	if b.app.ApplData == nil {
+		b.Sections(8*1024, 16*1024)
+	}
+	return b.app.ApplData
+}
+
+// ApplBSS returns the shared uninitialized-data section, allocating the
+// default-sized sections on first use.
+func (b *Builder) ApplBSS() *mem.Region {
+	if b.app.ApplData == nil {
+		b.Sections(8*1024, 16*1024)
+	}
+	return b.app.ApplBSS
+}
+
+// Build finalizes the App.
+func (b *Builder) Build() (*App, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if b.built {
+		return nil, fmt.Errorf("core: Build called twice")
+	}
+	if len(b.app.Tasks) == 0 {
+		return nil, fmt.Errorf("core: application %q has no tasks", b.app.Name)
+	}
+	if b.app.ApplData == nil {
+		b.Sections(8*1024, 16*1024)
+	}
+	b.built = true
+	return b.app, nil
+}
+
+// TaskByName returns the named task, or nil.
+func (a *App) TaskByName(name string) *Task {
+	for _, t := range a.Tasks {
+		if t.Proc.Name == name {
+			return t
+		}
+	}
+	return nil
+}
+
+// NumTasks returns the number of tasks.
+func (a *App) NumTasks() int { return len(a.Tasks) }

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/kpn"
+)
+
+func tinyApp(t *testing.T) (*App, *kpn.FIFO) {
+	t.Helper()
+	b := NewBuilder("tiny")
+	b.Sections(4096, 8192)
+	f := b.AddFIFO("pipe", 4, 4)
+	b.AddTask(TaskConfig{Name: "prod", CPU: 0, Body: func(c *kpn.Ctx) {
+		for i := uint32(0); i < 50; i++ {
+			c.Exec(10)
+			f.Write32(c, i)
+		}
+		f.Close()
+	}})
+	b.AddTask(TaskConfig{Name: "cons", CPU: 1, Body: func(c *kpn.Ctx) {
+		for {
+			if _, ok := f.Read32(c); !ok {
+				return
+			}
+			c.Exec(5)
+		}
+	}})
+	app, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app, f
+}
+
+func TestBuilderLaysOutRTFirst(t *testing.T) {
+	app, _ := tinyApp(t)
+	regs := app.AS.Regions()
+	if regs[0].Name != "rt data" || regs[1].Name != "rt bss" {
+		t.Errorf("first regions = %s, %s", regs[0].Name, regs[1].Name)
+	}
+	if app.RTData == nil || app.RTBSS == nil || app.ApplData == nil || app.ApplBSS == nil {
+		t.Fatal("sections missing")
+	}
+}
+
+func TestBuilderDefaults(t *testing.T) {
+	b := NewBuilder("d")
+	p := b.AddTask(TaskConfig{Name: "t", Body: func(*kpn.Ctx) {}})
+	if p.Code.Size != 8*1024 || p.Heap.Size != 16*1024 || p.Stack == nil {
+		t.Errorf("default regions wrong: code=%d heap=%d", p.Code.Size, p.Heap.Size)
+	}
+	app, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.ApplData == nil {
+		t.Error("Build did not create default sections")
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder("e")
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "no tasks") {
+		t.Errorf("empty build err = %v", err)
+	}
+
+	b2 := NewBuilder("e2")
+	b2.Sections(1024, 1024)
+	b2.Sections(1024, 1024) // twice
+	b2.AddTask(TaskConfig{Name: "t", Body: func(*kpn.Ctx) {}})
+	if _, err := b2.Build(); err == nil {
+		t.Error("double Sections accepted")
+	}
+
+	b3 := NewBuilder("e3")
+	b3.AddFIFO("bad", 0, 0) // invalid
+	b3.AddTask(TaskConfig{Name: "t", Body: func(*kpn.Ctx) {}})
+	if _, err := b3.Build(); err == nil {
+		t.Error("bad FIFO accepted")
+	}
+
+	b4 := NewBuilder("e4")
+	b4.AddFrame("bad", 0, 0, 0)
+	b4.AddTask(TaskConfig{Name: "t", Body: func(*kpn.Ctx) {}})
+	if _, err := b4.Build(); err == nil {
+		t.Error("bad frame accepted")
+	}
+
+	b5 := NewBuilder("e5")
+	b5.AddTask(TaskConfig{Name: "t", Body: func(*kpn.Ctx) {}})
+	if _, err := b5.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b5.Build(); err == nil {
+		t.Error("double Build accepted")
+	}
+}
+
+func TestTaskByName(t *testing.T) {
+	app, _ := tinyApp(t)
+	if app.TaskByName("prod") == nil || app.TaskByName("nope") != nil {
+		t.Error("TaskByName wrong")
+	}
+	if app.NumTasks() != 2 {
+		t.Errorf("NumTasks = %d", app.NumTasks())
+	}
+}
+
+func TestEntities(t *testing.T) {
+	app, f := tinyApp(t)
+	es := app.Entities()
+	// 2 tasks + 1 fifo + 4 sections.
+	if len(es) != 7 {
+		t.Fatalf("entities = %d, want 7", len(es))
+	}
+	prod := EntityByName(es, "prod")
+	if prod == nil || prod.Kind != EntityTask || len(prod.Regions) != 3 {
+		t.Errorf("prod entity = %+v", prod)
+	}
+	fe := EntityByName(es, "pipe")
+	if fe == nil || fe.Kind != EntityFIFO || fe.Pinned != 1 {
+		t.Errorf("fifo entity = %+v", fe)
+	}
+	if fe.Regions[0] != f.Region.ID {
+		t.Error("fifo entity region mismatch")
+	}
+	sec := EntityByName(es, "appl data")
+	if sec == nil || sec.Kind != EntitySection {
+		t.Errorf("section entity = %+v", sec)
+	}
+	if EntityByName(es, "ghost") != nil {
+		t.Error("ghost entity found")
+	}
+}
+
+func TestEntityKindString(t *testing.T) {
+	if EntityTask.String() != "task" || EntityFIFO.String() != "fifo" ||
+		EntityFrame.String() != "frame" || EntitySection.String() != "section" {
+		t.Error("entity kind strings wrong")
+	}
+	if EntityKind(9).String() != "entitykind(9)" {
+		t.Error("unknown kind string")
+	}
+}
+
+func TestPinnedUnits(t *testing.T) {
+	cases := map[uint64]int{1: 1, UnitBytes: 1, UnitBytes + 1: 2, 4 * UnitBytes: 4}
+	for b, want := range cases {
+		if got := PinnedUnits(b); got != want {
+			t.Errorf("PinnedUnits(%d) = %d, want %d", b, got, want)
+		}
+	}
+}
+
+func TestAllocationTotalUnits(t *testing.T) {
+	al := Allocation{"a": 2, "b": 4}
+	if al.TotalUnits() != 6 {
+		t.Error("TotalUnits wrong")
+	}
+}
+
+func TestBuildCacheAllocation(t *testing.T) {
+	app, _ := tinyApp(t)
+	al := Allocation{"prod": 2, "cons": 1, "pipe": 1, "appl data": 1,
+		"appl bss": 1, "rt data": 1, "rt bss": 1}
+	ca, err := app.BuildCacheAllocation(2048, 4, al)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ca.UnitsOf("prod") != 2 {
+		t.Errorf("prod units = %d", ca.UnitsOf("prod"))
+	}
+	// Regions of prod map to prod's partition.
+	prodEnt := EntityByName(app.Entities(), "prod")
+	for _, r := range prodEnt.Regions {
+		if ca.Table.PartitionOf(r) != ca.ByName["prod"] {
+			t.Error("prod region in wrong partition")
+		}
+	}
+	// Entities missing from the allocation fall into the rt partition.
+	al2 := Allocation{"prod": 2}
+	ca2, err := app.BuildCacheAllocation(2048, 4, al2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	consEnt := EntityByName(app.Entities(), "cons")
+	if ca2.Table.PartitionOf(consEnt.Regions[0]) != ca2.Table.DefaultID() {
+		t.Error("unallocated entity not in default partition")
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if Shared.String() != "shared" || Partitioned.String() != "partitioned" {
+		t.Error("strategy strings wrong")
+	}
+}
+
+func TestSolverString(t *testing.T) {
+	if SolverMCKP.String() != "mckp" || SolverILP.String() != "ilp" {
+		t.Error("solver strings wrong")
+	}
+}

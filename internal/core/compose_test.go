@@ -1,0 +1,62 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCompareExpectedSimulated(t *testing.T) {
+	res := &Result{Entities: []EntityResult{
+		{Name: "a", Misses: 100},
+		{Name: "b", Misses: 300},
+		{Name: "c", Misses: 600},
+	}}
+	expected := map[string]float64{"a": 110, "b": 300, "c": 590}
+	rep := CompareExpectedSimulated(expected, res)
+	if rep.TotalSimulated != 1000 {
+		t.Fatalf("total = %d", rep.TotalSimulated)
+	}
+	if len(rep.Entries) != 3 {
+		t.Fatalf("entries = %d", len(rep.Entries))
+	}
+	// a: |110-100|/1000 = 0.01; c: 0.01; b: 0.
+	if math.Abs(rep.MaxRelDiff-0.01) > 1e-9 {
+		t.Errorf("max rel diff = %v", rep.MaxRelDiff)
+	}
+	wantMean := (0.01 + 0 + 0.01) / 3
+	if math.Abs(rep.MeanRelDiff-wantMean) > 1e-9 {
+		t.Errorf("mean rel diff = %v", rep.MeanRelDiff)
+	}
+	if !rep.Compositional(0.02) {
+		t.Error("should be compositional at the paper's threshold")
+	}
+	if rep.Compositional(0.005) {
+		t.Error("should not be compositional at a tighter threshold")
+	}
+}
+
+func TestCompareSkipsUnknownEntities(t *testing.T) {
+	res := &Result{Entities: []EntityResult{{Name: "a", Misses: 10}}}
+	rep := CompareExpectedSimulated(map[string]float64{"a": 10, "ghost": 99}, res)
+	if len(rep.Entries) != 1 {
+		t.Errorf("entries = %d, want 1", len(rep.Entries))
+	}
+}
+
+func TestCompareEmptyTotal(t *testing.T) {
+	res := &Result{Entities: []EntityResult{{Name: "a", Misses: 0}}}
+	rep := CompareExpectedSimulated(map[string]float64{"a": 5}, res)
+	if math.IsNaN(rep.MaxRelDiff) || math.IsInf(rep.MaxRelDiff, 0) {
+		t.Error("division by zero in rel diff")
+	}
+}
+
+func TestCompareDeterministicOrder(t *testing.T) {
+	res := &Result{Entities: []EntityResult{
+		{Name: "z", Misses: 1}, {Name: "a", Misses: 1},
+	}}
+	rep := CompareExpectedSimulated(map[string]float64{"z": 1, "a": 1}, res)
+	if rep.Entries[0].Name != "a" || rep.Entries[1].Name != "z" {
+		t.Error("entries not sorted by name")
+	}
+}

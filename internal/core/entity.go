@@ -1,0 +1,209 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/mem"
+	"repro/internal/rtos"
+)
+
+// EntityKind classifies cache-allocation entities — the rows of Tables 1
+// and 2 of the paper.
+type EntityKind uint8
+
+// Entity kinds.
+const (
+	EntityTask EntityKind = iota
+	EntityFIFO
+	EntityFrame
+	EntitySection
+)
+
+// String implements fmt.Stringer.
+func (k EntityKind) String() string {
+	switch k {
+	case EntityTask:
+		return "task"
+	case EntityFIFO:
+		return "fifo"
+	case EntityFrame:
+		return "frame"
+	case EntitySection:
+		return "section"
+	}
+	return fmt.Sprintf("entitykind(%d)", uint8(k))
+}
+
+// UnitBytes is the capacity of one allocation unit of the default L2
+// (rtos.AllocUnit sets × 4 ways × 64 B lines).
+const UnitBytes = rtos.AllocUnit * 4 * 64
+
+// Entity is one memory-active part of the application that can receive an
+// exclusive L2 partition: a task's private footprint, a single FIFO or
+// frame buffer, or a shared static section.
+type Entity struct {
+	Name    string
+	Kind    EntityKind
+	Regions []mem.RegionID
+	Bytes   uint64 // total footprint in bytes
+
+	// Pinned is the fixed unit count for entities whose allocation the
+	// optimizer must not change: FIFOs get exactly their own size (the
+	// paper's rule making every FIFO access after warm-up a hit).
+	// 0 means the optimizer chooses.
+	Pinned int
+}
+
+// PinnedUnits returns the allocation units needed to hold n bytes
+// entirely (used for FIFO pinning).
+func PinnedUnits(n uint64) int {
+	u := int((n + UnitBytes - 1) / UnitBytes)
+	if u < 1 {
+		u = 1
+	}
+	return u
+}
+
+// Entities enumerates the application's allocation entities in
+// deterministic order: tasks, FIFOs, frames, then the four shared
+// sections. This is exactly the entity split of Tables 1 and 2.
+//
+// With SplitTaskSections set, every task contributes two entities
+// instead of one — "<task>.text" (instructions) and "<task>.data" (stack
+// and heap) — the alternative cache organization the paper's interval-
+// table scheme "easily allows" (section 4.2: "separating tasks'
+// instructions, static initialized variables (data) and static
+// uninitialized variables (bss) in the cache").
+func (a *App) Entities() []Entity {
+	var es []Entity
+	for _, t := range a.Tasks {
+		p := t.Proc
+		if a.SplitTaskSections {
+			text := Entity{Name: p.Name + ".text", Kind: EntityTask,
+				Regions: []mem.RegionID{p.Code.ID}, Bytes: p.Code.Size}
+			data := Entity{Name: p.Name + ".data", Kind: EntityTask}
+			for _, r := range []*mem.Region{p.Stack, p.Heap} {
+				if r != nil {
+					data.Regions = append(data.Regions, r.ID)
+					data.Bytes += r.Size
+				}
+			}
+			es = append(es, text, data)
+			continue
+		}
+		e := Entity{Name: p.Name, Kind: EntityTask}
+		for _, r := range []*mem.Region{p.Code, p.Stack, p.Heap} {
+			if r != nil {
+				e.Regions = append(e.Regions, r.ID)
+				e.Bytes += r.Size
+			}
+		}
+		es = append(es, e)
+	}
+	for _, f := range a.FIFOs {
+		es = append(es, Entity{
+			Name:    f.Name,
+			Kind:    EntityFIFO,
+			Regions: []mem.RegionID{f.Region.ID},
+			Bytes:   f.Region.Size,
+			Pinned:  PinnedUnits(f.Region.Size),
+		})
+	}
+	for _, f := range a.Frames {
+		es = append(es, Entity{
+			Name:    f.Name,
+			Kind:    EntityFrame,
+			Regions: []mem.RegionID{f.Region.ID},
+			Bytes:   f.Region.Size,
+		})
+	}
+	for _, r := range a.Buffers {
+		es = append(es, Entity{
+			Name:    r.Name,
+			Kind:    EntityFrame,
+			Regions: []mem.RegionID{r.ID},
+			Bytes:   r.Size,
+		})
+	}
+	for _, r := range []*mem.Region{a.ApplData, a.ApplBSS, a.RTData, a.RTBSS} {
+		if r == nil {
+			continue
+		}
+		es = append(es, Entity{
+			Name:    r.Name,
+			Kind:    EntitySection,
+			Regions: []mem.RegionID{r.ID},
+			Bytes:   r.Size,
+		})
+	}
+	return es
+}
+
+// EntityByName finds an entity in a slice, or nil.
+func EntityByName(es []Entity, name string) *Entity {
+	for i := range es {
+		if es[i].Name == name {
+			return &es[i]
+		}
+	}
+	return nil
+}
+
+// Allocation maps entity names to allocation units — the output of the
+// optimization method and the content of Tables 1 and 2.
+type Allocation map[string]int
+
+// TotalUnits sums the units of the allocation.
+func (al Allocation) TotalUnits() int {
+	t := 0
+	for _, u := range al {
+		t += u
+	}
+	return t
+}
+
+// BuildCacheAllocation turns an entity-level Allocation into the OS-level
+// partition table for an L2 with l2Sets sets. rtUnits is the run-time
+// system partition (the rt sections are mapped into it alongside any
+// entity not present in the allocation). The rt-data/rt-bss sections get
+// their own partitions when the allocation names them.
+func (a *App) BuildCacheAllocation(l2Sets, rtUnits int, al Allocation) (*rtos.CacheAllocation, error) {
+	var entries []rtos.AllocEntry
+	for _, e := range a.Entities() {
+		units, ok := al[e.Name]
+		if !ok {
+			continue
+		}
+		entries = append(entries, rtos.AllocEntry{Name: e.Name, Units: units, Regions: e.Regions})
+	}
+	return rtos.BuildAllocation(l2Sets, rtUnits, entries)
+}
+
+// EntityResult pairs an entity with its measured cache behaviour.
+type EntityResult struct {
+	Name     string
+	Kind     EntityKind
+	Units    int // allocated units (0 under the shared strategy)
+	Accesses uint64
+	Misses   uint64
+}
+
+// AggregateEntities sums the L2 per-region statistics into per-entity
+// statistics.
+func (a *App) AggregateEntities(l2 *cache.Cache, al Allocation) []EntityResult {
+	var out []EntityResult
+	for _, e := range a.Entities() {
+		er := EntityResult{Name: e.Name, Kind: e.Kind}
+		if al != nil {
+			er.Units = al[e.Name]
+		}
+		for _, r := range e.Regions {
+			s := l2.RegionStats(r)
+			er.Accesses += s.Accesses
+			er.Misses += s.Misses
+		}
+		out = append(out, er)
+	}
+	return out
+}

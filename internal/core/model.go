@@ -1,0 +1,191 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file implements the analytical throughput model of section 3.1.
+//
+// With static assignment of tasks to processors, tasks on one processor
+// execute sequentially regardless of scheduling decisions, so the
+// processor's time per application period is
+//
+//	Y(P_k) = Σ_{tasks i on P_k} T_i(c(i)) + t_switch + t_idle
+//
+// and the throughput of the periodic application is 1/max_k Y(P_k). The
+// T_i are measured per task by the simulator (Result.TaskCycles); the
+// model then lets us search the task-to-processor assignment space.
+
+// Assignment maps task names to processor indices.
+type Assignment map[string]int
+
+// ProcessorLoads sums the task times per processor (the Σ T_i term).
+func ProcessorLoads(taskCycles map[string]uint64, assign Assignment, numCPUs int) ([]uint64, error) {
+	loads := make([]uint64, numCPUs)
+	for name, cyc := range taskCycles {
+		k, ok := assign[name]
+		if !ok {
+			return nil, fmt.Errorf("core: task %q has no assignment", name)
+		}
+		if k < 0 || k >= numCPUs {
+			return nil, fmt.Errorf("core: task %q assigned to CPU %d of %d", name, k, numCPUs)
+		}
+		loads[k] += cyc
+	}
+	return loads, nil
+}
+
+// Makespan returns max_k Y(P_k) given per-processor loads.
+func Makespan(loads []uint64) uint64 {
+	var m uint64
+	for _, l := range loads {
+		if l > m {
+			m = l
+		}
+	}
+	return m
+}
+
+// Throughput converts a makespan (cycles per application period) into
+// application executions per mega-cycle, the paper's "number of complete
+// executions in a time unit".
+func Throughput(makespan uint64) float64 {
+	if makespan == 0 {
+		return 0
+	}
+	return 1e6 / float64(makespan)
+}
+
+// sortedNames returns task names by decreasing cycle count (ties by name,
+// for determinism).
+func sortedNames(taskCycles map[string]uint64) []string {
+	names := make([]string, 0, len(taskCycles))
+	for n := range taskCycles {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if taskCycles[names[i]] != taskCycles[names[j]] {
+			return taskCycles[names[i]] > taskCycles[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	return names
+}
+
+// AssignLPT builds an assignment with the longest-processing-time-first
+// heuristic: tasks in decreasing T_i, each to the least-loaded processor.
+func AssignLPT(taskCycles map[string]uint64, numCPUs int) Assignment {
+	assign := make(Assignment, len(taskCycles))
+	loads := make([]uint64, numCPUs)
+	for _, name := range sortedNames(taskCycles) {
+		best := 0
+		for k := 1; k < numCPUs; k++ {
+			if loads[k] < loads[best] {
+				best = k
+			}
+		}
+		assign[name] = best
+		loads[best] += taskCycles[name]
+	}
+	return assign
+}
+
+// ExhaustiveLimit bounds the exact search: numCPUs^tasks assignments.
+const ExhaustiveLimit = 20_000_000
+
+// AssignExhaustive finds the makespan-optimal assignment by enumeration.
+// It returns an error when the search space exceeds ExhaustiveLimit.
+func AssignExhaustive(taskCycles map[string]uint64, numCPUs int) (Assignment, error) {
+	names := sortedNames(taskCycles)
+	space := 1
+	for range names {
+		space *= numCPUs
+		if space > ExhaustiveLimit {
+			return nil, fmt.Errorf("core: exhaustive assignment space exceeds %d", ExhaustiveLimit)
+		}
+	}
+	bestMakespan := ^uint64(0)
+	best := make([]int, len(names))
+	cur := make([]int, len(names))
+	loads := make([]uint64, numCPUs)
+	var rec func(i int)
+	rec = func(i int) {
+		if Makespan(loads) >= bestMakespan {
+			return // branch and bound: loads only grow
+		}
+		if i == len(names) {
+			bestMakespan = Makespan(loads)
+			copy(best, cur)
+			return
+		}
+		limit := numCPUs
+		if i == 0 {
+			limit = 1 // symmetry break: first task on CPU 0
+		}
+		for k := 0; k < limit; k++ {
+			cur[i] = k
+			loads[k] += taskCycles[names[i]]
+			rec(i + 1)
+			loads[k] -= taskCycles[names[i]]
+		}
+	}
+	rec(0)
+	assign := make(Assignment, len(names))
+	for i, n := range names {
+		assign[n] = best[i]
+	}
+	return assign, nil
+}
+
+// AssignLocalSearch improves an assignment by task moves and pairwise
+// swaps until no single change lowers the makespan.
+func AssignLocalSearch(taskCycles map[string]uint64, numCPUs int, start Assignment) Assignment {
+	assign := make(Assignment, len(start))
+	for n, k := range start {
+		assign[n] = k
+	}
+	names := sortedNames(taskCycles)
+	improved := true
+	for improved {
+		improved = false
+		loads, _ := ProcessorLoads(taskCycles, assign, numCPUs)
+		cur := Makespan(loads)
+		// Moves.
+		for _, n := range names {
+			orig := assign[n]
+			for k := 0; k < numCPUs; k++ {
+				if k == orig {
+					continue
+				}
+				assign[n] = k
+				l, _ := ProcessorLoads(taskCycles, assign, numCPUs)
+				if Makespan(l) < cur {
+					cur = Makespan(l)
+					improved = true
+					orig = k
+				} else {
+					assign[n] = orig
+				}
+			}
+		}
+		// Swaps.
+		for i := 0; i < len(names); i++ {
+			for j := i + 1; j < len(names); j++ {
+				a, b := names[i], names[j]
+				if assign[a] == assign[b] {
+					continue
+				}
+				assign[a], assign[b] = assign[b], assign[a]
+				l, _ := ProcessorLoads(taskCycles, assign, numCPUs)
+				if Makespan(l) < cur {
+					cur = Makespan(l)
+					improved = true
+				} else {
+					assign[a], assign[b] = assign[b], assign[a]
+				}
+			}
+		}
+	}
+	return assign
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/apps/synth"
+)
+
+func TestProcessorLoads(t *testing.T) {
+	tc := map[string]uint64{"a": 100, "b": 200, "c": 50}
+	as := Assignment{"a": 0, "b": 1, "c": 0}
+	loads, err := ProcessorLoads(tc, as, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loads[0] != 150 || loads[1] != 200 {
+		t.Errorf("loads = %v", loads)
+	}
+	if Makespan(loads) != 200 {
+		t.Error("makespan wrong")
+	}
+}
+
+func TestProcessorLoadsErrors(t *testing.T) {
+	tc := map[string]uint64{"a": 1}
+	if _, err := ProcessorLoads(tc, Assignment{}, 2); err == nil {
+		t.Error("missing assignment accepted")
+	}
+	if _, err := ProcessorLoads(tc, Assignment{"a": 5}, 2); err == nil {
+		t.Error("out-of-range CPU accepted")
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	if Throughput(0) != 0 {
+		t.Error("zero makespan throughput")
+	}
+	if Throughput(1e6) != 1.0 {
+		t.Errorf("throughput = %v", Throughput(1e6))
+	}
+}
+
+func TestAssignLPTBalances(t *testing.T) {
+	tc := map[string]uint64{"t1": 10, "t2": 10, "t3": 10, "t4": 10}
+	as := AssignLPT(tc, 2)
+	loads, _ := ProcessorLoads(tc, as, 2)
+	if loads[0] != 20 || loads[1] != 20 {
+		t.Errorf("LPT loads = %v", loads)
+	}
+}
+
+func TestAssignExhaustiveOptimal(t *testing.T) {
+	tc := map[string]uint64{"a": 7, "b": 5, "c": 4, "d": 4, "e": 3}
+	as, err := AssignExhaustive(tc, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads, _ := ProcessorLoads(tc, as, 2)
+	// Total 23 -> best split 12/11.
+	if Makespan(loads) != 12 {
+		t.Errorf("exhaustive makespan = %d, want 12", Makespan(loads))
+	}
+}
+
+func TestAssignExhaustiveLimit(t *testing.T) {
+	tc := map[string]uint64{}
+	for i := 0; i < 30; i++ {
+		tc[string(rune('a'+i))] = uint64(i)
+	}
+	if _, err := AssignExhaustive(tc, 4); err == nil {
+		t.Error("oversized search accepted")
+	}
+}
+
+func TestAssignLocalSearchImproves(t *testing.T) {
+	tc := map[string]uint64{"a": 9, "b": 8, "c": 7, "d": 2}
+	bad := Assignment{"a": 0, "b": 0, "c": 0, "d": 1} // makespan 24
+	improved := AssignLocalSearch(tc, 2, bad)
+	loads, _ := ProcessorLoads(tc, improved, 2)
+	// Optimum: {9,2} vs {8,7} -> makespan 15.
+	if Makespan(loads) != 15 {
+		t.Errorf("local search makespan = %d, want 15 (optimal)", Makespan(loads))
+	}
+	// The start assignment must not be mutated.
+	if bad["a"] != 0 || bad["b"] != 0 {
+		t.Error("local search mutated its input")
+	}
+}
+
+// Property: LPT's makespan is within 4/3 + eps of the exhaustive optimum
+// (Graham's bound) on random small instances, and local search never
+// makes LPT worse.
+func TestAssignmentQualityProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := synth.NewRand(seed)
+		n := rng.Intn(7) + 2
+		cpus := rng.Intn(3) + 2
+		tc := map[string]uint64{}
+		for i := 0; i < n; i++ {
+			tc[string(rune('a'+i))] = uint64(rng.Intn(100) + 1)
+		}
+		opt, err := AssignExhaustive(tc, cpus)
+		if err != nil {
+			return false
+		}
+		lopt, _ := ProcessorLoads(tc, opt, cpus)
+		lpt := AssignLPT(tc, cpus)
+		llpt, _ := ProcessorLoads(tc, lpt, cpus)
+		if float64(Makespan(llpt)) > float64(Makespan(lopt))*4.0/3.0+1 {
+			return false
+		}
+		ls := AssignLocalSearch(tc, cpus, lpt)
+		lls, _ := ProcessorLoads(tc, ls, cpus)
+		return Makespan(lls) <= Makespan(llpt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

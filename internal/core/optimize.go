@@ -1,0 +1,239 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ilp"
+	"repro/internal/mckp"
+	"repro/internal/mem"
+	"repro/internal/platform"
+	"repro/internal/profile"
+	"repro/internal/rtos"
+)
+
+// Solver selects the optimization engine for the section 3.2 program.
+type Solver uint8
+
+// Available solvers: the exact multiple-choice-knapsack DP (production)
+// and the LP-based branch-and-bound ILP (the paper's literal
+// formulation); both return the same optimum.
+const (
+	SolverMCKP Solver = iota
+	SolverILP
+)
+
+// String implements fmt.Stringer.
+func (s Solver) String() string {
+	if s == SolverILP {
+		return "ilp"
+	}
+	return "mckp"
+}
+
+// OptimizeConfig parameterizes profiling and optimization.
+type OptimizeConfig struct {
+	Platform  platform.Config
+	Sizes     []int // candidate unit sizes; nil = {1,2,...,128}
+	Runs      int   // profiling repetitions for m̄ averaging; 0 = 3
+	RTUnits   int   // run-time system partition; 0 = 4
+	Solver    Solver
+	MaxCycles uint64
+}
+
+func (oc *OptimizeConfig) fillDefaults() {
+	if oc.Sizes == nil {
+		oc.Sizes = []int{1, 2, 4, 8, 16, 32, 64, 128}
+	}
+	if oc.Runs == 0 {
+		oc.Runs = 3
+	}
+	if oc.RTUnits == 0 {
+		oc.RTUnits = 4
+	}
+}
+
+// OptimizeResult carries the chosen allocation and everything needed to
+// reproduce Tables 1-2 and Figure 3.
+type OptimizeResult struct {
+	Allocation Allocation
+	Curves     []profile.Curve
+	// Expected holds m̄_i at the chosen allocation per entity — the
+	// model prediction that Figure 3 compares against simulation.
+	Expected map[string]float64
+	Budget   int // optimizable units after rt and pinned FIFOs
+	Solver   Solver
+}
+
+// Profile runs the workload oc.Runs times under the shared-cache strategy
+// with the profiler tapping the L2, and returns the averaged miss curves.
+// Scheduling quanta are jittered across runs to perturb task
+// interleavings, which is what makes averaging meaningful for the shared
+// sections (task-private streams are identical across runs by Kahn
+// determinism).
+func Profile(w Workload, oc OptimizeConfig) ([]profile.Curve, error) {
+	oc.fillDefaults()
+	app, err := w.Factory()
+	if err != nil {
+		return nil, err
+	}
+	entities := app.Entities()
+	names := make([]string, len(entities))
+	regionOf := make(map[mem.RegionID]int)
+	for i, e := range entities {
+		names[i] = e.Name
+		for _, r := range e.Regions {
+			regionOf[r] = i
+		}
+	}
+	pcfg := profile.Config{
+		Sizes:    oc.Sizes,
+		UnitSets: rtos.AllocUnit,
+		Ways:     oc.Platform.L2.Ways,
+		LineSize: oc.Platform.L2.LineSize,
+	}
+	var runs [][]profile.Curve
+	jitter := []float64{1.0, 0.85, 1.2, 0.7, 1.4, 0.95, 1.1}
+	for r := 0; r < oc.Runs; r++ {
+		if r > 0 {
+			app, err = w.Factory()
+			if err != nil {
+				return nil, err
+			}
+		}
+		prof, err := profile.New(pcfg, names, regionOf)
+		if err != nil {
+			return nil, err
+		}
+		rc := RunConfig{
+			Platform:   oc.Platform,
+			Strategy:   Shared,
+			MaxCycles:  oc.MaxCycles,
+			L2Observer: prof.Observe,
+		}
+		rc.Platform.Sched.Quantum = int64(float64(oc.Platform.Sched.Quantum) * jitter[r%len(jitter)])
+		if _, err := RunApp(app, rc); err != nil {
+			return nil, fmt.Errorf("core: profiling run %d: %w", r, err)
+		}
+		runs = append(runs, prof.Curves())
+	}
+	return profile.Average(runs)
+}
+
+// Optimize implements the proposed optimization method of section 3.2:
+// profile per-entity miss curves, pin every FIFO to its own size, then
+// choose the remaining entities' cache sizes so the expected total number
+// of misses is minimal within the available capacity.
+func Optimize(w Workload, oc OptimizeConfig) (*OptimizeResult, error) {
+	oc.fillDefaults()
+	curves, err := Profile(w, oc)
+	if err != nil {
+		return nil, err
+	}
+	app, err := w.Factory()
+	if err != nil {
+		return nil, err
+	}
+	return OptimizeFromCurves(app, curves, oc)
+}
+
+// OptimizeFromCurves runs only the solver stage, for callers that already
+// profiled (the experiment harness reuses one profile across solvers).
+func OptimizeFromCurves(app *App, curves []profile.Curve, oc OptimizeConfig) (*OptimizeResult, error) {
+	oc.fillDefaults()
+	entities := app.Entities()
+	totalUnits := oc.Platform.L2.Sets / rtos.AllocUnit
+	budget := totalUnits - oc.RTUnits
+
+	alloc := make(Allocation)
+	expected := make(map[string]float64)
+	var items []mckp.Item
+	var itemEnt []*Entity
+	for i := range entities {
+		e := &entities[i]
+		curve := profile.CurveByEntity(curves, e.Name)
+		if curve == nil {
+			return nil, fmt.Errorf("core: no curve for entity %q", e.Name)
+		}
+		if e.Pinned > 0 {
+			// FIFOs: cache of the same size as the buffer, so all
+			// non-cold accesses hit (paper, section 4.1).
+			units := ceilPow2(e.Pinned)
+			alloc[e.Name] = units
+			expected[e.Name] = curve.At(units)
+			budget -= units
+			continue
+		}
+		// Candidates come from oc.Sizes (so a caller can restrict the
+		// granularity, e.g. to whole ways) with costs read off the
+		// profiled curve, capped at the entity's own footprint: beyond
+		// it the curve is flat and larger partitions waste capacity.
+		capUnits := ceilPow2(PinnedUnits(e.Bytes))
+		item := mckp.Item{Name: e.Name}
+		sizes := append([]int(nil), oc.Sizes...)
+		sort.Ints(sizes)
+		for _, s := range sizes {
+			if s > capUnits && len(item.Choices) > 0 {
+				break
+			}
+			item.Choices = append(item.Choices, mckp.Choice{Weight: s, Cost: curve.At(s)})
+		}
+		items = append(items, item)
+		itemEnt = append(itemEnt, e)
+	}
+	if budget < 0 {
+		return nil, fmt.Errorf("core: FIFO pinning alone over-commits the cache by %d units", -budget)
+	}
+
+	pick := make([]int, len(items))
+	switch oc.Solver {
+	case SolverMCKP:
+		sol, err := mckp.Solve(items, budget)
+		if err != nil {
+			return nil, fmt.Errorf("core: mckp: %w", err)
+		}
+		copy(pick, sol.Pick)
+	case SolverILP:
+		groups := make([][]ilp.Alternative, len(items))
+		for i, it := range items {
+			for _, c := range it.Choices {
+				groups[i] = append(groups[i], ilp.Alternative{Weight: c.Weight, Cost: c.Cost})
+			}
+		}
+		prob, index := ilp.PartitioningProblem(groups, budget)
+		sol, err := ilp.Solve(prob)
+		if err != nil {
+			return nil, fmt.Errorf("core: ilp: %w", err)
+		}
+		for i, g := range groups {
+			for p := range g {
+				if sol.X[index(i, p)] == 1 {
+					pick[i] = p
+				}
+			}
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown solver %v", oc.Solver)
+	}
+	for i, it := range items {
+		ch := it.Choices[pick[i]]
+		alloc[itemEnt[i].Name] = ch.Weight
+		expected[itemEnt[i].Name] = ch.Cost
+	}
+	return &OptimizeResult{
+		Allocation: alloc,
+		Curves:     curves,
+		Expected:   expected,
+		Budget:     budget,
+		Solver:     oc.Solver,
+	}, nil
+}
+
+// ceilPow2 rounds n up to a power of two.
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}

@@ -1,0 +1,232 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (section 5), plus the extension studies listed in DESIGN.md:
+//
+//	T1/T2  Tables 1-2: optimized L2 allocation per entity
+//	F2     Figure 2: shared vs best-partitioned misses per entity
+//	F3     Figure 3: expected vs simulated misses (compositionality)
+//	H1     headline metrics: miss ratio, miss rate, CPI, mpeg2@1MB
+//	X1     compositionality ablation: jpeg1 alone vs co-scheduled
+//	X2     granularity ablation: set-partitioning vs way (column) caching
+//	X3     task-to-processor assignment search on the section 3.1 model
+//	X4     split instruction/data partitions (the section 4.2 variant)
+//	X5     schedule sensitivity under task migration
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/report"
+	"repro/internal/workloads"
+)
+
+// Config parameterizes the harness.
+type Config struct {
+	Scale       workloads.Scale
+	Platform    platform.Config
+	ProfileRuns int
+	Solver      core.Solver
+}
+
+// Default returns the paper-scale configuration: the 4-CPU, 512 KB L2
+// CAKE instance of section 5.
+func Default() Config {
+	return Config{Scale: workloads.Paper, Platform: platform.Default(), ProfileRuns: 2}
+}
+
+// Small returns a fast configuration for tests.
+func Small() Config {
+	return Config{Scale: workloads.Small, Platform: platform.Default(), ProfileRuns: 1}
+}
+
+// Study is the complete evaluation of one application: shared baseline,
+// profiling + optimization, partitioned run, and the Figure 3 comparison.
+type Study struct {
+	Workload string
+	Shared   *core.Result
+	Part     *core.Result
+	Opt      *core.OptimizeResult
+	Compose  *core.ComposeReport
+}
+
+// MissRatio returns shared misses / partitioned misses (the paper's "N
+// times less misses").
+func (s *Study) MissRatio() float64 {
+	p := s.Part.TotalMisses()
+	if p == 0 {
+		return 0
+	}
+	return float64(s.Shared.TotalMisses()) / float64(p)
+}
+
+// RunStudy executes the full pipeline on one workload.
+func RunStudy(w core.Workload, cfg Config) (*Study, error) {
+	shared, err := core.Run(w, core.RunConfig{Platform: cfg.Platform})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: shared run: %w", err)
+	}
+	opt, err := core.Optimize(w, core.OptimizeConfig{
+		Platform: cfg.Platform,
+		Runs:     cfg.ProfileRuns,
+		Solver:   cfg.Solver,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: optimize: %w", err)
+	}
+	part, err := core.Run(w, core.RunConfig{
+		Platform: cfg.Platform,
+		Strategy: core.Partitioned,
+		Alloc:    opt.Allocation,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: partitioned run: %w", err)
+	}
+	return &Study{
+		Workload: w.Name,
+		Shared:   shared,
+		Part:     part,
+		Opt:      opt,
+		Compose:  core.CompareExpectedSimulated(opt.Expected, part),
+	}, nil
+}
+
+// App1 runs the study for the 2×JPEG + Canny application.
+func App1(cfg Config) (*Study, error) {
+	return RunStudy(workloads.JPEGCanny(cfg.Scale, nil), cfg)
+}
+
+// App2 runs the study for the MPEG-2 decoder.
+func App2(cfg Config) (*Study, error) {
+	return RunStudy(workloads.MPEG2(cfg.Scale, nil), cfg)
+}
+
+// AllocationTable renders the study's allocation as the paper's Table 1
+// or Table 2: allocated L2 units per task, buffer and shared section.
+func AllocationTable(s *Study, title string) *report.Table {
+	t := &report.Table{
+		Title:   title,
+		Headers: []string{"entity", "kind", "alloc units", "expected misses"},
+	}
+	names := make([]string, 0, len(s.Opt.Allocation))
+	for n := range s.Opt.Allocation {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	kind := map[string]core.EntityKind{}
+	for _, e := range s.Part.Entities {
+		kind[e.Name] = e.Kind
+	}
+	for _, n := range names {
+		t.AddRow(n, kind[n].String(), s.Opt.Allocation[n], s.Opt.Expected[n])
+	}
+	t.AddRow("TOTAL", "", s.Opt.Allocation.TotalUnits(), "")
+	return t
+}
+
+// Figure2 renders the shared-vs-partitioned per-entity miss chart.
+func Figure2(s *Study) *report.BarChart {
+	c := &report.BarChart{
+		Title:  fmt.Sprintf("Figure 2 (%s): L2 misses per entity, shared vs best partitioned", s.Workload),
+		ALabel: "shared",
+		BLabel: "partitioned",
+	}
+	for _, e := range s.Shared.Entities {
+		p := s.Part.Entity(e.Name)
+		if p == nil || (e.Misses == 0 && p.Misses == 0) {
+			continue
+		}
+		c.Pairs = append(c.Pairs, report.BarPair{Label: e.Name, A: float64(e.Misses), B: float64(p.Misses)})
+	}
+	sort.Slice(c.Pairs, func(i, j int) bool { return c.Pairs[i].A > c.Pairs[j].A })
+	return c
+}
+
+// Figure3 renders the expected-vs-simulated chart plus the paper's
+// compositionality metric.
+func Figure3(s *Study) (*report.BarChart, *core.ComposeReport) {
+	c := &report.BarChart{
+		Title: fmt.Sprintf("Figure 3 (%s): expected vs simulated misses per entity (max rel diff %.2f%%)",
+			s.Workload, s.Compose.MaxRelDiff*100),
+		ALabel: "expected",
+		BLabel: "simulated",
+	}
+	for _, e := range s.Compose.Entries {
+		if e.Expected == 0 && e.Simulated == 0 {
+			continue
+		}
+		c.Pairs = append(c.Pairs, report.BarPair{Label: e.Name, A: e.Expected, B: float64(e.Simulated)})
+	}
+	sort.Slice(c.Pairs, func(i, j int) bool { return c.Pairs[i].A > c.Pairs[j].A })
+	return c, s.Compose
+}
+
+// HeadlineRow summarizes one study for the headline table.
+type HeadlineRow struct {
+	App        string
+	SharedMiss uint64
+	PartMiss   uint64
+	Ratio      float64
+	SharedRate float64
+	PartRate   float64
+	SharedCPI  float64
+	PartCPI    float64
+	MaxRelDiff float64
+	// Energy in the arbitrary units of core.PowerModel: the paper's
+	// power criterion ("optimizing the overall execution time
+	// (respectively the number of misses) gives the most power
+	// consumptions reduction").
+	SharedEnergy float64
+	PartEnergy   float64
+}
+
+// Headline runs both applications plus the 1 MB shared-L2 MPEG-2 variant
+// and renders the in-text headline numbers of section 5.
+func Headline(cfg Config) (*report.Table, []HeadlineRow, error) {
+	t := &report.Table{
+		Title: "Headline (paper: 5x / 6.5x fewer misses; 9.46->2.21% / 5.1->0.8% miss rate; CPI 1.4->1.1 / ~1.75->~1.65)",
+		Headers: []string{"app", "shared miss", "part miss", "ratio",
+			"shared rate", "part rate", "shared CPI", "part CPI", "maxRelDiff", "energy gain"},
+	}
+	var rows []HeadlineRow
+	for _, run := range []func(Config) (*Study, error){App1, App2} {
+		s, err := run(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		r := HeadlineRow{
+			App:          s.Workload,
+			SharedMiss:   s.Shared.TotalMisses(),
+			PartMiss:     s.Part.TotalMisses(),
+			Ratio:        s.MissRatio(),
+			SharedRate:   s.Shared.L2MissRate,
+			PartRate:     s.Part.L2MissRate,
+			SharedCPI:    s.Shared.CPIMean,
+			PartCPI:      s.Part.CPIMean,
+			MaxRelDiff:   s.Compose.MaxRelDiff,
+			SharedEnergy: s.Shared.Energy,
+			PartEnergy:   s.Part.Energy,
+		}
+		rows = append(rows, r)
+		t.AddRow(r.App, r.SharedMiss, r.PartMiss, r.Ratio, r.SharedRate, r.PartRate,
+			r.SharedCPI, r.PartCPI, r.MaxRelDiff,
+			fmt.Sprintf("%.1f%%", (1-r.PartEnergy/r.SharedEnergy)*100))
+	}
+	// MPEG-2 on a 1 MB shared L2.
+	big := cfg.Platform
+	big.L2.Sets *= 2
+	bigRes, err := core.Run(workloads.MPEG2(cfg.Scale, nil), core.RunConfig{Platform: big})
+	if err != nil {
+		return nil, nil, err
+	}
+	rows = append(rows, HeadlineRow{
+		App:        "mpeg2 @1MB shared",
+		SharedMiss: bigRes.TotalMisses(),
+		SharedRate: bigRes.L2MissRate,
+		SharedCPI:  bigRes.CPIMean,
+	})
+	t.AddRow("mpeg2 @1MB shared", bigRes.TotalMisses(), "-", "-",
+		bigRes.L2MissRate, "-", bigRes.CPIMean, "-", "-", "-")
+	return t, rows, nil
+}

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// The experiment tests run at Small scale; the paper-scale shape
+// assertions live in the root-level bench harness and EXPERIMENTS.md.
+
+func TestApp1StudySmall(t *testing.T) {
+	s, err := App1(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Shared.TotalMisses() == 0 || s.Part.TotalMisses() == 0 {
+		t.Fatal("no misses measured")
+	}
+	if s.MissRatio() <= 0 {
+		t.Error("no ratio")
+	}
+	// Even the small workload must be compositional.
+	if s.Compose.MaxRelDiff > 0.10 {
+		t.Errorf("max rel diff %.3f too large", s.Compose.MaxRelDiff)
+	}
+	// Tables and figures render.
+	tab := AllocationTable(s, "Table 1")
+	if !strings.Contains(tab.String(), "FrontEnd1") {
+		t.Error("allocation table missing task row")
+	}
+	if !strings.Contains(tab.String(), "TOTAL") {
+		t.Error("allocation table missing total")
+	}
+	f2 := Figure2(s)
+	if len(f2.Pairs) == 0 {
+		t.Error("figure 2 empty")
+	}
+	f3, rep := Figure3(s)
+	if len(f3.Pairs) == 0 || rep == nil {
+		t.Error("figure 3 empty")
+	}
+	// X3 renders for 4 CPUs.
+	x3 := Assignment(s, 4)
+	if !strings.Contains(x3.String(), "LPT") {
+		t.Error("assignment table missing LPT row")
+	}
+}
+
+func TestApp2StudySmall(t *testing.T) {
+	s, err := App2(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Shared.TotalMisses() == 0 {
+		t.Fatal("no misses measured")
+	}
+	tab := AllocationTable(s, "Table 2")
+	for _, name := range []string{"vld", "memMan", "predictRD"} {
+		if !strings.Contains(tab.String(), name) {
+			t.Errorf("table 2 missing %q", name)
+		}
+	}
+	if s.Compose.MaxRelDiff > 0.10 {
+		t.Errorf("max rel diff %.3f too large", s.Compose.MaxRelDiff)
+	}
+}
+
+func TestHeadlineSmall(t *testing.T) {
+	tab, rows, err := Headline(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 2 apps + 1MB variant", len(rows))
+	}
+	out := tab.String()
+	for _, want := range []string{"2jpeg+canny", "mpeg2", "1MB"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("headline missing %q", want)
+		}
+	}
+	// The 1 MB shared cache must not be worse than the 512 KB shared.
+	if rows[2].SharedMiss > rows[1].SharedMiss {
+		t.Errorf("1MB shared misses %d > 512KB shared %d", rows[2].SharedMiss, rows[1].SharedMiss)
+	}
+}
+
+func TestCompositionSmall(t *testing.T) {
+	res, tab, err := Composition(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SharedSolo == 0 || res.PartSolo == 0 {
+		t.Fatal("no solo misses measured")
+	}
+	// The partitioned system must be far more compositional than the
+	// shared one: adding co-runners barely changes jpeg1's misses.
+	if res.PartShift() > 0.05 {
+		t.Errorf("partitioned shift %.3f, want < 0.05", res.PartShift())
+	}
+	if res.SharedShift() < 2*res.PartShift() {
+		t.Errorf("shared shift %.3f not clearly larger than partitioned %.3f",
+			res.SharedShift(), res.PartShift())
+	}
+	if !strings.Contains(tab.String(), "co-scheduled") {
+		t.Error("table malformed")
+	}
+}
+
+func TestGranularitySmall(t *testing.T) {
+	tab, err := Granularity(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tab.String()
+	if !strings.Contains(out, "column caching") || !strings.Contains(out, "set partitioning") {
+		t.Errorf("granularity table malformed:\n%s", out)
+	}
+}
+
+func TestStudyMissRatioZeroSafe(t *testing.T) {
+	s := &Study{Shared: &core.Result{}, Part: &core.Result{}}
+	if s.MissRatio() != 0 {
+		t.Error("zero-division in MissRatio")
+	}
+}
+
+func TestSortedTaskCycles(t *testing.T) {
+	res := &core.Result{TaskCycles: map[string]uint64{"a": 5, "b": 50, "c": 20}}
+	got := SortedTaskCycles(res)
+	if len(got) != 3 || got[0] != "b" || got[2] != "a" {
+		t.Errorf("order = %v", got)
+	}
+}

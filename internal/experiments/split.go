@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/workloads"
+)
+
+// SplitSections runs experiment X4: the alternative cache organization
+// the paper's interval-table scheme "easily allows" (section 4.2) —
+// every task's instructions and data in separate exclusive partitions —
+// against the baseline task-unified partitioning, both fully optimized.
+func SplitSections(cfg Config) (*report.Table, error) {
+	unified, err := RunStudy(workloads.JPEGCanny(cfg.Scale, nil), cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	splitWorkload := workloads.JPEGCanny(cfg.Scale, nil)
+	base := splitWorkload.Factory
+	splitWorkload.Name = "2jpeg+canny(split i/d)"
+	splitWorkload.Factory = func() (*core.App, error) {
+		app, err := base()
+		if err != nil {
+			return nil, err
+		}
+		app.SplitTaskSections = true
+		return app, nil
+	}
+	split, err := RunStudy(splitWorkload, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	t := &report.Table{
+		Title:   "X4: task-unified vs split instruction/data partitions (section 4.2 variant)",
+		Headers: []string{"organization", "entities", "alloc units", "L2 misses", "max rel diff"},
+	}
+	t.AddRow("shared baseline", "-", "-", unified.Shared.TotalMisses(), "-")
+	t.AddRow("partitioned, task-unified", len(unified.Part.Entities),
+		unified.Opt.Allocation.TotalUnits(), unified.Part.TotalMisses(),
+		fmt.Sprintf("%.3f%%", unified.Compose.MaxRelDiff*100))
+	t.AddRow("partitioned, split i/d", len(split.Part.Entities),
+		split.Opt.Allocation.TotalUnits(), split.Part.TotalMisses(),
+		fmt.Sprintf("%.3f%%", split.Compose.MaxRelDiff*100))
+	return t, nil
+}
+
+// Migration runs experiment X5: the compositionality of both cache
+// organizations under dynamic scheduling with task migration, the regime
+// the paper's analytical model cannot cover ("in an environment which
+// allows task migration ... Y(P_k) cannot be accurately computed") but
+// its cache mechanism still serves. Per-entity misses of the partitioned
+// system must stay where the static run put them; the shared system's
+// move with the schedule.
+func Migration(cfg Config) (*report.Table, error) {
+	w := workloads.JPEGCanny(cfg.Scale, nil)
+
+	opt, err := core.Optimize(w, core.OptimizeConfig{
+		Platform: cfg.Platform, Runs: cfg.ProfileRuns, Solver: cfg.Solver,
+	})
+	if err != nil {
+		return nil, err
+	}
+	run := func(strat core.Strategy, migrate bool) (*core.Result, error) {
+		pc := cfg.Platform
+		pc.Sched.AllowMigration = migrate
+		rc := core.RunConfig{Platform: pc, Strategy: strat}
+		if strat == core.Partitioned {
+			rc.Alloc = opt.Allocation
+		}
+		return core.Run(w, rc)
+	}
+	shStatic, err := run(core.Shared, false)
+	if err != nil {
+		return nil, err
+	}
+	shMig, err := run(core.Shared, true)
+	if err != nil {
+		return nil, err
+	}
+	ptStatic, err := run(core.Partitioned, false)
+	if err != nil {
+		return nil, err
+	}
+	ptMig, err := run(core.Partitioned, true)
+	if err != nil {
+		return nil, err
+	}
+
+	// Largest per-entity relative shift between static and migrating
+	// schedules, normalized by total misses (Figure 3's metric applied
+	// across schedules instead of against the model).
+	shift := func(a, b *core.Result) float64 {
+		total := float64(a.TotalMisses())
+		if total == 0 {
+			return 0
+		}
+		worst := 0.0
+		for _, e := range a.Entities {
+			o := b.Entity(e.Name)
+			if o == nil {
+				continue
+			}
+			d := float64(e.Misses) - float64(o.Misses)
+			if d < 0 {
+				d = -d
+			}
+			if d/total > worst {
+				worst = d / total
+			}
+		}
+		return worst
+	}
+
+	t := &report.Table{
+		Title:   "X5: schedule sensitivity — static assignment vs task migration",
+		Headers: []string{"cache", "static misses", "migrating misses", "max entity shift"},
+	}
+	t.AddRow("shared", shStatic.TotalMisses(), shMig.TotalMisses(),
+		fmt.Sprintf("%.2f%%", shift(shStatic, shMig)*100))
+	t.AddRow("partitioned", ptStatic.TotalMisses(), ptMig.TotalMisses(),
+		fmt.Sprintf("%.2f%%", shift(ptStatic, ptMig)*100))
+	return t, nil
+}

@@ -1,0 +1,179 @@
+// Package ilp solves 0/1 integer linear programs by LP-based branch and
+// bound, using the dense simplex solver of internal/lp for relaxations.
+//
+// This is the literal form of the paper's section 3.2 optimization: the
+// binary variables x_{p,i} select cache size z_p for task i, one size per
+// task, with the sizes summing to at most the available cache and the
+// total expected misses minimized. The exact multiple-choice-knapsack DP
+// (internal/mckp) solves the same program faster; the two implementations
+// cross-validate each other in tests.
+package ilp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/lp"
+)
+
+// Problem is a 0/1 minimization ILP: minimize c·x subject to the linear
+// constraints, x_j ∈ {0,1}.
+type Problem struct {
+	Objective   []float64
+	Constraints []lp.Constraint
+}
+
+// Solution is the integer optimum.
+type Solution struct {
+	X     []int
+	Value float64
+	Nodes int // branch-and-bound nodes explored
+}
+
+// Errors returned by Solve.
+var (
+	ErrInfeasible = errors.New("ilp: infeasible")
+	ErrNodeLimit  = errors.New("ilp: node limit exceeded")
+)
+
+const intTol = 1e-6
+
+// MaxNodes bounds the search; the paper-scale programs need far fewer.
+const MaxNodes = 200_000
+
+type node struct {
+	fixed []int8 // -1 free, 0/1 fixed
+}
+
+// Solve runs branch and bound and returns the optimal 0/1 assignment.
+func Solve(p *Problem) (*Solution, error) {
+	n := len(p.Objective)
+	root := &node{fixed: make([]int8, n)}
+	for i := range root.fixed {
+		root.fixed[i] = -1
+	}
+	best := &Solution{Value: math.Inf(1)}
+	stack := []*node{root}
+	nodes := 0
+	for len(stack) > 0 {
+		nodes++
+		if nodes > MaxNodes {
+			return nil, ErrNodeLimit
+		}
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+
+		sol, err := solveRelaxation(p, nd.fixed)
+		if err != nil {
+			return nil, err
+		}
+		if sol.Status == lp.Infeasible {
+			continue
+		}
+		if sol.Status == lp.Unbounded {
+			// With all variables in [0,1] the relaxation is never
+			// unbounded; reaching this means a modelling error.
+			return nil, fmt.Errorf("ilp: relaxation unbounded")
+		}
+		if sol.Value >= best.Value-1e-9 {
+			continue // bound
+		}
+		branch := mostFractional(sol.X)
+		if branch < 0 {
+			// Integral: new incumbent.
+			x := make([]int, n)
+			for j, v := range sol.X {
+				if v > 0.5 {
+					x[j] = 1
+				}
+			}
+			best = &Solution{X: x, Value: sol.Value, Nodes: nodes}
+			continue
+		}
+		// Depth-first; explore the rounding-nearest child last so it is
+		// popped first (better incumbents earlier).
+		far, near := int8(0), int8(1)
+		if sol.X[branch] < 0.5 {
+			far, near = 1, 0
+		}
+		stack = append(stack, nd.child(branch, far), nd.child(branch, near))
+	}
+	if math.IsInf(best.Value, 1) {
+		return nil, ErrInfeasible
+	}
+	best.Nodes = nodes
+	return best, nil
+}
+
+func (nd *node) child(j int, v int8) *node {
+	f := make([]int8, len(nd.fixed))
+	copy(f, nd.fixed)
+	f[j] = v
+	return &node{fixed: f}
+}
+
+// mostFractional returns the index of the variable farthest from an
+// integer, or -1 when all are integral.
+func mostFractional(x []float64) int {
+	best, bestDist := -1, intTol
+	for j, v := range x {
+		d := math.Abs(v - math.Round(v))
+		if d > bestDist {
+			best, bestDist = j, d
+		}
+	}
+	return best
+}
+
+// solveRelaxation solves the LP relaxation with x in [0,1] and the fixed
+// variables pinned by equality rows.
+func solveRelaxation(p *Problem, fixed []int8) (*lp.Solution, error) {
+	n := len(p.Objective)
+	rel := &lp.Problem{Objective: p.Objective}
+	rel.Constraints = append(rel.Constraints, p.Constraints...)
+	for j := 0; j < n; j++ {
+		row := make([]float64, n)
+		row[j] = 1
+		switch fixed[j] {
+		case -1:
+			rel.Constraints = append(rel.Constraints, lp.Constraint{Coef: row, Rel: lp.LE, RHS: 1})
+		default:
+			rel.Constraints = append(rel.Constraints, lp.Constraint{Coef: row, Rel: lp.EQ, RHS: float64(fixed[j])})
+		}
+	}
+	return rel.Solve()
+}
+
+// PartitioningProblem builds the paper's exact formulation: groups[i]
+// lists the candidate (weight, cost) alternatives of entity i; one
+// alternative per entity must be chosen; total weight ≤ capacity.
+// It returns the problem plus the variable index of (entity i, choice p).
+func PartitioningProblem(groups [][]Alternative, capacity int) (*Problem, func(i, p int) int) {
+	nvars := 0
+	offs := make([]int, len(groups))
+	for i, g := range groups {
+		offs[i] = nvars
+		nvars += len(g)
+	}
+	prob := &Problem{Objective: make([]float64, nvars)}
+	capRow := make([]float64, nvars)
+	for i, g := range groups {
+		oneRow := make([]float64, nvars)
+		for pi, alt := range g {
+			j := offs[i] + pi
+			prob.Objective[j] = alt.Cost
+			oneRow[j] = 1
+			capRow[j] = float64(alt.Weight)
+		}
+		prob.Constraints = append(prob.Constraints, lp.Constraint{Coef: oneRow, Rel: lp.EQ, RHS: 1})
+	}
+	prob.Constraints = append(prob.Constraints, lp.Constraint{Coef: capRow, Rel: lp.LE, RHS: float64(capacity)})
+	return prob, func(i, p int) int { return offs[i] + p }
+}
+
+// Alternative is one candidate allocation of the partitioning program.
+type Alternative struct {
+	Weight int
+	Cost   float64
+}

@@ -1,0 +1,169 @@
+package ilp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lp"
+	"repro/internal/mckp"
+)
+
+func TestSimpleBinaryKnapsack(t *testing.T) {
+	// max 5a+4b+3c s.t. 2a+3b+c <= 3  ->  min -5a-4b-3c.
+	// Best: a=1,c=1 -> value -8.
+	p := &Problem{
+		Objective: []float64{-5, -4, -3},
+		Constraints: []lp.Constraint{
+			{Coef: []float64{2, 3, 1}, Rel: lp.LE, RHS: 3},
+		},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Value+8) > 1e-6 {
+		t.Fatalf("value = %v, want -8", s.Value)
+	}
+	if s.X[0] != 1 || s.X[1] != 0 || s.X[2] != 1 {
+		t.Errorf("x = %v", s.X)
+	}
+}
+
+func TestEqualityGroups(t *testing.T) {
+	// Two groups of two, pick one each, capacity binding.
+	groups := [][]Alternative{
+		{{Weight: 1, Cost: 10}, {Weight: 2, Cost: 4}},
+		{{Weight: 1, Cost: 8}, {Weight: 2, Cost: 2}},
+	}
+	p, _ := PartitioningProblem(groups, 3)
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Value-12) > 1e-6 {
+		t.Fatalf("value = %v, want 12", s.Value)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := &Problem{
+		Objective: []float64{1, 1},
+		Constraints: []lp.Constraint{
+			{Coef: []float64{1, 1}, Rel: lp.GE, RHS: 3}, // max possible is 2
+		},
+	}
+	if _, err := Solve(p); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want infeasible", err)
+	}
+}
+
+func TestAllIntegralRelaxation(t *testing.T) {
+	// Totally unimodular instance: relaxation is already integral, so
+	// the node count stays tiny.
+	p := &Problem{
+		Objective: []float64{1, 2},
+		Constraints: []lp.Constraint{
+			{Coef: []float64{1, 0}, Rel: lp.GE, RHS: 1},
+		},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.X[0] != 1 || s.X[1] != 0 {
+		t.Errorf("x = %v", s.X)
+	}
+	if s.Nodes > 3 {
+		t.Errorf("nodes = %d, expected immediate integral optimum", s.Nodes)
+	}
+}
+
+func TestPartitioningProblemIndexer(t *testing.T) {
+	groups := [][]Alternative{
+		{{1, 1}, {2, 2}, {4, 3}},
+		{{1, 5}},
+	}
+	p, idx := PartitioningProblem(groups, 10)
+	if len(p.Objective) != 4 {
+		t.Fatalf("nvars = %d", len(p.Objective))
+	}
+	if idx(0, 2) != 2 || idx(1, 0) != 3 {
+		t.Error("indexer wrong")
+	}
+	if p.Objective[idx(1, 0)] != 5 {
+		t.Error("objective mapping wrong")
+	}
+	// 2 group equalities + 1 capacity row.
+	if len(p.Constraints) != 3 {
+		t.Errorf("constraints = %d", len(p.Constraints))
+	}
+}
+
+// Property: branch and bound matches the exact MCKP DP on random
+// partitioning instances — the paper's program solved two independent ways.
+func TestMatchesMCKPProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(4) + 1
+		groups := make([][]Alternative, n)
+		items := make([]mckp.Item, n)
+		for i := 0; i < n; i++ {
+			k := rng.Intn(3) + 1
+			for c := 0; c < k; c++ {
+				w := rng.Intn(4) + 1
+				cost := float64(rng.Intn(50))
+				groups[i] = append(groups[i], Alternative{Weight: w, Cost: cost})
+				items[i].Choices = append(items[i].Choices, mckp.Choice{Weight: w, Cost: cost})
+			}
+		}
+		capacity := rng.Intn(10) + 1
+		p, _ := PartitioningProblem(groups, capacity)
+		bb, errBB := Solve(p)
+		dp, errDP := mckp.Solve(items, capacity)
+		if (errBB == nil) != (errDP == nil) {
+			return false
+		}
+		if errBB != nil {
+			return errors.Is(errBB, ErrInfeasible) && errors.Is(errDP, mckp.ErrInfeasible)
+		}
+		return math.Abs(bb.Value-dp.Cost) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: solutions are feasible and binary.
+func TestSolutionBinaryFeasibleProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(5) + 2
+		p := &Problem{Objective: make([]float64, n)}
+		for j := range p.Objective {
+			p.Objective[j] = rng.Float64()*10 - 5
+		}
+		coef := make([]float64, n)
+		for j := range coef {
+			coef[j] = float64(rng.Intn(4) + 1)
+		}
+		p.Constraints = []lp.Constraint{{Coef: coef, Rel: lp.LE, RHS: float64(rng.Intn(8) + 1)}}
+		s, err := Solve(p)
+		if err != nil {
+			return false // always feasible: x = 0 works
+		}
+		lhs := 0.0
+		for j, x := range s.X {
+			if x != 0 && x != 1 {
+				return false
+			}
+			lhs += coef[j] * float64(x)
+		}
+		return lhs <= p.Constraints[0].RHS+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,393 @@
+// Package kpn implements the YAPI-style application model of the paper: a
+// Kahn process network of parallel tasks communicating through bounded
+// FIFOs and frame buffers (de Kock et al., DAC 2000).
+//
+// Every task runs as a goroutine in strict handoff with the platform
+// engine: exactly one task executes at any instant, resumed and yielded
+// over private channels, so simulation is deterministic. Task code
+// performs all memory traffic through a Ctx, which moves real bytes in
+// the simulated address space (internal/mem) and charges cycles through
+// the memory hierarchy of the processor the task currently occupies.
+package kpn
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// Memory is the timing-model side of the memory system; it is implemented
+// by cache.Hierarchy and by test stubs.
+type Memory interface {
+	AccessAt(a trace.Access, now uint64) uint64
+}
+
+// State enumerates the lifecycle of a process.
+type State uint8
+
+// Process states.
+const (
+	Created State = iota
+	Ready
+	Running
+	Blocked
+	Done
+	Failed
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Created:
+		return "created"
+	case Ready:
+		return "ready"
+	case Blocked:
+		return "blocked"
+	case Running:
+		return "running"
+	case Done:
+		return "done"
+	case Failed:
+		return "failed"
+	}
+	return fmt.Sprintf("state(%d)", uint8(s))
+}
+
+// YieldReason says why a task returned control to the engine.
+type YieldReason uint8
+
+// Yield reasons.
+const (
+	YieldQuantum YieldReason = iota // slice budget exhausted
+	YieldBlocked                    // waiting on a FIFO condition
+	YieldDone                       // body returned
+	YieldFailed                     // body panicked
+)
+
+// Yield is the message a task sends back to the engine.
+type Yield struct {
+	Reason YieldReason
+	CanRun func() bool // when Blocked: condition to re-test
+	On     *FIFO       // when Blocked: the FIFO waited on (diagnostics)
+	Err    error       // when Failed
+}
+
+type resumeMsg struct {
+	core   *cpu.Core
+	mem    Memory
+	budget int64
+	kill   bool
+}
+
+type killSignal struct{}
+
+// Process is one YAPI task.
+type Process struct {
+	Name string
+	Body func(*Ctx)
+
+	// Private sections, allocated by the application builder. Code is
+	// required (instruction fetches are modelled); Heap holds the
+	// task's tables and scratch arrays; Stack is charged by the Exec
+	// model only.
+	Code  *mem.Region
+	Stack *mem.Region
+	Heap  *mem.Region
+
+	// HotCode is the size in bytes of the task's inner-loop footprint;
+	// instruction fetches cycle through it. 0 means the whole Code
+	// region.
+	HotCode uint64
+
+	state  State
+	ctx    *Ctx
+	resume chan resumeMsg
+	yield  chan Yield
+	last   Yield
+}
+
+// State returns the process state.
+func (p *Process) State() State { return p.state }
+
+// LastYield returns the most recent yield message.
+func (p *Process) LastYield() Yield { return p.last }
+
+// Ctx returns the process's execution context (valid after Start).
+func (p *Process) Ctx() *Ctx { return p.ctx }
+
+// ConsumedCycles returns the execution plus memory-stall cycles this task
+// consumed so far — the T_i(z_i) term of the paper's throughput model
+// (section 3.1). It excludes switch and idle overhead, which the model
+// accounts separately.
+func (p *Process) ConsumedCycles() uint64 {
+	if p.ctx == nil {
+		return 0
+	}
+	return p.ctx.consumed
+}
+
+// Start launches the task goroutine; the task does not execute until the
+// first RunSlice.
+func (p *Process) Start() {
+	if p.state != Created {
+		panic(fmt.Sprintf("kpn: Start on process %q in state %v", p.Name, p.state))
+	}
+	if p.Body == nil {
+		panic(fmt.Sprintf("kpn: process %q has no body", p.Name))
+	}
+	if p.Code == nil {
+		panic(fmt.Sprintf("kpn: process %q has no code region", p.Name))
+	}
+	p.resume = make(chan resumeMsg)
+	p.yield = make(chan Yield)
+	p.ctx = newCtx(p)
+	p.state = Ready
+	go p.run()
+}
+
+func (p *Process) run() {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(killSignal); ok {
+				return // engine tear-down
+			}
+			p.yield <- Yield{Reason: YieldFailed, Err: fmt.Errorf("kpn: process %q: %v", p.Name, r)}
+			return
+		}
+		p.yield <- Yield{Reason: YieldDone}
+	}()
+	p.ctx.awaitResume()
+	p.Body(p.ctx)
+}
+
+// RunSlice resumes the task on the given core with the given cycle budget
+// and blocks until it yields. It must only be called when Runnable.
+func (p *Process) RunSlice(core *cpu.Core, memory Memory, budget int64) Yield {
+	switch p.state {
+	case Ready, Blocked:
+	default:
+		panic(fmt.Sprintf("kpn: RunSlice on process %q in state %v", p.Name, p.state))
+	}
+	p.state = Running
+	p.resume <- resumeMsg{core: core, mem: memory, budget: budget}
+	y := <-p.yield
+	p.last = y
+	switch y.Reason {
+	case YieldQuantum:
+		p.state = Ready
+	case YieldBlocked:
+		p.state = Blocked
+	case YieldDone:
+		p.state = Done
+	case YieldFailed:
+		p.state = Failed
+	}
+	return y
+}
+
+// Runnable reports whether the process can make progress: Ready, or
+// Blocked with a now-satisfied condition.
+func (p *Process) Runnable() bool {
+	switch p.state {
+	case Ready:
+		return true
+	case Blocked:
+		return p.last.CanRun == nil || p.last.CanRun()
+	}
+	return false
+}
+
+// Kill tears down a not-yet-finished process goroutine (used on abnormal
+// engine shutdown). It is a no-op for Done/Failed processes.
+func (p *Process) Kill() {
+	switch p.state {
+	case Ready, Blocked:
+		p.resume <- resumeMsg{kill: true}
+		p.state = Failed
+	}
+}
+
+// Ctx is the execution context handed to a task body. All methods must be
+// called from the task goroutine only.
+type Ctx struct {
+	proc *Process
+
+	core   *cpu.Core
+	memsys Memory
+	budget int64
+
+	fetchCursor uint64
+	instrAccum  uint64
+	lineSize    uint64
+	consumed    uint64 // execution + stall cycles attributed to this task
+}
+
+func newCtx(p *Process) *Ctx {
+	return &Ctx{proc: p, lineSize: 64}
+}
+
+// awaitResume parks the goroutine until the engine grants a slice.
+func (c *Ctx) awaitResume() {
+	m := <-c.proc.resume
+	if m.kill {
+		panic(killSignal{})
+	}
+	c.core = m.core
+	c.memsys = m.mem
+	c.budget = m.budget
+}
+
+// yieldAndWait hands control back and parks until the next slice.
+func (c *Ctx) yieldAndWait(y Yield) {
+	c.proc.yield <- y
+	c.awaitResume()
+}
+
+// maybeYield yields when the slice budget is exhausted.
+func (c *Ctx) maybeYield() {
+	if c.budget <= 0 {
+		c.yieldAndWait(Yield{Reason: YieldQuantum})
+	}
+}
+
+// WaitFor blocks the task until cond holds. It is the primitive beneath
+// FIFO read/write and is exported for custom synchronization in tests.
+func (c *Ctx) WaitFor(cond func() bool, on *FIFO) {
+	for !cond() {
+		c.yieldAndWait(Yield{Reason: YieldBlocked, CanRun: cond, On: on})
+	}
+}
+
+// Process returns the owning process.
+func (c *Ctx) Process() *Process { return c.proc }
+
+// Core returns the core currently executing the task (valid inside the
+// body between resumes; the scheduler may migrate the task).
+func (c *Ctx) Core() *cpu.Core { return c.core }
+
+// Heap returns the task's heap region.
+func (c *Ctx) Heap() *mem.Region { return c.proc.Heap }
+
+// Now returns the local time of the current core.
+func (c *Ctx) Now() uint64 { return c.core.Now() }
+
+// Exec retires n instructions: advances time by n*BaseCPI and issues one
+// instruction fetch per cache line's worth of instructions (4-byte
+// instruction words), cycling through the task's hot code footprint.
+func (c *Ctx) Exec(n uint64) {
+	hot := c.proc.HotCode
+	if hot == 0 || hot > c.proc.Code.Size {
+		hot = c.proc.Code.Size
+	}
+	instrPerLine := c.lineSize / 4
+	for n > 0 {
+		step := instrPerLine - c.instrAccum%instrPerLine
+		if step > n {
+			step = n
+		}
+		cyc := c.core.Exec(step)
+		c.budget -= int64(cyc)
+		c.consumed += cyc
+		c.instrAccum += step
+		n -= step
+		if c.instrAccum%instrPerLine == 0 {
+			a := trace.Access{
+				Addr:   c.proc.Code.Base + c.fetchCursor,
+				Size:   uint8(c.lineSize),
+				Op:     trace.Fetch,
+				Region: c.proc.Code.ID,
+			}
+			c.charge(a)
+			c.fetchCursor += c.lineSize
+			if c.fetchCursor >= hot {
+				c.fetchCursor = 0
+			}
+		}
+		c.maybeYield()
+	}
+}
+
+// charge sends one access through the memory system and stalls the core.
+func (c *Ctx) charge(a trace.Access) {
+	lat := c.memsys.AccessAt(a, c.core.Now())
+	c.core.Stall(lat)
+	c.budget -= int64(lat)
+	c.consumed += lat
+}
+
+// access issues a data access and yields if the budget ran out.
+func (c *Ctx) access(a trace.Access) {
+	c.charge(a)
+	c.maybeYield()
+}
+
+// Load32 reads a 32-bit word from a region, charging the access.
+func (c *Ctx) Load32(r *mem.Region, off uint64) uint32 {
+	v, err := r.Load32(off)
+	if err != nil {
+		panic(err)
+	}
+	c.access(trace.Access{Addr: r.Base + off, Size: 4, Op: trace.Read, Region: r.ID})
+	return v
+}
+
+// Store32 writes a 32-bit word to a region, charging the access.
+func (c *Ctx) Store32(r *mem.Region, off uint64, v uint32) {
+	if err := r.Store32(off, v); err != nil {
+		panic(err)
+	}
+	c.access(trace.Access{Addr: r.Base + off, Size: 4, Op: trace.Write, Region: r.ID})
+}
+
+// Load8 reads one byte from a region, charging the access.
+func (c *Ctx) Load8(r *mem.Region, off uint64) byte {
+	v, err := r.Load8(off)
+	if err != nil {
+		panic(err)
+	}
+	c.access(trace.Access{Addr: r.Base + off, Size: 1, Op: trace.Read, Region: r.ID})
+	return v
+}
+
+// Store8 writes one byte to a region, charging the access.
+func (c *Ctx) Store8(r *mem.Region, off uint64, v byte) {
+	if err := r.Store8(off, v); err != nil {
+		panic(err)
+	}
+	c.access(trace.Access{Addr: r.Base + off, Size: 1, Op: trace.Write, Region: r.ID})
+}
+
+// LoadBytes copies len(dst) bytes out of a region with word-granular
+// charged accesses, the pattern of a memcpy loop.
+func (c *Ctx) LoadBytes(r *mem.Region, off uint64, dst []byte) {
+	backing := r.Bytes()
+	if off+uint64(len(dst)) > r.Size {
+		panic(fmt.Sprintf("kpn: LoadBytes out of range: %s off=%d len=%d", r.Name, off, len(dst)))
+	}
+	copy(dst, backing[off:off+uint64(len(dst))])
+	c.chargeBulk(r, off, uint64(len(dst)), trace.Read)
+}
+
+// StoreBytes copies src into a region with word-granular charged accesses.
+func (c *Ctx) StoreBytes(r *mem.Region, off uint64, src []byte) {
+	backing := r.Bytes()
+	if off+uint64(len(src)) > r.Size {
+		panic(fmt.Sprintf("kpn: StoreBytes out of range: %s off=%d len=%d", r.Name, off, len(src)))
+	}
+	copy(backing[off:off+uint64(len(src))], src)
+	c.chargeBulk(r, off, uint64(len(src)), trace.Write)
+}
+
+// chargeBulk issues one 4-byte access per word of a bulk transfer.
+func (c *Ctx) chargeBulk(r *mem.Region, off, n uint64, op trace.Op) {
+	for done := uint64(0); done < n; done += 4 {
+		sz := n - done
+		if sz > 4 {
+			sz = 4
+		}
+		c.access(trace.Access{Addr: r.Base + off + done, Size: uint8(sz), Op: op, Region: r.ID})
+	}
+}

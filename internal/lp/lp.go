@@ -1,0 +1,368 @@
+// Package lp is a dense two-phase primal simplex solver for linear
+// programs in the form
+//
+//	minimize    c·x
+//	subject to  A x (≤ | = | ≥) b,   x ≥ 0
+//
+// It is the LP-relaxation engine beneath the branch-and-bound ILP solver
+// (internal/ilp) used to solve the paper's cache-partitioning program
+// exactly. Bland's rule is used for anti-cycling; the implementation is
+// dense, which is ample for the few-hundred-variable programs of the
+// reproduction.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Rel is a constraint relation.
+type Rel uint8
+
+// Constraint relations.
+const (
+	LE Rel = iota // ≤
+	EQ            // =
+	GE            // ≥
+)
+
+// String implements fmt.Stringer.
+func (r Rel) String() string {
+	switch r {
+	case LE:
+		return "<="
+	case EQ:
+		return "="
+	case GE:
+		return ">="
+	}
+	return fmt.Sprintf("rel(%d)", uint8(r))
+}
+
+// Constraint is one row: Coef·x Rel RHS.
+type Constraint struct {
+	Coef []float64
+	Rel  Rel
+	RHS  float64
+}
+
+// Problem is a minimization LP over n nonnegative variables.
+type Problem struct {
+	Objective   []float64 // length n
+	Constraints []Constraint
+}
+
+// Status describes the solver outcome.
+type Status uint8
+
+// Solver outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	}
+	return fmt.Sprintf("status(%d)", uint8(s))
+}
+
+// Solution is an optimal point.
+type Solution struct {
+	Status Status
+	X      []float64
+	Value  float64
+}
+
+// Errors returned by Solve.
+var (
+	ErrDimension = errors.New("lp: constraint dimension mismatch")
+	ErrIteration = errors.New("lp: iteration limit exceeded")
+)
+
+const eps = 1e-9
+
+// Solve runs two-phase simplex and returns the solution. Status is
+// Infeasible or Unbounded when no optimum exists (X is nil then).
+func (p *Problem) Solve() (*Solution, error) {
+	n := len(p.Objective)
+	for i, c := range p.Constraints {
+		if len(c.Coef) != n {
+			return nil, fmt.Errorf("%w: row %d has %d coefficients, want %d",
+				ErrDimension, i, len(c.Coef), n)
+		}
+	}
+	t := newTableau(p)
+	// Phase 1: drive artificial variables out.
+	if t.numArtificial > 0 {
+		t.setPhase1Objective()
+		if err := t.iterate(); err != nil {
+			return nil, err
+		}
+		if t.objectiveValue() > eps {
+			return &Solution{Status: Infeasible}, nil
+		}
+		if err := t.dropArtificials(); err != nil {
+			return nil, err
+		}
+	}
+	// Phase 2: the real objective.
+	t.setPhase2Objective(p.Objective)
+	switch err := t.iterate(); {
+	case errors.Is(err, errUnbounded):
+		return &Solution{Status: Unbounded}, nil
+	case err != nil:
+		return nil, err
+	}
+	x := t.extract(n)
+	val := 0.0
+	for j, c := range p.Objective {
+		val += c * x[j]
+	}
+	return &Solution{Status: Optimal, X: x, Value: val}, nil
+}
+
+var errUnbounded = errors.New("lp: unbounded")
+
+// tableau holds the simplex state. Columns: n structural, then slack /
+// surplus, then artificial, then RHS. Row 0 is the objective (stored as
+// reduced costs, minimization).
+type tableau struct {
+	m, n          int // constraints, structural variables
+	cols          int // total variable columns (excl. RHS)
+	numArtificial int
+	artStart      int
+	a             [][]float64 // (m+1) x (cols+1); row 0 = objective
+	basis         []int       // basic variable per row 1..m
+	phase1        bool
+}
+
+func newTableau(p *Problem) *tableau {
+	m, n := len(p.Constraints), len(p.Objective)
+	slacks := 0
+	arts := 0
+	for _, c := range p.Constraints {
+		rhs := c.RHS
+		rel := c.Rel
+		if rhs < 0 {
+			rel = flip(rel)
+		}
+		switch rel {
+		case LE:
+			slacks++
+		case GE:
+			slacks++
+			arts++
+		case EQ:
+			arts++
+		}
+	}
+	t := &tableau{
+		m: m, n: n,
+		cols:          n + slacks + arts,
+		numArtificial: arts,
+		artStart:      n + slacks,
+		basis:         make([]int, m),
+	}
+	t.a = make([][]float64, m+1)
+	for i := range t.a {
+		t.a[i] = make([]float64, t.cols+1)
+	}
+	si, ai := n, t.artStart
+	for i, c := range p.Constraints {
+		row := t.a[i+1]
+		sign := 1.0
+		rel := c.Rel
+		if c.RHS < 0 {
+			sign = -1
+			rel = flip(rel)
+		}
+		for j, v := range c.Coef {
+			row[j] = sign * v
+		}
+		row[t.cols] = sign * c.RHS
+		switch rel {
+		case LE:
+			row[si] = 1
+			t.basis[i] = si
+			si++
+		case GE:
+			row[si] = -1
+			si++
+			row[ai] = 1
+			t.basis[i] = ai
+			ai++
+		case EQ:
+			row[ai] = 1
+			t.basis[i] = ai
+			ai++
+		}
+	}
+	return t
+}
+
+func flip(r Rel) Rel {
+	switch r {
+	case LE:
+		return GE
+	case GE:
+		return LE
+	}
+	return EQ
+}
+
+// setPhase1Objective sets row 0 to minimize the sum of artificials,
+// expressed in terms of the nonbasic variables.
+func (t *tableau) setPhase1Objective() {
+	t.phase1 = true
+	obj := t.a[0]
+	for j := range obj {
+		obj[j] = 0
+	}
+	for j := t.artStart; j < t.artStart+t.numArtificial; j++ {
+		obj[j] = 1
+	}
+	// Price out basic artificials.
+	for i, b := range t.basis {
+		if b >= t.artStart {
+			row := t.a[i+1]
+			for j := 0; j <= t.cols; j++ {
+				obj[j] -= row[j]
+			}
+		}
+	}
+}
+
+// setPhase2Objective installs the real objective priced out over the
+// current basis.
+func (t *tableau) setPhase2Objective(c []float64) {
+	t.phase1 = false
+	obj := t.a[0]
+	for j := range obj {
+		obj[j] = 0
+	}
+	copy(obj, c)
+	for i, b := range t.basis {
+		if b < len(c) && c[b] != 0 {
+			row := t.a[i+1]
+			cb := c[b]
+			for j := 0; j <= t.cols; j++ {
+				obj[j] -= cb * row[j]
+			}
+		}
+	}
+}
+
+// objectiveValue returns the current objective (min sense).
+func (t *tableau) objectiveValue() float64 { return -t.a[0][t.cols] }
+
+// iterate performs simplex pivots until optimal or unbounded.
+func (t *tableau) iterate() error {
+	limit := 200 * (t.m + t.cols + 10)
+	for iter := 0; iter < limit; iter++ {
+		// Entering: Bland's rule (lowest index with negative reduced cost).
+		enter := -1
+		for j := 0; j < t.cols; j++ {
+			if t.phase1 == false && j >= t.artStart && j < t.artStart+t.numArtificial {
+				continue // artificials are barred in phase 2
+			}
+			if t.a[0][j] < -eps {
+				enter = j
+				break
+			}
+		}
+		if enter < 0 {
+			return nil // optimal
+		}
+		// Leaving: min ratio, ties by lowest basis index (Bland).
+		leave := -1
+		best := math.Inf(1)
+		for i := 1; i <= t.m; i++ {
+			col := t.a[i][enter]
+			if col > eps {
+				ratio := t.a[i][t.cols] / col
+				if ratio < best-eps || (ratio < best+eps && (leave < 0 || t.basis[i-1] < t.basis[leave-1])) {
+					best = ratio
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			return errUnbounded
+		}
+		t.pivot(leave, enter)
+	}
+	return ErrIteration
+}
+
+func (t *tableau) pivot(row, col int) {
+	pr := t.a[row]
+	pv := pr[col]
+	for j := 0; j <= t.cols; j++ {
+		pr[j] /= pv
+	}
+	for i := 0; i <= t.m; i++ {
+		if i == row {
+			continue
+		}
+		f := t.a[i][col]
+		if f == 0 {
+			continue
+		}
+		ri := t.a[i]
+		for j := 0; j <= t.cols; j++ {
+			ri[j] -= f * pr[j]
+		}
+	}
+	t.basis[row-1] = col
+}
+
+// dropArtificials pivots any artificial variable out of the basis after a
+// feasible phase 1, so phase 2 never reintroduces them.
+func (t *tableau) dropArtificials() error {
+	for i := 1; i <= t.m; i++ {
+		if t.basis[i-1] < t.artStart {
+			continue
+		}
+		// Degenerate basic artificial (value 0): pivot in any real
+		// column with a nonzero entry, else the row is redundant.
+		pivoted := false
+		for j := 0; j < t.artStart; j++ {
+			if math.Abs(t.a[i][j]) > eps {
+				t.pivot(i, j)
+				pivoted = true
+				break
+			}
+		}
+		if !pivoted {
+			// Redundant row: zero it (keeps indices stable).
+			for j := 0; j <= t.cols; j++ {
+				t.a[i][j] = 0
+			}
+		}
+	}
+	return nil
+}
+
+// extract reads the first n variable values off the basis.
+func (t *tableau) extract(n int) []float64 {
+	x := make([]float64, n)
+	for i, b := range t.basis {
+		if b < n {
+			x[b] = t.a[i+1][t.cols]
+			if x[b] < 0 && x[b] > -eps {
+				x[b] = 0
+			}
+		}
+	}
+	return x
+}

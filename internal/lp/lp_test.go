@@ -1,0 +1,281 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func solve(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestRelString(t *testing.T) {
+	if LE.String() != "<=" || EQ.String() != "=" || GE.String() != ">=" {
+		t.Error("rel strings wrong")
+	}
+	if Rel(9).String() != "rel(9)" {
+		t.Error("unknown rel string")
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" ||
+		Unbounded.String() != "unbounded" || Status(9).String() != "status(9)" {
+		t.Error("status strings wrong")
+	}
+}
+
+func TestSimpleLE(t *testing.T) {
+	// min -x-y  s.t. x+y <= 4, x <= 2  -> x=2,y=2, value -4
+	p := &Problem{
+		Objective: []float64{-1, -1},
+		Constraints: []Constraint{
+			{Coef: []float64{1, 1}, Rel: LE, RHS: 4},
+			{Coef: []float64{1, 0}, Rel: LE, RHS: 2},
+		},
+	}
+	s := solve(t, p)
+	if s.Status != Optimal || !approx(s.Value, -4) {
+		t.Fatalf("solution = %+v", s)
+	}
+	if !approx(s.X[0], 2) || !approx(s.X[1], 2) {
+		t.Errorf("x = %v", s.X)
+	}
+}
+
+func TestEquality(t *testing.T) {
+	// min x+2y s.t. x+y = 3, x <= 1 -> x=1, y=2, value 5
+	p := &Problem{
+		Objective: []float64{1, 2},
+		Constraints: []Constraint{
+			{Coef: []float64{1, 1}, Rel: EQ, RHS: 3},
+			{Coef: []float64{1, 0}, Rel: LE, RHS: 1},
+		},
+	}
+	s := solve(t, p)
+	if s.Status != Optimal || !approx(s.Value, 5) {
+		t.Fatalf("solution = %+v", s)
+	}
+}
+
+func TestGE(t *testing.T) {
+	// min 2x+3y s.t. x+y >= 4, x >= 1 -> x=4,y=0, value 8
+	p := &Problem{
+		Objective: []float64{2, 3},
+		Constraints: []Constraint{
+			{Coef: []float64{1, 1}, Rel: GE, RHS: 4},
+			{Coef: []float64{1, 0}, Rel: GE, RHS: 1},
+		},
+	}
+	s := solve(t, p)
+	if s.Status != Optimal || !approx(s.Value, 8) {
+		t.Fatalf("solution = %+v", s)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := &Problem{
+		Objective: []float64{1},
+		Constraints: []Constraint{
+			{Coef: []float64{1}, Rel: LE, RHS: 1},
+			{Coef: []float64{1}, Rel: GE, RHS: 2},
+		},
+	}
+	s := solve(t, p)
+	if s.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := &Problem{
+		Objective: []float64{-1},
+		Constraints: []Constraint{
+			{Coef: []float64{1}, Rel: GE, RHS: 0},
+		},
+	}
+	s := solve(t, p)
+	if s.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", s.Status)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// min x s.t. -x <= -3  (i.e. x >= 3)
+	p := &Problem{
+		Objective: []float64{1},
+		Constraints: []Constraint{
+			{Coef: []float64{-1}, Rel: LE, RHS: -3},
+		},
+	}
+	s := solve(t, p)
+	if s.Status != Optimal || !approx(s.Value, 3) {
+		t.Fatalf("solution = %+v", s)
+	}
+}
+
+func TestDimensionMismatch(t *testing.T) {
+	p := &Problem{
+		Objective:   []float64{1, 2},
+		Constraints: []Constraint{{Coef: []float64{1}, Rel: LE, RHS: 1}},
+	}
+	if _, err := p.Solve(); err == nil {
+		t.Fatal("dimension mismatch not detected")
+	}
+}
+
+func TestDegenerate(t *testing.T) {
+	// Classic degenerate LP; Bland's rule must terminate.
+	p := &Problem{
+		Objective: []float64{-0.75, 150, -0.02, 6},
+		Constraints: []Constraint{
+			{Coef: []float64{0.25, -60, -0.04, 9}, Rel: LE, RHS: 0},
+			{Coef: []float64{0.5, -90, -0.02, 3}, Rel: LE, RHS: 0},
+			{Coef: []float64{0, 0, 1, 0}, Rel: LE, RHS: 1},
+		},
+	}
+	s := solve(t, p)
+	if s.Status != Optimal || !approx(s.Value, -0.05) {
+		t.Fatalf("solution = %+v, want value -0.05", s)
+	}
+}
+
+func TestRedundantEqualities(t *testing.T) {
+	// x+y=2 stated twice: phase 1 must cope with the redundant row.
+	p := &Problem{
+		Objective: []float64{1, 1},
+		Constraints: []Constraint{
+			{Coef: []float64{1, 1}, Rel: EQ, RHS: 2},
+			{Coef: []float64{2, 2}, Rel: EQ, RHS: 4},
+		},
+	}
+	s := solve(t, p)
+	if s.Status != Optimal || !approx(s.Value, 2) {
+		t.Fatalf("solution = %+v", s)
+	}
+}
+
+func TestMCKPRelaxationShape(t *testing.T) {
+	// Tiny instance of the paper's program: 2 entities, sizes {1,2} with
+	// misses {10,4} and {8,2}, capacity 3.
+	// Vars: x11 x12 x21 x22. Expect the integral optimum (x12=1, x21=1 ->
+	// 4+8=12 or x11=1,x22=1 -> 10+2=12): LP value <= 12.
+	p := &Problem{
+		Objective: []float64{10, 4, 8, 2},
+		Constraints: []Constraint{
+			{Coef: []float64{1, 1, 0, 0}, Rel: EQ, RHS: 1},
+			{Coef: []float64{0, 0, 1, 1}, Rel: EQ, RHS: 1},
+			{Coef: []float64{1, 2, 1, 2}, Rel: LE, RHS: 3},
+			{Coef: []float64{1, 0, 0, 0}, Rel: LE, RHS: 1},
+			{Coef: []float64{0, 1, 0, 0}, Rel: LE, RHS: 1},
+			{Coef: []float64{0, 0, 1, 0}, Rel: LE, RHS: 1},
+			{Coef: []float64{0, 0, 0, 1}, Rel: LE, RHS: 1},
+		},
+	}
+	s := solve(t, p)
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	if s.Value > 12+1e-6 {
+		t.Errorf("LP bound %v exceeds integral optimum 12", s.Value)
+	}
+}
+
+// Property: simplex optimum matches brute-force vertex enumeration on
+// random small bounded LPs (2 vars, box-bounded).
+func TestMatchesBruteForceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := []float64{rng.Float64()*4 - 2, rng.Float64()*4 - 2}
+		// Constraints: x <= bx, y <= by, a1 x + a2 y <= r (all coeffs > 0
+		// so the region is bounded and nonempty).
+		bx, by := rng.Float64()*5+0.5, rng.Float64()*5+0.5
+		a1, a2 := rng.Float64()+0.1, rng.Float64()+0.1
+		r := rng.Float64()*6 + 0.5
+		p := &Problem{
+			Objective: c,
+			Constraints: []Constraint{
+				{Coef: []float64{1, 0}, Rel: LE, RHS: bx},
+				{Coef: []float64{0, 1}, Rel: LE, RHS: by},
+				{Coef: []float64{a1, a2}, Rel: LE, RHS: r},
+			},
+		}
+		s, err := p.Solve()
+		if err != nil || s.Status != Optimal {
+			return false
+		}
+		// Brute force over a fine grid (coarse lower bound check).
+		best := math.Inf(1)
+		const steps = 60
+		for i := 0; i <= steps; i++ {
+			for j := 0; j <= steps; j++ {
+				x := bx * float64(i) / steps
+				y := by * float64(j) / steps
+				if a1*x+a2*y <= r+1e-12 {
+					if v := c[0]*x + c[1]*y; v < best {
+						best = v
+					}
+				}
+			}
+		}
+		// Simplex must be at least as good as any grid point.
+		return s.Value <= best+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the solution returned always satisfies every constraint.
+func TestSolutionFeasibleProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(4) + 2
+		m := rng.Intn(4) + 1
+		p := &Problem{Objective: make([]float64, n)}
+		for j := range p.Objective {
+			p.Objective[j] = rng.Float64() * 3 // nonneg: bounded below
+		}
+		for i := 0; i < m; i++ {
+			c := Constraint{Coef: make([]float64, n), Rel: GE, RHS: rng.Float64() * 4}
+			for j := range c.Coef {
+				c.Coef[j] = rng.Float64() + 0.05
+			}
+			p.Constraints = append(p.Constraints, c)
+		}
+		s, err := p.Solve()
+		if err != nil {
+			return false
+		}
+		if s.Status != Optimal {
+			return false // these instances are always feasible & bounded
+		}
+		for _, c := range p.Constraints {
+			lhs := 0.0
+			for j := range c.Coef {
+				lhs += c.Coef[j] * s.X[j]
+			}
+			if lhs < c.RHS-1e-6 {
+				return false
+			}
+		}
+		for _, x := range s.X {
+			if x < -1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

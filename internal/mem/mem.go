@@ -1,0 +1,297 @@
+// Package mem models the simulated linear address space of a CAKE tile.
+//
+// Every memory-active entity of an application — task code, task stack,
+// task heap, the shared data/bss sections, the run-time system sections,
+// inter-task FIFO buffers and frame buffers — is allocated a named Region
+// of the address space. Regions carry backing storage so that the
+// workloads in internal/apps compute on real bytes, and a region id so
+// that the partitionable L2 cache in internal/cache can translate the
+// index bits of each access according to the owning entity (the interval
+// table scheme of Molnos et al., DATE 2005, section 4.2).
+package mem
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Kind classifies a region by the role it plays in the application,
+// mirroring the entity classes of the paper: task-private sections,
+// shared static sections, and communication buffers.
+type Kind uint8
+
+// Region kinds. Code, Stack and Heap are private to one task; Data, BSS,
+// RTData and RTBSS are shared static sections; FIFO and Frame are the
+// inter-task communication buffers that receive their own exclusive
+// cache partitions.
+const (
+	KindCode Kind = iota
+	KindData
+	KindBSS
+	KindStack
+	KindHeap
+	KindFIFO
+	KindFrame
+	KindRTData
+	KindRTBSS
+	kindCount
+)
+
+var kindNames = [...]string{
+	KindCode:   "code",
+	KindData:   "data",
+	KindBSS:    "bss",
+	KindStack:  "stack",
+	KindHeap:   "heap",
+	KindFIFO:   "fifo",
+	KindFrame:  "frame",
+	KindRTData: "rt-data",
+	KindRTBSS:  "rt-bss",
+}
+
+// String returns the lower-case name of the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Shared reports whether regions of this kind are accessed by more than
+// one task and therefore need their own exclusive cache partition for the
+// system to be compositional (paper, section 3).
+func (k Kind) Shared() bool {
+	switch k {
+	case KindData, KindBSS, KindFIFO, KindFrame, KindRTData, KindRTBSS:
+		return true
+	}
+	return false
+}
+
+// RegionID identifies a region within one AddressSpace. IDs are dense,
+// starting at 0, so they index slices in the cache statistics.
+type RegionID int32
+
+// NoRegion is returned by lookups for addresses outside every region.
+const NoRegion RegionID = -1
+
+// Region is a contiguous, named range of the simulated address space.
+type Region struct {
+	ID    RegionID
+	Name  string
+	Kind  Kind
+	Owner string // task name for private regions, "" for shared ones
+	Base  uint64
+	Size  uint64
+
+	data []byte // backing storage, allocated lazily
+}
+
+// End returns the first address past the region.
+func (r *Region) End() uint64 { return r.Base + r.Size }
+
+// Contains reports whether addr falls inside the region.
+func (r *Region) Contains(addr uint64) bool {
+	return addr >= r.Base && addr < r.Base+r.Size
+}
+
+// String implements fmt.Stringer.
+func (r *Region) String() string {
+	return fmt.Sprintf("%s[%s %#x+%#x]", r.Name, r.Kind, r.Base, r.Size)
+}
+
+func (r *Region) backing() []byte {
+	if r.data == nil {
+		r.data = make([]byte, r.Size)
+	}
+	return r.data
+}
+
+// Errors returned by AddressSpace and Region operations.
+var (
+	ErrOutOfRange = errors.New("mem: access outside region bounds")
+	ErrZeroSize   = errors.New("mem: zero-sized region")
+	ErrExhausted  = errors.New("mem: address space exhausted")
+)
+
+// Load8 reads one byte at the given offset into the region.
+func (r *Region) Load8(off uint64) (byte, error) {
+	if off >= r.Size {
+		return 0, fmt.Errorf("%w: %s off=%#x", ErrOutOfRange, r.Name, off)
+	}
+	return r.backing()[off], nil
+}
+
+// Store8 writes one byte at the given offset into the region.
+func (r *Region) Store8(off uint64, v byte) error {
+	if off >= r.Size {
+		return fmt.Errorf("%w: %s off=%#x", ErrOutOfRange, r.Name, off)
+	}
+	r.backing()[off] = v
+	return nil
+}
+
+// Load32 reads a little-endian 32-bit word at the given offset.
+func (r *Region) Load32(off uint64) (uint32, error) {
+	if off+4 > r.Size {
+		return 0, fmt.Errorf("%w: %s off=%#x", ErrOutOfRange, r.Name, off)
+	}
+	b := r.backing()[off : off+4]
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24, nil
+}
+
+// Store32 writes a little-endian 32-bit word at the given offset.
+func (r *Region) Store32(off uint64, v uint32) error {
+	if off+4 > r.Size {
+		return fmt.Errorf("%w: %s off=%#x", ErrOutOfRange, r.Name, off)
+	}
+	b := r.backing()[off : off+4]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	return nil
+}
+
+// Bytes exposes the backing storage of the region. The returned slice
+// aliases the region contents; it is intended for bulk initialization and
+// verification in tests and workload generators, not for modelling
+// accesses (which must go through a platform context so they are traced).
+func (r *Region) Bytes() []byte { return r.backing() }
+
+// AddressSpace is an append-only allocator of non-overlapping regions in
+// one linear address range, as seen by the shared L2 cache of a tile.
+type AddressSpace struct {
+	regions []*Region
+	next    uint64
+	align   uint64
+	limit   uint64
+}
+
+// DefaultAlign is the region alignment used by NewAddressSpace: one
+// typical L2 line, so distinct regions never share a cache line.
+const DefaultAlign = 64
+
+// NewAddressSpace returns an empty address space starting at a non-zero
+// base (so that address 0 is never valid) with DefaultAlign alignment and
+// a 4 GiB limit, matching the 32-bit linear addressing of the CAKE tile.
+func NewAddressSpace() *AddressSpace {
+	return &AddressSpace{next: 0x1000, align: DefaultAlign, limit: 1 << 32}
+}
+
+// SetAlign changes the region alignment. It must be called before any
+// allocation and align must be a power of two.
+func (as *AddressSpace) SetAlign(align uint64) {
+	if align == 0 || align&(align-1) != 0 {
+		panic(fmt.Sprintf("mem: alignment %d is not a power of two", align))
+	}
+	if len(as.regions) > 0 {
+		panic("mem: SetAlign after allocation")
+	}
+	as.align = align
+}
+
+// BuddyAlignCap caps the power-of-two alignment of large regions at the
+// way size of the default L2 (2048 sets × 64 B): regions of at least this
+// size cover every cache set anyway.
+const BuddyAlignCap = 128 * 1024
+
+// Alloc carves a new region of the given size out of the address space.
+// The owner is the task name for private regions and "" for shared ones.
+//
+// Like the buddy allocators and loaders of real embedded systems, regions
+// are aligned to their size rounded up to a power of two (capped at
+// BuddyAlignCap). This is what makes the conventional shared cache
+// non-compositional in exactly the paper's sense: independently allocated
+// buffers and tables land on overlapping set ranges "depending on their
+// addresses", flushing each other in ways no task can predict. The
+// partitioning scheme removes the dependence by re-indexing per entity.
+func (as *AddressSpace) Alloc(name string, kind Kind, owner string, size uint64) (*Region, error) {
+	if size == 0 {
+		return nil, fmt.Errorf("%w: %q", ErrZeroSize, name)
+	}
+	align := as.align
+	for align < size && align < BuddyAlignCap {
+		align <<= 1
+	}
+	base := (as.next + align - 1) &^ (align - 1)
+	if base+size < base || base+size > as.limit {
+		return nil, fmt.Errorf("%w: allocating %q (%d bytes)", ErrExhausted, name, size)
+	}
+	r := &Region{
+		ID:    RegionID(len(as.regions)),
+		Name:  name,
+		Kind:  kind,
+		Owner: owner,
+		Base:  base,
+		Size:  size,
+	}
+	as.regions = append(as.regions, r)
+	as.next = base + size
+	return r, nil
+}
+
+// MustAlloc is Alloc that panics on error; it is used during application
+// construction where allocation failure is a programming error.
+func (as *AddressSpace) MustAlloc(name string, kind Kind, owner string, size uint64) *Region {
+	r, err := as.Alloc(name, kind, owner, size)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Regions returns all regions in allocation (and therefore address) order.
+// The returned slice must not be modified.
+func (as *AddressSpace) Regions() []*Region { return as.regions }
+
+// NumRegions returns the number of allocated regions.
+func (as *AddressSpace) NumRegions() int { return len(as.regions) }
+
+// Region returns the region with the given id, or nil if out of range.
+func (as *AddressSpace) Region(id RegionID) *Region {
+	if id < 0 || int(id) >= len(as.regions) {
+		return nil
+	}
+	return as.regions[id]
+}
+
+// ByName returns the first region with the given name, or nil.
+func (as *AddressSpace) ByName(name string) *Region {
+	for _, r := range as.regions {
+		if r.Name == name {
+			return r
+		}
+	}
+	return nil
+}
+
+// Find returns the region containing addr, or nil. Regions are allocated
+// in increasing address order, so a binary search suffices.
+func (as *AddressSpace) Find(addr uint64) *Region {
+	i := sort.Search(len(as.regions), func(i int) bool {
+		return as.regions[i].End() > addr
+	})
+	if i < len(as.regions) && as.regions[i].Contains(addr) {
+		return as.regions[i]
+	}
+	return nil
+}
+
+// FindID returns the id of the region containing addr, or NoRegion.
+func (as *AddressSpace) FindID(addr uint64) RegionID {
+	if r := as.Find(addr); r != nil {
+		return r.ID
+	}
+	return NoRegion
+}
+
+// TotalAllocated returns the sum of all region sizes in bytes.
+func (as *AddressSpace) TotalAllocated() uint64 {
+	var t uint64
+	for _, r := range as.regions {
+		t += r.Size
+	}
+	return t
+}

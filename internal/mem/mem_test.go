@@ -1,0 +1,280 @@
+package mem
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindCode:   "code",
+		KindData:   "data",
+		KindBSS:    "bss",
+		KindStack:  "stack",
+		KindHeap:   "heap",
+		KindFIFO:   "fifo",
+		KindFrame:  "frame",
+		KindRTData: "rt-data",
+		KindRTBSS:  "rt-bss",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+	if got := Kind(200).String(); got != "kind(200)" {
+		t.Errorf("unknown kind string = %q", got)
+	}
+}
+
+func TestKindShared(t *testing.T) {
+	shared := []Kind{KindData, KindBSS, KindFIFO, KindFrame, KindRTData, KindRTBSS}
+	private := []Kind{KindCode, KindStack, KindHeap}
+	for _, k := range shared {
+		if !k.Shared() {
+			t.Errorf("%v.Shared() = false, want true", k)
+		}
+	}
+	for _, k := range private {
+		if k.Shared() {
+			t.Errorf("%v.Shared() = true, want false", k)
+		}
+	}
+}
+
+func TestAllocBasics(t *testing.T) {
+	as := NewAddressSpace()
+	r1 := as.MustAlloc("t0.code", KindCode, "t0", 4096)
+	r2 := as.MustAlloc("t0.stack", KindStack, "t0", 8192)
+
+	if r1.ID != 0 || r2.ID != 1 {
+		t.Fatalf("ids = %d,%d, want 0,1", r1.ID, r2.ID)
+	}
+	if r1.Base == 0 {
+		t.Error("region base must not be zero")
+	}
+	if r1.End() > r2.Base {
+		t.Errorf("regions overlap: r1 ends %#x, r2 starts %#x", r1.End(), r2.Base)
+	}
+	if r1.Base%DefaultAlign != 0 || r2.Base%DefaultAlign != 0 {
+		t.Errorf("bases not aligned: %#x %#x", r1.Base, r2.Base)
+	}
+	if as.NumRegions() != 2 {
+		t.Errorf("NumRegions = %d, want 2", as.NumRegions())
+	}
+	if as.TotalAllocated() != 4096+8192 {
+		t.Errorf("TotalAllocated = %d", as.TotalAllocated())
+	}
+}
+
+func TestAllocZeroSize(t *testing.T) {
+	as := NewAddressSpace()
+	if _, err := as.Alloc("x", KindData, "", 0); !errors.Is(err, ErrZeroSize) {
+		t.Fatalf("zero alloc err = %v, want ErrZeroSize", err)
+	}
+}
+
+func TestAllocExhausted(t *testing.T) {
+	as := NewAddressSpace()
+	if _, err := as.Alloc("big", KindData, "", 1<<33); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("huge alloc err = %v, want ErrExhausted", err)
+	}
+	// Almost all of the space, then one more that cannot fit.
+	if _, err := as.Alloc("most", KindData, "", (1<<32)-1<<20); err != nil {
+		t.Fatalf("large alloc failed: %v", err)
+	}
+	if _, err := as.Alloc("more", KindData, "", 2<<20); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("overflow alloc err = %v, want ErrExhausted", err)
+	}
+}
+
+func TestMustAllocPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAlloc did not panic on error")
+		}
+	}()
+	as := NewAddressSpace()
+	as.MustAlloc("x", KindData, "", 0)
+}
+
+func TestSetAlign(t *testing.T) {
+	as := NewAddressSpace()
+	as.SetAlign(4096)
+	r := as.MustAlloc("a", KindCode, "t", 100)
+	if r.Base%4096 != 0 {
+		t.Errorf("base %#x not 4096-aligned", r.Base)
+	}
+}
+
+func TestSetAlignPanics(t *testing.T) {
+	t.Run("non-power-of-two", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("no panic for non-power-of-two alignment")
+			}
+		}()
+		NewAddressSpace().SetAlign(3)
+	})
+	t.Run("after-alloc", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("no panic for SetAlign after allocation")
+			}
+		}()
+		as := NewAddressSpace()
+		as.MustAlloc("a", KindCode, "t", 64)
+		as.SetAlign(128)
+	})
+}
+
+func TestFind(t *testing.T) {
+	as := NewAddressSpace()
+	var regs []*Region
+	for i := 0; i < 20; i++ {
+		regs = append(regs, as.MustAlloc("r", KindData, "", uint64(64*(i+1))))
+	}
+	for _, r := range regs {
+		if got := as.Find(r.Base); got != r {
+			t.Errorf("Find(base %#x) = %v, want %v", r.Base, got, r)
+		}
+		if got := as.Find(r.End() - 1); got != r {
+			t.Errorf("Find(end-1 %#x) = %v, want %v", r.End()-1, got, r)
+		}
+	}
+	if as.Find(0) != nil {
+		t.Error("Find(0) should be nil")
+	}
+	if as.Find(1<<40) != nil {
+		t.Error("Find(huge) should be nil")
+	}
+	if as.FindID(regs[3].Base+1) != regs[3].ID {
+		t.Error("FindID mismatch")
+	}
+	if as.FindID(0) != NoRegion {
+		t.Error("FindID(0) should be NoRegion")
+	}
+}
+
+func TestRegionLookupAccessors(t *testing.T) {
+	as := NewAddressSpace()
+	r := as.MustAlloc("only", KindFIFO, "", 256)
+	if as.Region(r.ID) != r {
+		t.Error("Region(id) mismatch")
+	}
+	if as.Region(-1) != nil || as.Region(99) != nil {
+		t.Error("Region out-of-range should be nil")
+	}
+	if as.ByName("only") != r {
+		t.Error("ByName mismatch")
+	}
+	if as.ByName("absent") != nil {
+		t.Error("ByName(absent) should be nil")
+	}
+}
+
+func TestLoadStore(t *testing.T) {
+	as := NewAddressSpace()
+	r := as.MustAlloc("d", KindData, "", 64)
+
+	if err := r.Store8(10, 0xAB); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := r.Load8(10); err != nil || v != 0xAB {
+		t.Fatalf("Load8 = %#x, %v", v, err)
+	}
+	if err := r.Store32(20, 0xDEADBEEF); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := r.Load32(20); err != nil || v != 0xDEADBEEF {
+		t.Fatalf("Load32 = %#x, %v", v, err)
+	}
+	// Little-endian layout.
+	if b, _ := r.Load8(20); b != 0xEF {
+		t.Errorf("byte 0 of stored word = %#x, want 0xEF", b)
+	}
+
+	if _, err := r.Load8(64); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("Load8 OOB err = %v", err)
+	}
+	if err := r.Store8(64, 1); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("Store8 OOB err = %v", err)
+	}
+	if _, err := r.Load32(61); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("Load32 straddling end err = %v", err)
+	}
+	if err := r.Store32(61, 1); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("Store32 straddling end err = %v", err)
+	}
+}
+
+func TestBytesAliasesBacking(t *testing.T) {
+	as := NewAddressSpace()
+	r := as.MustAlloc("d", KindData, "", 16)
+	r.Bytes()[3] = 7
+	if v, _ := r.Load8(3); v != 7 {
+		t.Errorf("Bytes() does not alias backing store: got %d", v)
+	}
+}
+
+func TestRegionString(t *testing.T) {
+	as := NewAddressSpace()
+	r := as.MustAlloc("t1.code", KindCode, "t1", 128)
+	s := r.String()
+	if s == "" || s[0] != 't' {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+// Property: no two regions ever overlap and Find is exact, for random
+// allocation sequences.
+func TestAllocNoOverlapProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		as := NewAddressSpace()
+		count := int(n%32) + 1
+		for i := 0; i < count; i++ {
+			size := uint64(rng.Intn(1<<16) + 1)
+			if _, err := as.Alloc("r", Kind(rng.Intn(int(kindCount))), "", size); err != nil {
+				return false
+			}
+		}
+		regs := as.Regions()
+		for i := 1; i < len(regs); i++ {
+			if regs[i-1].End() > regs[i].Base {
+				return false
+			}
+		}
+		// Random probes resolve to the right region.
+		for i := 0; i < 100; i++ {
+			ri := regs[rng.Intn(len(regs))]
+			off := uint64(rng.Int63n(int64(ri.Size)))
+			if as.Find(ri.Base+off) != ri {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Load32 after Store32 round-trips at any legal offset.
+func TestLoadStoreRoundTripProperty(t *testing.T) {
+	as := NewAddressSpace()
+	r := as.MustAlloc("d", KindData, "", 4096)
+	f := func(off uint16, v uint32) bool {
+		o := uint64(off) % (4096 - 4)
+		if err := r.Store32(o, v); err != nil {
+			return false
+		}
+		got, err := r.Load32(o)
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,135 @@
+package platform
+
+import (
+	"testing"
+
+	"repro/internal/kpn"
+	"repro/internal/mem"
+)
+
+// buildPipelineApp constructs a fresh 3-task pipeline with both compute
+// and memory phases; used to check the engine is fully deterministic.
+func buildPipelineApp() (*mem.AddressSpace, []*kpn.Process) {
+	as := mem.NewAddressSpace()
+	f1 := kpn.MustNewFIFO(as, "f1", 16, 4)
+	f2 := kpn.MustNewFIFO(as, "f2", 16, 4)
+	mk := func(name string, body func(*kpn.Ctx)) *kpn.Process {
+		return &kpn.Process{
+			Name:    name,
+			Body:    body,
+			Code:    as.MustAlloc(name+".code", mem.KindCode, name, 8192),
+			Heap:    as.MustAlloc(name+".heap", mem.KindHeap, name, 32768),
+			HotCode: 2048,
+		}
+	}
+	src := mk("src", func(c *kpn.Ctx) {
+		tok := make([]byte, 16)
+		for i := 0; i < 200; i++ {
+			for j := range tok {
+				tok[j] = byte(i + j)
+			}
+			c.Exec(50)
+			f1.Write(c, tok)
+		}
+		f1.Close()
+	})
+	mid := mk("mid", func(c *kpn.Ctx) {
+		tok := make([]byte, 16)
+		for f1.Read(c, tok) {
+			for off := uint64(0); off < 8192; off += 256 {
+				c.Load32(c.Heap(), off)
+			}
+			c.Exec(80)
+			f2.Write(c, tok)
+		}
+		f2.Close()
+	})
+	sink := mk("sink", func(c *kpn.Ctx) {
+		tok := make([]byte, 16)
+		for f2.Read(c, tok) {
+			c.Store32(c.Heap(), uint64(tok[0])*64, uint32(tok[1]))
+			c.Exec(30)
+		}
+	})
+	return as, []*kpn.Process{src, mid, sink}
+}
+
+// TestEngineDeterministic runs the identical system twice and demands
+// bit-identical results: cycle counts, cache statistics, bus statistics.
+// Determinism is what makes the profile→optimize→validate flow and every
+// experiment in this repository reproducible.
+func TestEngineDeterministic(t *testing.T) {
+	type snapshot struct {
+		makespan uint64
+		instrs   uint64
+		l2       uint64
+		l2miss   uint64
+		bus      uint64
+		switches uint64
+	}
+	runOnce := func() snapshot {
+		as, procs := buildPipelineApp()
+		cfg := Default()
+		cfg.NumCPUs = 2
+		cfg.Sched.Quantum = 3_000
+		pl, err := New(cfg, as, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, p := range procs {
+			if err := pl.AddTask(p, i%2); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := pl.Run(1_000_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return snapshot{
+			makespan: res.Makespan,
+			instrs:   res.TotalInstrs,
+			l2:       res.L2.Accesses,
+			l2miss:   res.L2.Misses,
+			bus:      res.BusStats.Requests,
+			switches: res.Switches,
+		}
+	}
+	a := runOnce()
+	for trial := 0; trial < 3; trial++ {
+		b := runOnce()
+		if a != b {
+			t.Fatalf("run %d diverged: %+v vs %+v", trial, a, b)
+		}
+	}
+}
+
+// TestMigrationDeterministic checks determinism also holds with dynamic
+// scheduling enabled (the engine itself stays sequential).
+func TestMigrationDeterministic(t *testing.T) {
+	runOnce := func() (uint64, uint64) {
+		as, procs := buildPipelineApp()
+		cfg := Default()
+		cfg.NumCPUs = 2
+		cfg.Sched.Quantum = 3_000
+		cfg.Sched.AllowMigration = true
+		pl, err := New(cfg, as, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range procs {
+			if err := pl.AddTask(p, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := pl.Run(1_000_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Makespan, res.L2.Misses
+	}
+	m1, s1 := runOnce()
+	m2, s2 := runOnce()
+	if m1 != m2 || s1 != s2 {
+		t.Fatalf("migration runs diverged: %d/%d vs %d/%d", m1, s1, m2, s2)
+	}
+}

@@ -1,0 +1,316 @@
+// Package platform assembles and drives one CAKE tile (Stravers &
+// Hoogerbrugge, VLSI-TSA 2001; Figure 1 of the paper): N VLIW processors
+// with private L1 caches, a shared partitionable unified L2, a snooping
+// interconnect and interleaved memory banks, all executing one YAPI
+// application under the rtos scheduler.
+//
+// The engine is execution-driven and cycle-approximate: tasks run as
+// cooperative goroutines whose every load, store and instruction fetch is
+// charged through the cache hierarchy at the local time of the processor
+// executing them. The engine always advances the runnable processor with
+// the smallest local clock, so cross-processor event ordering is accurate
+// to within one scheduling quantum.
+package platform
+
+import (
+	"fmt"
+
+	"repro/internal/bus"
+	"repro/internal/cache"
+	"repro/internal/cpu"
+	"repro/internal/kpn"
+	"repro/internal/mem"
+	"repro/internal/rtos"
+	"repro/internal/trace"
+)
+
+// Config describes a tile.
+type Config struct {
+	NumCPUs  int
+	BaseCPI  float64
+	L1       cache.Config
+	L2       cache.Config
+	L1HitLat uint64 // charged on every access (hidden by the pipeline when 0)
+	L2HitLat uint64 // additional stall of an L2 hit
+	Bus      bus.Config
+	Sched    rtos.SchedConfig
+
+	// SwitchTouches is the number of run-time-system data words touched
+	// on every task switch (scheduler state, translation tables), which
+	// is what makes the rt-data/rt-bss rows of Tables 1 and 2 matter.
+	SwitchTouches int
+}
+
+// Default returns the experimental platform of section 5: four
+// TriMedia-class processors, 512 KB 4-way L2 with 64 B lines, and private
+// 16 KB 4-way L1s.
+func Default() Config {
+	return Config{
+		NumCPUs:  4,
+		BaseCPI:  1.0,
+		L1:       cache.Config{Name: "l1", Sets: 64, Ways: 4, LineSize: 64},
+		L2:       cache.Config{Name: "l2", Sets: 2048, Ways: 4, LineSize: 64},
+		L1HitLat: 0,
+		L2HitLat: 11,
+		Bus:      bus.DefaultConfig(),
+		Sched:    rtos.DefaultSchedConfig(),
+
+		SwitchTouches: 32,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.NumCPUs <= 0 {
+		return fmt.Errorf("platform: %d CPUs", c.NumCPUs)
+	}
+	if c.BaseCPI <= 0 {
+		return fmt.Errorf("platform: base CPI %v", c.BaseCPI)
+	}
+	if err := c.L1.Validate(); err != nil {
+		return err
+	}
+	if err := c.L2.Validate(); err != nil {
+		return err
+	}
+	if err := c.Bus.Validate(); err != nil {
+		return err
+	}
+	return c.Sched.Validate()
+}
+
+// Platform is one assembled tile.
+type Platform struct {
+	cfg   Config
+	as    *mem.AddressSpace
+	cores []*cpu.Core
+	l1s   []*cache.Cache
+	l2    *cache.Cache
+	bus   *bus.Bus
+	hiers []*cache.Hierarchy
+	sched *rtos.Scheduler
+
+	rtData *mem.Region
+	rtBSS  *mem.Region
+	rtOff  uint64
+}
+
+// New assembles a tile over an existing address space (the application's
+// regions live there). rtData and rtBSS are the run-time system's shared
+// sections; they may be nil, disabling OS memory traffic.
+func New(cfg Config, as *mem.AddressSpace, rtData, rtBSS *mem.Region) (*Platform, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Platform{cfg: cfg, as: as, rtData: rtData, rtBSS: rtBSS}
+	p.bus = bus.New(cfg.Bus)
+	p.l2 = cache.New(cfg.L2)
+	for i := 0; i < cfg.NumCPUs; i++ {
+		core := cpu.New(cpu.Config{ID: i, Name: fmt.Sprintf("cpu%d", i), BaseCPI: cfg.BaseCPI})
+		l1cfg := cfg.L1
+		l1cfg.Name = fmt.Sprintf("l1.%d", i)
+		l1 := cache.New(l1cfg)
+		h := &cache.Hierarchy{
+			L1:       l1,
+			L2:       p.l2,
+			L1HitLat: cfg.L1HitLat,
+			L2HitLat: cfg.L2HitLat,
+			Mem:      p.bus,
+			L1Cacheable: func(id mem.RegionID) bool {
+				r := as.Region(id)
+				return r != nil && !r.Kind.Shared()
+			},
+			RegionOf: as.FindID,
+		}
+		p.cores = append(p.cores, core)
+		p.l1s = append(p.l1s, l1)
+		p.hiers = append(p.hiers, h)
+	}
+	sched, err := rtos.NewScheduler(cfg.Sched, p.cores)
+	if err != nil {
+		return nil, err
+	}
+	p.sched = sched
+	return p, nil
+}
+
+// Cores returns the tile's processors.
+func (p *Platform) Cores() []*cpu.Core { return p.cores }
+
+// L2 returns the shared cache.
+func (p *Platform) L2() *cache.Cache { return p.l2 }
+
+// L1 returns processor i's private cache.
+func (p *Platform) L1(i int) *cache.Cache { return p.l1s[i] }
+
+// Bus returns the interconnect.
+func (p *Platform) Bus() *bus.Bus { return p.bus }
+
+// Scheduler returns the run-time system scheduler.
+func (p *Platform) Scheduler() *rtos.Scheduler { return p.sched }
+
+// AddressSpace returns the simulated address space.
+func (p *Platform) AddressSpace() *mem.AddressSpace { return p.as }
+
+// AddTask registers a task with a static processor assignment.
+func (p *Platform) AddTask(proc *kpn.Process, cpuIdx int) error {
+	return p.sched.Add(proc, cpuIdx)
+}
+
+// InstallAllocation installs an L2 partition table (flushing the L2), or
+// reverts to the conventional shared cache when a is nil.
+func (p *Platform) InstallAllocation(a *rtos.CacheAllocation) {
+	if a == nil {
+		p.l2.SetPartitionTable(nil)
+		return
+	}
+	p.l2.SetPartitionTable(a.Table)
+}
+
+// RunResult summarizes one application execution.
+type RunResult struct {
+	Makespan    uint64 // max local time over processors
+	TotalInstrs uint64
+	L2          cache.Stats
+	BusStats    bus.Stats
+	CPIs        []float64
+	Switches    uint64
+}
+
+// CPIMean returns the arithmetic mean of the per-processor CPIs, skipping
+// processors that retired no instructions.
+func (r RunResult) CPIMean() float64 {
+	var sum float64
+	n := 0
+	for _, c := range r.CPIs {
+		if c > 0 {
+			sum += c
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Run starts every task and drives the system until all tasks finish.
+// maxCycles bounds any single processor's local clock as a runaway guard.
+func (p *Platform) Run(maxCycles uint64) (*RunResult, error) {
+	for _, t := range p.sched.Tasks() {
+		if t.State() == kpn.Created {
+			t.Start()
+		}
+	}
+	for !p.sched.AllDone() {
+		ci := p.pickCPU()
+		if ci < 0 {
+			summary := p.blockedSummary()
+			p.teardown()
+			return nil, fmt.Errorf("platform: deadlock: %s", summary)
+		}
+		core := p.cores[ci]
+		task := p.sched.PickNext(ci)
+		p.noteRunWithOSTraffic(task, ci)
+		y := task.RunSlice(core, p.hiers[ci], p.cfg.Sched.Quantum)
+		p.sched.NoteYield(core)
+		if y.Reason == kpn.YieldFailed {
+			p.teardown()
+			return nil, fmt.Errorf("platform: task %q failed: %w", task.Name, y.Err)
+		}
+		if core.Now() > maxCycles {
+			p.teardown()
+			return nil, fmt.Errorf("platform: cpu%d exceeded %d cycles", ci, maxCycles)
+		}
+	}
+	if f := p.sched.AnyFailed(); f != nil {
+		return nil, fmt.Errorf("platform: task %q failed: %w", f.Name, f.LastYield().Err)
+	}
+	return p.result(), nil
+}
+
+// pickCPU returns the runnable processor with the smallest local clock,
+// or -1 when none is runnable.
+func (p *Platform) pickCPU() int {
+	best := -1
+	for i, core := range p.cores {
+		if !p.sched.HasRunnable(i) {
+			continue
+		}
+		if best < 0 || core.Now() < p.cores[best].Now() {
+			best = i
+		}
+	}
+	return best
+}
+
+// noteRunWithOSTraffic commits the scheduling decision and, when the CPU
+// actually switched tasks, models the run-time system touching its
+// scheduler state and translation tables in rt-data/rt-bss.
+func (p *Platform) noteRunWithOSTraffic(task *kpn.Process, ci int) bool {
+	core := p.cores[ci]
+	before := p.sched.Switches()
+	p.sched.NoteRun(task, ci)
+	switched := p.sched.Switches() != before
+	if switched && p.cfg.SwitchTouches > 0 {
+		h := p.hiers[ci]
+		n := uint64(p.cfg.SwitchTouches)
+		for i := uint64(0); i < n; i++ {
+			if p.rtData != nil {
+				off := (p.rtOff + i*4) % (p.rtData.Size - 4)
+				h.AccessAt(trace.Access{Addr: p.rtData.Base + off, Size: 4,
+					Op: trace.Read, Region: p.rtData.ID}, core.Now())
+			}
+			if p.rtBSS != nil && i%2 == 0 {
+				off := (p.rtOff + i*8) % (p.rtBSS.Size - 4)
+				h.AccessAt(trace.Access{Addr: p.rtBSS.Base + off, Size: 4,
+					Op: trace.Write, Region: p.rtBSS.ID}, core.Now())
+			}
+		}
+		p.rtOff += 64
+	}
+	return switched
+}
+
+func (p *Platform) result() *RunResult {
+	r := &RunResult{
+		L2:       p.l2.Stats(),
+		BusStats: p.bus.Stats(),
+		Switches: p.sched.Switches(),
+	}
+	for _, c := range p.cores {
+		if c.Now() > r.Makespan {
+			r.Makespan = c.Now()
+		}
+		r.TotalInstrs += c.Instructions()
+		r.CPIs = append(r.CPIs, c.CPI())
+	}
+	return r
+}
+
+// teardown kills remaining task goroutines after an aborted run.
+func (p *Platform) teardown() {
+	for _, t := range p.sched.Tasks() {
+		t.Kill()
+	}
+}
+
+func (p *Platform) blockedSummary() string {
+	s := ""
+	for _, t := range p.sched.Tasks() {
+		if t.State() == kpn.Blocked {
+			on := "?"
+			if y := t.LastYield(); y.On != nil {
+				on = y.On.Name
+			}
+			if s != "" {
+				s += ", "
+			}
+			s += fmt.Sprintf("%s on %s", t.Name, on)
+		}
+	}
+	if s == "" {
+		return "no blocked tasks"
+	}
+	return s
+}

@@ -1,0 +1,185 @@
+// Package profile measures per-entity miss curves m_i(z_p): the number of
+// L2 misses entity i would suffer with z_p allocation units of exclusive
+// cache. The curves are the input of the paper's optimization method
+// (section 3.2: "The number of misses of task i with z_p cache sets can
+// be obtained by simulation ... we use an average over the m obtained out
+// of different simulations").
+//
+// Instead of storing address traces, the profiler taps the L2-bound
+// access stream (through cache.Cache.Observer) during one functional run
+// and feeds every entity's references into a bank of candidate-size
+// caches online. Because partitioning isolates entities completely, an
+// entity's miss count inside a partition of z sets equals its miss count
+// in a standalone cache of z sets fed the same stream — the property
+// verified by TestPartitionEqualsIsolatedCacheProperty in internal/cache
+// and exploited here.
+package profile
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cache"
+	"repro/internal/mem"
+)
+
+// Config describes the candidate-cache bank.
+type Config struct {
+	Sizes    []int // candidate sizes in allocation units, ascending
+	UnitSets int   // sets per unit (rtos.AllocUnit)
+	Ways     int   // L2 associativity
+	LineSize int
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if len(c.Sizes) == 0 {
+		return fmt.Errorf("profile: no candidate sizes")
+	}
+	for _, s := range c.Sizes {
+		if s <= 0 || s&(s-1) != 0 {
+			return fmt.Errorf("profile: candidate size %d not a positive power of two", s)
+		}
+	}
+	if c.UnitSets <= 0 || c.Ways <= 0 || c.LineSize <= 0 {
+		return fmt.Errorf("profile: bad geometry %d/%d/%d", c.UnitSets, c.Ways, c.LineSize)
+	}
+	return nil
+}
+
+// Curve is the measured miss curve of one entity.
+type Curve struct {
+	Entity   string
+	Sizes    []int     // units
+	Misses   []float64 // misses at Sizes[k], averaged over runs
+	Accesses float64   // L2-bound accesses, averaged over runs
+}
+
+// At returns the miss count at the given size. The size must be one of
+// the candidate sizes; otherwise the nearest not-larger candidate is used
+// (curves are step functions of the admissible sizes).
+func (c *Curve) At(units int) float64 {
+	best := -1
+	for k, s := range c.Sizes {
+		if s <= units {
+			best = k
+		}
+	}
+	if best < 0 {
+		best = 0
+	}
+	return c.Misses[best]
+}
+
+// Profiler feeds one run's L2-bound stream into per-entity candidate
+// caches. Attach Observe to the L2 via cache.Cache.Observer.
+type Profiler struct {
+	cfg      Config
+	names    []string
+	entityOf map[mem.RegionID]int
+	banks    [][]*cache.Cache // [entity][size]
+	accesses []uint64
+}
+
+// New creates a profiler for the given entities. regionOf maps every
+// region id to the index of its owning entity in names.
+func New(cfg Config, names []string, regionOf map[mem.RegionID]int) (*Profiler, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sizes := append([]int(nil), cfg.Sizes...)
+	sort.Ints(sizes)
+	cfg.Sizes = sizes
+	p := &Profiler{
+		cfg:      cfg,
+		names:    names,
+		entityOf: regionOf,
+		banks:    make([][]*cache.Cache, len(names)),
+		accesses: make([]uint64, len(names)),
+	}
+	for e := range names {
+		for _, s := range sizes {
+			p.banks[e] = append(p.banks[e], cache.New(cache.Config{
+				Name:     fmt.Sprintf("prof.%s.%d", names[e], s),
+				Sets:     s * cfg.UnitSets,
+				Ways:     cfg.Ways,
+				LineSize: cfg.LineSize,
+			}))
+		}
+	}
+	return p, nil
+}
+
+// Observe implements the cache observer hook.
+func (p *Profiler) Observe(lineAddr uint64, write bool, region mem.RegionID) {
+	e, ok := p.entityOf[region]
+	if !ok {
+		return
+	}
+	p.accesses[e]++
+	for _, c := range p.banks[e] {
+		c.AccessLine(lineAddr, write, region)
+	}
+}
+
+// Curves extracts the miss curves of this single run.
+func (p *Profiler) Curves() []Curve {
+	out := make([]Curve, len(p.names))
+	for e, name := range p.names {
+		c := Curve{Entity: name, Sizes: append([]int(nil), p.cfg.Sizes...), Accesses: float64(p.accesses[e])}
+		for _, bank := range p.banks[e] {
+			c.Misses = append(c.Misses, float64(bank.Stats().Misses))
+		}
+		out[e] = c
+	}
+	return out
+}
+
+// Average combines curves from repeated runs into the paper's m̄ values.
+// All runs must cover the same entities and sizes, in the same order.
+func Average(runs [][]Curve) ([]Curve, error) {
+	if len(runs) == 0 {
+		return nil, fmt.Errorf("profile: no runs to average")
+	}
+	base := runs[0]
+	out := make([]Curve, len(base))
+	for e := range base {
+		out[e] = Curve{
+			Entity: base[e].Entity,
+			Sizes:  append([]int(nil), base[e].Sizes...),
+			Misses: make([]float64, len(base[e].Misses)),
+		}
+	}
+	for _, run := range runs {
+		if len(run) != len(base) {
+			return nil, fmt.Errorf("profile: run has %d entities, want %d", len(run), len(base))
+		}
+		for e := range run {
+			if run[e].Entity != base[e].Entity || len(run[e].Misses) != len(base[e].Misses) {
+				return nil, fmt.Errorf("profile: mismatched curve for %q", run[e].Entity)
+			}
+			out[e].Accesses += run[e].Accesses
+			for k := range run[e].Misses {
+				out[e].Misses[k] += run[e].Misses[k]
+			}
+		}
+	}
+	n := float64(len(runs))
+	for e := range out {
+		out[e].Accesses /= n
+		for k := range out[e].Misses {
+			out[e].Misses[k] /= n
+		}
+	}
+	return out, nil
+}
+
+// CurveByEntity finds a curve by name, or nil.
+func CurveByEntity(curves []Curve, name string) *Curve {
+	for i := range curves {
+		if curves[i].Entity == name {
+			return &curves[i]
+		}
+	}
+	return nil
+}

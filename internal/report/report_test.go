@@ -1,0 +1,92 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendersAligned(t *testing.T) {
+	tb := &Table{
+		Title:   "Table 1",
+		Headers: []string{"task", "units"},
+	}
+	tb.AddRow("FrontEnd1", 4)
+	tb.AddRow("IDCT1", 1)
+	tb.AddRow("x", 3.14159)
+	out := tb.String()
+	if !strings.Contains(out, "Table 1") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "FrontEnd1") || !strings.Contains(out, "IDCT1") {
+		t.Error("missing rows")
+	}
+	if !strings.Contains(out, "3.142") {
+		t.Errorf("float formatting wrong:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + header + separator + 3 rows
+	if len(lines) != 6 {
+		t.Errorf("lines = %d:\n%s", len(lines), out)
+	}
+	// Header and separator share width.
+	if len(lines[1]) != len(lines[2]) {
+		t.Error("separator misaligned")
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tb := &Table{Headers: []string{"a"}}
+	tb.AddRow("x", "extra")
+	out := tb.String()
+	if !strings.Contains(out, "extra") {
+		t.Error("extra cell dropped")
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	c := &BarChart{
+		Title:  "Figure 2",
+		ALabel: "shared",
+		BLabel: "partitioned",
+		Pairs: []BarPair{
+			{Label: "FrontEnd1", A: 100, B: 20},
+			{Label: "IDCT1", A: 0, B: 0},
+		},
+		Width: 20,
+	}
+	out := c.String()
+	if !strings.Contains(out, "Figure 2") || !strings.Contains(out, "FrontEnd1") {
+		t.Error("missing title/labels")
+	}
+	// The larger bar must be longer than the smaller one.
+	var sharedBar, partBar int
+	for _, l := range strings.Split(out, "\n") {
+		if strings.Contains(l, "FrontEnd1") {
+			sharedBar = strings.Count(l, "#")
+		} else if strings.Contains(l, "~") {
+			partBar = strings.Count(l, "~")
+		}
+	}
+	if sharedBar <= partBar {
+		t.Errorf("bar lengths wrong: %d vs %d\n%s", sharedBar, partBar, out)
+	}
+	if sharedBar != 20 {
+		t.Errorf("max bar should fill width: %d", sharedBar)
+	}
+}
+
+func TestBarChartAllZero(t *testing.T) {
+	c := &BarChart{Pairs: []BarPair{{Label: "x", A: 0, B: 0}}}
+	out := c.String() // must not divide by zero
+	if out == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestBarChartTinyValueVisible(t *testing.T) {
+	c := &BarChart{Pairs: []BarPair{{Label: "x", A: 1000, B: 1}}, Width: 10}
+	out := c.String()
+	if !strings.Contains(out, "~") {
+		t.Error("nonzero value rendered invisible")
+	}
+}

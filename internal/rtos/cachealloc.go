@@ -1,0 +1,112 @@
+package rtos
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cache"
+	"repro/internal/mem"
+)
+
+// AllocUnit is the granularity of cache allocation used throughout the
+// reproduction: one unit = 8 consecutive L2 sets. With the paper's L2
+// geometry (512 KB, 4-way, 64 B lines, 2048 sets) one unit is 2 KB and
+// the cache holds 256 units, matching the magnitude of the "allocated L2
+// sets" columns of Tables 1 and 2.
+const AllocUnit = 8
+
+// AllocEntry requests an exclusive partition of Units allocation units
+// for a named entity, covering the given regions (e.g. a task's code,
+// stack and heap, or a single FIFO buffer).
+type AllocEntry struct {
+	Name    string
+	Units   int
+	Regions []mem.RegionID
+}
+
+// CacheAllocation is the OS-level view of a complete L2 partitioning: the
+// translation table to install plus the name→partition index for
+// reporting (the rows of Tables 1 and 2).
+type CacheAllocation struct {
+	Table    *cache.PartitionTable
+	UnitSets int
+	ByName   map[string]int // entity name → partition id
+}
+
+// BuildAllocation constructs the partition table for an L2 with l2Sets
+// sets. rtUnits is the size of the default partition that isolates the
+// run-time system ("there is a run-time operating system that has an
+// exclusive cache part allocated such that it does not interfere with the
+// application's tasks"). Unit sizes must be positive; they are rounded up
+// to the next power of two as required by the index-translation hardware.
+func BuildAllocation(l2Sets, rtUnits int, entries []AllocEntry) (*CacheAllocation, error) {
+	if rtUnits <= 0 {
+		return nil, fmt.Errorf("rtos: rt partition of %d units", rtUnits)
+	}
+	table, err := cache.NewPartitionTable(l2Sets, "rt", ceilPow2(rtUnits)*AllocUnit)
+	if err != nil {
+		return nil, err
+	}
+	alloc := &CacheAllocation{
+		Table:    table,
+		UnitSets: AllocUnit,
+		ByName:   map[string]int{"rt": table.DefaultID()},
+	}
+	for _, e := range entries {
+		if e.Units <= 0 {
+			return nil, fmt.Errorf("rtos: entity %q requests %d units", e.Name, e.Units)
+		}
+		if _, dup := alloc.ByName[e.Name]; dup {
+			return nil, fmt.Errorf("rtos: duplicate entity %q", e.Name)
+		}
+		id, err := table.AddPartition(e.Name, ceilPow2(e.Units)*AllocUnit)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range e.Regions {
+			if err := table.Assign(r, id); err != nil {
+				return nil, err
+			}
+		}
+		alloc.ByName[e.Name] = id
+	}
+	if err := table.Validate(); err != nil {
+		return nil, err
+	}
+	return alloc, nil
+}
+
+// UnitsOf returns the number of allocation units of a named entity's
+// partition, or 0 when unknown.
+func (a *CacheAllocation) UnitsOf(name string) int {
+	id, ok := a.ByName[name]
+	if !ok {
+		return 0
+	}
+	return a.Table.Partition(id).NumSets / a.UnitSets
+}
+
+// Names returns all entity names in deterministic (sorted) order.
+func (a *CacheAllocation) Names() []string {
+	names := make([]string, 0, len(a.ByName))
+	for n := range a.ByName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TotalUnits returns the number of units handed out, including the
+// run-time system partition.
+func (a *CacheAllocation) TotalUnits() int {
+	return a.Table.AllocatedSets() / a.UnitSets
+}
+
+// ceilPow2 rounds n up to the next power of two.
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}

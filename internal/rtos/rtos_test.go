@@ -1,0 +1,336 @@
+package rtos
+
+import (
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/kpn"
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+type flatMem struct{}
+
+func (flatMem) AccessAt(a trace.Access, now uint64) uint64 { return 2 }
+
+func mkCores(n int) []*cpu.Core {
+	cores := make([]*cpu.Core, n)
+	for i := range cores {
+		cores[i] = cpu.New(cpu.Config{ID: i, BaseCPI: 1.0})
+	}
+	return cores
+}
+
+func mkProc(as *mem.AddressSpace, name string, body func(*kpn.Ctx)) *kpn.Process {
+	return &kpn.Process{
+		Name: name,
+		Body: body,
+		Code: as.MustAlloc(name+".code", mem.KindCode, name, 4096),
+		Heap: as.MustAlloc(name+".heap", mem.KindHeap, name, 4096),
+	}
+}
+
+// drive is a miniature engine for scheduler tests.
+func drive(t *testing.T, s *Scheduler, maxSlices int) {
+	t.Helper()
+	for _, p := range s.Tasks() {
+		p.Start()
+	}
+	m := flatMem{}
+	for n := 0; n < maxSlices; n++ {
+		if s.AllDone() {
+			return
+		}
+		if s.Deadlocked() {
+			t.Fatal("deadlock")
+		}
+		ran := false
+		for ci := range mkRange(len(s.Tasks())) { // upper bound on CPUs touched
+			if ci >= len(sCores(s)) {
+				break
+			}
+			p := s.PickNext(ci)
+			if p == nil {
+				continue
+			}
+			s.NoteRun(p, ci)
+			p.RunSlice(sCores(s)[ci], m, s.Config().Quantum)
+			s.NoteYield(sCores(s)[ci])
+			ran = true
+		}
+		if !ran && !s.AllDone() {
+			t.Fatal("no progress")
+		}
+	}
+	if !s.AllDone() {
+		t.Fatal("tasks did not finish")
+	}
+}
+
+func mkRange(n int) []int {
+	r := make([]int, n)
+	for i := range r {
+		r[i] = i
+	}
+	return r
+}
+
+// sCores exposes the cores for the test driver.
+func sCores(s *Scheduler) []*cpu.Core { return s.cpus }
+
+func TestSchedConfigValidate(t *testing.T) {
+	if err := DefaultSchedConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (SchedConfig{Quantum: 0}).Validate(); err == nil {
+		t.Error("zero quantum accepted")
+	}
+}
+
+func TestNewSchedulerErrors(t *testing.T) {
+	if _, err := NewScheduler(SchedConfig{Quantum: -1}, mkCores(1)); err == nil {
+		t.Error("bad config accepted")
+	}
+	if _, err := NewScheduler(DefaultSchedConfig(), nil); err == nil {
+		t.Error("no cpus accepted")
+	}
+}
+
+func TestAddRejectsBadCPU(t *testing.T) {
+	s, _ := NewScheduler(DefaultSchedConfig(), mkCores(2))
+	as := mem.NewAddressSpace()
+	p := mkProc(as, "t", func(*kpn.Ctx) {})
+	if err := s.Add(p, 5); err == nil {
+		t.Error("out-of-range CPU accepted")
+	}
+	if err := s.Add(p, 1); err != nil {
+		t.Fatal(err)
+	}
+	if s.AssignmentOf(p) != 1 {
+		t.Error("assignment not recorded")
+	}
+}
+
+func TestStaticAssignmentRespected(t *testing.T) {
+	cores := mkCores(2)
+	s, _ := NewScheduler(SchedConfig{Quantum: 1000, SwitchCost: 10}, cores)
+	as := mem.NewAddressSpace()
+	p0 := mkProc(as, "a", func(c *kpn.Ctx) { c.Exec(100) })
+	p1 := mkProc(as, "b", func(c *kpn.Ctx) { c.Exec(100) })
+	s.Add(p0, 0)
+	s.Add(p1, 1)
+	p0.Start()
+	p1.Start()
+	if got := s.PickNext(0); got != p0 {
+		t.Errorf("CPU0 picked %v", got)
+	}
+	if got := s.PickNext(1); got != p1 {
+		t.Errorf("CPU1 picked %v", got)
+	}
+	// CPU0 must never pick p1 under static assignment.
+	p0.Kill()
+	if got := s.PickNext(0); got != nil {
+		t.Errorf("CPU0 picked %v after its only task died", got)
+	}
+	p1.Kill()
+}
+
+func TestMigrationAllowsAnyCPU(t *testing.T) {
+	cores := mkCores(2)
+	s, _ := NewScheduler(SchedConfig{Quantum: 1000, AllowMigration: true}, cores)
+	as := mem.NewAddressSpace()
+	p := mkProc(as, "a", func(c *kpn.Ctx) { c.Exec(10) })
+	s.Add(p, 0)
+	p.Start()
+	if got := s.PickNext(1); got != p {
+		t.Error("migration did not offer the task to CPU1")
+	}
+	s.NoteRun(p, 1)
+	if s.AssignmentOf(p) != 1 {
+		t.Error("migration did not update assignment")
+	}
+	p.Kill()
+}
+
+func TestRoundRobinFairness(t *testing.T) {
+	cores := mkCores(1)
+	s, _ := NewScheduler(SchedConfig{Quantum: 50, SwitchCost: 1}, cores)
+	as := mem.NewAddressSpace()
+	var order []string
+	mk := func(name string) *kpn.Process {
+		return mkProc(as, name, func(c *kpn.Ctx) {
+			for i := 0; i < 3; i++ {
+				order = append(order, name)
+				c.Exec(60) // exceeds quantum: forced yield each round
+			}
+		})
+	}
+	s.Add(mk("a"), 0)
+	s.Add(mk("b"), 0)
+	drive(t, s, 1000)
+	// Round-robin: a and b interleave rather than run to completion.
+	if order[0] == order[1] && order[1] == order[2] {
+		t.Errorf("no interleaving: %v", order)
+	}
+}
+
+func TestSwitchCostCharged(t *testing.T) {
+	cores := mkCores(1)
+	s, _ := NewScheduler(SchedConfig{Quantum: 50, SwitchCost: 7}, cores)
+	as := mem.NewAddressSpace()
+	s.Add(mkProc(as, "a", func(c *kpn.Ctx) { c.Exec(120) }), 0)
+	s.Add(mkProc(as, "b", func(c *kpn.Ctx) { c.Exec(120) }), 0)
+	drive(t, s, 1000)
+	if cores[0].SwitchCycles() == 0 {
+		t.Error("no switch cycles charged")
+	}
+	if cores[0].SwitchCycles()%7 != 0 {
+		t.Errorf("switch cycles %d not a multiple of cost 7", cores[0].SwitchCycles())
+	}
+	if s.Switches() < 2 {
+		t.Errorf("switches = %d", s.Switches())
+	}
+}
+
+func TestWakeTimeAdvancesConsumerClock(t *testing.T) {
+	cores := mkCores(2)
+	s, _ := NewScheduler(SchedConfig{Quantum: 1_000_000, SwitchCost: 0}, cores)
+	as := mem.NewAddressSpace()
+	f := kpn.MustNewFIFO(as, "f", 4, 4)
+	prod := mkProc(as, "prod", func(c *kpn.Ctx) {
+		c.Exec(5000) // long compute before producing
+		f.Write32(c, 42)
+		f.Close()
+	})
+	cons := mkProc(as, "cons", func(c *kpn.Ctx) {
+		v, ok := f.Read32(c)
+		if !ok || v != 42 {
+			panic("bad token")
+		}
+	})
+	s.Add(prod, 0)
+	s.Add(cons, 1)
+	prod.Start()
+	cons.Start()
+	m := flatMem{}
+
+	// Consumer runs first and blocks at its local time ~0.
+	s.NoteRun(cons, 1)
+	cons.RunSlice(cores[1], m, s.Config().Quantum)
+	s.NoteYield(cores[1])
+	// Producer runs to completion.
+	s.NoteRun(prod, 0)
+	for prod.State() != kpn.Done {
+		prod.RunSlice(cores[0], m, s.Config().Quantum)
+		s.NoteYield(cores[0])
+	}
+	prodTime := cores[0].Now()
+	// Consumer resumes: its clock must jump past the production time.
+	if !cons.Runnable() {
+		t.Fatal("consumer not woken")
+	}
+	s.NoteRun(cons, 1)
+	cons.RunSlice(cores[1], m, s.Config().Quantum)
+	if cores[1].Now() < prodTime {
+		t.Errorf("consumer time %d earlier than production time %d", cores[1].Now(), prodTime)
+	}
+	if cores[1].IdleCycles() == 0 {
+		t.Error("consumer wait was not accounted as idle time")
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	cores := mkCores(1)
+	s, _ := NewScheduler(SchedConfig{Quantum: 1000}, cores)
+	as := mem.NewAddressSpace()
+	f := kpn.MustNewFIFO(as, "f", 4, 1)
+	p := mkProc(as, "stuck", func(c *kpn.Ctx) {
+		var b [4]byte
+		f.Read(c, b[:]) // no producer: artificial deadlock
+	})
+	s.Add(p, 0)
+	p.Start()
+	s.NoteRun(p, 0)
+	p.RunSlice(cores[0], flatMem{}, 1000)
+	if !s.Deadlocked() {
+		t.Error("deadlock not detected")
+	}
+	if s.AllDone() {
+		t.Error("AllDone on deadlocked system")
+	}
+	p.Kill()
+	if s.AnyFailed() != p {
+		t.Error("AnyFailed did not report killed task")
+	}
+	if s.Deadlocked() {
+		t.Error("failed-only system should not be deadlocked")
+	}
+}
+
+func TestBuildAllocation(t *testing.T) {
+	entries := []AllocEntry{
+		{Name: "t0", Units: 4, Regions: []mem.RegionID{0, 1}},
+		{Name: "t1", Units: 3, Regions: []mem.RegionID{2}}, // rounds to 4
+		{Name: "fifo0", Units: 1, Regions: []mem.RegionID{3}},
+	}
+	a, err := BuildAllocation(2048, 4, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.UnitsOf("t0") != 4 || a.UnitsOf("fifo0") != 1 {
+		t.Errorf("units = %d/%d", a.UnitsOf("t0"), a.UnitsOf("fifo0"))
+	}
+	if a.UnitsOf("t1") != 4 {
+		t.Errorf("t1 units = %d, want 4 (rounded up)", a.UnitsOf("t1"))
+	}
+	if a.UnitsOf("rt") != 4 {
+		t.Errorf("rt units = %d, want 4", a.UnitsOf("rt"))
+	}
+	if a.UnitsOf("absent") != 0 {
+		t.Error("unknown entity should have 0 units")
+	}
+	// Region→partition wiring.
+	if p := a.Table.PartitionOf(0); p != a.ByName["t0"] {
+		t.Error("region 0 not in t0's partition")
+	}
+	if p := a.Table.PartitionOf(99); p != a.Table.DefaultID() {
+		t.Error("unassigned region not in rt partition")
+	}
+	if got := a.TotalUnits(); got != 4+4+4+1 {
+		t.Errorf("TotalUnits = %d, want 13", got)
+	}
+	names := a.Names()
+	if len(names) != 4 || names[0] != "fifo0" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestBuildAllocationErrors(t *testing.T) {
+	if _, err := BuildAllocation(2048, 0, nil); err == nil {
+		t.Error("zero rt units accepted")
+	}
+	if _, err := BuildAllocation(2048, 1, []AllocEntry{{Name: "x", Units: 0}}); err == nil {
+		t.Error("zero entity units accepted")
+	}
+	if _, err := BuildAllocation(2048, 1, []AllocEntry{
+		{Name: "x", Units: 1}, {Name: "x", Units: 1},
+	}); err == nil {
+		t.Error("duplicate entity accepted")
+	}
+	// Over-commit: 2048 sets = 256 units.
+	if _, err := BuildAllocation(2048, 1, []AllocEntry{{Name: "big", Units: 300}}); err == nil {
+		t.Error("over-commit accepted")
+	}
+	if _, err := BuildAllocation(100, 1, nil); err == nil {
+		t.Error("bad set count accepted")
+	}
+}
+
+func TestCeilPow2(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 17: 32, 128: 128}
+	for in, want := range cases {
+		if got := ceilPow2(in); got != want {
+			t.Errorf("ceilPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,211 @@
+// Package rtos is the run-time system of the simulated CAKE tile: a
+// per-processor round-robin scheduler with static task assignment
+// (optionally task migration), quantum preemption, task-switch cost
+// accounting, and the operating-system primitives that manage the L2
+// cache allocation tables for tasks and shared memory (paper, section
+// 4.2: "We have adapted the operating system, such that it manages the
+// necessary translation tables for the cache").
+package rtos
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/kpn"
+)
+
+// SchedConfig parameterizes the scheduler.
+type SchedConfig struct {
+	Quantum        int64  // cycles per slice
+	SwitchCost     uint64 // cycles charged when a CPU switches tasks
+	AllowMigration bool   // tasks may run on any CPU (dynamic scheduling)
+}
+
+// DefaultSchedConfig returns a multimedia-typical low switching rate:
+// 50k-cycle quanta and a 200-cycle switch cost.
+func DefaultSchedConfig() SchedConfig {
+	return SchedConfig{Quantum: 50_000, SwitchCost: 200}
+}
+
+// Validate checks the configuration.
+func (c SchedConfig) Validate() error {
+	if c.Quantum <= 0 {
+		return fmt.Errorf("rtos: quantum %d not positive", c.Quantum)
+	}
+	return nil
+}
+
+// Scheduler tracks task→processor assignment, per-CPU round-robin order,
+// and blocked-task wake times. It contains no main loop: the platform
+// engine asks it which task a CPU should run next.
+type Scheduler struct {
+	cfg  SchedConfig
+	cpus []*cpu.Core
+
+	tasks    []*kpn.Process
+	assigned map[*kpn.Process]int // static CPU, -1 under migration
+	rrNext   []int                // per-CPU rotor into tasks
+	current  []*kpn.Process       // last task run per CPU
+	wake     map[*kpn.Process]uint64
+	switches uint64
+}
+
+// NewScheduler creates a scheduler over the given cores.
+func NewScheduler(cfg SchedConfig, cpus []*cpu.Core) (*Scheduler, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(cpus) == 0 {
+		return nil, fmt.Errorf("rtos: no processors")
+	}
+	return &Scheduler{
+		cfg:      cfg,
+		cpus:     cpus,
+		assigned: make(map[*kpn.Process]int),
+		rrNext:   make([]int, len(cpus)),
+		current:  make([]*kpn.Process, len(cpus)),
+		wake:     make(map[*kpn.Process]uint64),
+	}, nil
+}
+
+// Config returns the scheduler configuration.
+func (s *Scheduler) Config() SchedConfig { return s.cfg }
+
+// Add registers a task on a CPU. Under migration the cpu argument is the
+// initial placement only.
+func (s *Scheduler) Add(p *kpn.Process, cpuIdx int) error {
+	if cpuIdx < 0 || cpuIdx >= len(s.cpus) {
+		return fmt.Errorf("rtos: task %q assigned to CPU %d of %d", p.Name, cpuIdx, len(s.cpus))
+	}
+	s.tasks = append(s.tasks, p)
+	s.assigned[p] = cpuIdx
+	return nil
+}
+
+// Tasks returns all registered tasks.
+func (s *Scheduler) Tasks() []*kpn.Process { return s.tasks }
+
+// AssignmentOf returns the CPU a task is assigned to.
+func (s *Scheduler) AssignmentOf(p *kpn.Process) int { return s.assigned[p] }
+
+// Switches returns the number of task switches performed so far.
+func (s *Scheduler) Switches() uint64 { return s.switches }
+
+// runnable reports whether p can make progress, honouring wake times.
+func (s *Scheduler) runnable(p *kpn.Process) bool {
+	switch p.State() {
+	case kpn.Ready:
+		return true
+	case kpn.Blocked:
+		return p.Runnable()
+	}
+	return false
+}
+
+// eligible reports whether p may run on cpuIdx.
+func (s *Scheduler) eligible(p *kpn.Process, cpuIdx int) bool {
+	if s.cfg.AllowMigration {
+		return true
+	}
+	return s.assigned[p] == cpuIdx
+}
+
+// HasRunnable reports whether some task could run on the CPU right now,
+// without disturbing the round-robin rotor.
+func (s *Scheduler) HasRunnable(cpuIdx int) bool {
+	for _, p := range s.tasks {
+		if s.eligible(p, cpuIdx) && s.runnable(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// PickNext selects the next task for a CPU (round-robin over its eligible
+// runnable tasks) or nil when the CPU has nothing to do. It does not
+// charge switch cost; the engine calls NoteRun when it commits.
+func (s *Scheduler) PickNext(cpuIdx int) *kpn.Process {
+	n := len(s.tasks)
+	for i := 0; i < n; i++ {
+		p := s.tasks[(s.rrNext[cpuIdx]+i)%n]
+		if s.eligible(p, cpuIdx) && s.runnable(p) {
+			s.rrNext[cpuIdx] = (s.rrNext[cpuIdx] + i + 1) % n
+			return p
+		}
+	}
+	return nil
+}
+
+// NoteRun records that p is about to run on cpuIdx, charges the task
+// switch cost when the CPU changes tasks, and applies the wake-time rule:
+// a task unblocked by an event at time T on another CPU cannot resume
+// before T on its own CPU (the gap is idle time).
+func (s *Scheduler) NoteRun(p *kpn.Process, cpuIdx int) {
+	core := s.cpus[cpuIdx]
+	if w, ok := s.wake[p]; ok {
+		core.AdvanceTo(w)
+		delete(s.wake, p)
+	}
+	if s.current[cpuIdx] != p {
+		if s.current[cpuIdx] != nil {
+			core.Switch(s.cfg.SwitchCost)
+		}
+		s.current[cpuIdx] = p
+		s.switches++
+	}
+	if s.cfg.AllowMigration {
+		s.assigned[p] = cpuIdx
+	}
+}
+
+// NoteYield must be called after every slice, with the core that just
+// executed. Any blocked task whose condition has become satisfiable is
+// stamped with the current time of that core as its wake time.
+func (s *Scheduler) NoteYield(core *cpu.Core) {
+	for _, p := range s.tasks {
+		if p.State() != kpn.Blocked {
+			continue
+		}
+		if _, stamped := s.wake[p]; stamped {
+			continue
+		}
+		if p.Runnable() {
+			s.wake[p] = core.Now()
+		}
+	}
+}
+
+// AllDone reports whether every task finished.
+func (s *Scheduler) AllDone() bool {
+	for _, p := range s.tasks {
+		if st := p.State(); st != kpn.Done && st != kpn.Failed {
+			return false
+		}
+	}
+	return true
+}
+
+// AnyFailed returns the first failed task, or nil.
+func (s *Scheduler) AnyFailed() *kpn.Process {
+	for _, p := range s.tasks {
+		if p.State() == kpn.Failed {
+			return p
+		}
+	}
+	return nil
+}
+
+// Deadlocked reports whether unfinished tasks exist but none is runnable —
+// with Kahn semantics this indicates an artificial deadlock from bounded
+// FIFOs or an application bug.
+func (s *Scheduler) Deadlocked() bool {
+	if s.AllDone() {
+		return false
+	}
+	for _, p := range s.tasks {
+		if s.runnable(p) {
+			return false
+		}
+	}
+	return true
+}

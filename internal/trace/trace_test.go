@@ -1,0 +1,209 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOpString(t *testing.T) {
+	if Read.String() != "R" || Write.String() != "W" || Fetch.String() != "F" {
+		t.Error("op strings wrong")
+	}
+	if Op(9).String() != "Op(9)" {
+		t.Errorf("unknown op string = %q", Op(9).String())
+	}
+}
+
+func TestCountingSink(t *testing.T) {
+	c := &CountingSink{Latency: 3}
+	if lat := c.Access(Access{Op: Read}); lat != 3 {
+		t.Errorf("latency = %d, want 3", lat)
+	}
+	c.Access(Access{Op: Write})
+	c.Access(Access{Op: Write})
+	c.Access(Access{Op: Fetch})
+	if c.Reads != 1 || c.Writes != 2 || c.Fetches != 1 {
+		t.Errorf("counts = %d/%d/%d", c.Reads, c.Writes, c.Fetches)
+	}
+	if c.Total() != 4 {
+		t.Errorf("Total = %d, want 4", c.Total())
+	}
+}
+
+func TestSinkFunc(t *testing.T) {
+	var got Access
+	s := SinkFunc(func(a Access) uint64 { got = a; return 7 })
+	if lat := s.Access(Access{Addr: 0x100}); lat != 7 || got.Addr != 0x100 {
+		t.Error("SinkFunc did not forward")
+	}
+}
+
+func TestTeeSink(t *testing.T) {
+	p := &CountingSink{Latency: 5}
+	o1, o2 := &CountingSink{}, &CountingSink{}
+	tee := &TeeSink{Primary: p, Observers: []Sink{o1, o2}}
+	if lat := tee.Access(Access{Op: Read}); lat != 5 {
+		t.Errorf("tee latency = %d, want primary's 5", lat)
+	}
+	if p.Total() != 1 || o1.Total() != 1 || o2.Total() != 1 {
+		t.Error("tee did not forward to all sinks")
+	}
+}
+
+func TestStrideGen(t *testing.T) {
+	g := &StrideGen{Base: 0x1000, Stride: 64, Count: 4, Op: Write}
+	want := []uint64{0x1000, 0x1040, 0x1080, 0x10C0}
+	for i, w := range want {
+		a, ok := g.Next()
+		if !ok {
+			t.Fatalf("exhausted at %d", i)
+		}
+		if a.Addr != w || a.Op != Write || a.Size != 4 {
+			t.Errorf("access %d = %+v, want addr %#x", i, a, w)
+		}
+	}
+	if _, ok := g.Next(); ok {
+		t.Error("generator not exhausted after Count accesses")
+	}
+}
+
+func TestLoopGenWraps(t *testing.T) {
+	g := &LoopGen{Base: 0, WorkingSet: 16, Stride: 4, Iters: 2}
+	var addrs []uint64
+	for {
+		a, ok := g.Next()
+		if !ok {
+			break
+		}
+		addrs = append(addrs, a.Addr)
+	}
+	want := []uint64{0, 4, 8, 12, 0, 4, 8, 12}
+	if len(addrs) != len(want) {
+		t.Fatalf("got %d accesses, want %d", len(addrs), len(want))
+	}
+	for i := range want {
+		if addrs[i] != want[i] {
+			t.Errorf("addr %d = %d, want %d", i, addrs[i], want[i])
+		}
+	}
+}
+
+func TestLoopGenDefaultStride(t *testing.T) {
+	g := &LoopGen{Base: 0, WorkingSet: 8, Iters: 1}
+	a, ok := g.Next()
+	if !ok || a.Addr != 0 {
+		t.Fatal("first access wrong")
+	}
+	a, ok = g.Next()
+	if !ok || a.Addr != 4 {
+		t.Fatalf("default stride not 4: addr %d", a.Addr)
+	}
+}
+
+func TestRandomGenDeterministicAndBounded(t *testing.T) {
+	mk := func() *RandomGen {
+		return &RandomGen{Base: 0x1000, WorkingSet: 256, Count: 500, Seed: 42}
+	}
+	g1, g2 := mk(), mk()
+	for i := 0; i < 500; i++ {
+		a1, ok1 := g1.Next()
+		a2, ok2 := g2.Next()
+		if !ok1 || !ok2 {
+			t.Fatal("premature exhaustion")
+		}
+		if a1.Addr != a2.Addr {
+			t.Fatalf("not deterministic at %d: %#x vs %#x", i, a1.Addr, a2.Addr)
+		}
+		if a1.Addr < 0x1000 || a1.Addr >= 0x1000+256 {
+			t.Fatalf("address %#x out of working set", a1.Addr)
+		}
+		if a1.Addr%4 != 0 {
+			t.Fatalf("address %#x not word aligned", a1.Addr)
+		}
+	}
+	if _, ok := g1.Next(); ok {
+		t.Error("not exhausted")
+	}
+}
+
+func TestInterleaveRoundRobin(t *testing.T) {
+	g := &Interleave{Gens: []Generator{
+		&StrideGen{Base: 0x0, Stride: 4, Count: 2},
+		&StrideGen{Base: 0x1000, Stride: 4, Count: 4},
+	}}
+	var addrs []uint64
+	for {
+		a, ok := g.Next()
+		if !ok {
+			break
+		}
+		addrs = append(addrs, a.Addr)
+	}
+	want := []uint64{0x0, 0x1000, 0x4, 0x1004, 0x1008, 0x100C}
+	if len(addrs) != len(want) {
+		t.Fatalf("got %v, want %v", addrs, want)
+	}
+	for i := range want {
+		if addrs[i] != want[i] {
+			t.Fatalf("got %v, want %v", addrs, want)
+		}
+	}
+}
+
+func TestDrain(t *testing.T) {
+	g := &StrideGen{Base: 0, Stride: 8, Count: 10}
+	s := &CountingSink{Latency: 2}
+	n, cycles := Drain(g, s)
+	if n != 10 || cycles != 20 {
+		t.Errorf("Drain = %d accesses, %d cycles; want 10, 20", n, cycles)
+	}
+}
+
+// Property: StrideGen emits exactly Count accesses, strictly increasing
+// when stride > 0.
+func TestStrideGenProperty(t *testing.T) {
+	f := func(base uint32, stride uint8, count uint8) bool {
+		st := uint64(stride%63) + 1
+		g := &StrideGen{Base: uint64(base), Stride: st, Count: uint64(count)}
+		var n uint64
+		last := uint64(0)
+		for {
+			a, ok := g.Next()
+			if !ok {
+				break
+			}
+			if n > 0 && a.Addr <= last {
+				return false
+			}
+			last = a.Addr
+			n++
+		}
+		return n == uint64(count)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Interleave preserves the union of the streams.
+func TestInterleaveConservationProperty(t *testing.T) {
+	f := func(c1, c2, c3 uint8) bool {
+		total := uint64(c1) + uint64(c2) + uint64(c3)
+		g := &Interleave{Gens: []Generator{
+			&StrideGen{Base: 0, Stride: 4, Count: uint64(c1)},
+			&StrideGen{Base: 1 << 20, Stride: 4, Count: uint64(c2)},
+			&StrideGen{Base: 2 << 20, Stride: 4, Count: uint64(c3)},
+		}}
+		var n uint64
+		for {
+			if _, ok := g.Next(); !ok {
+				break
+			}
+			n++
+		}
+		return n == total
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

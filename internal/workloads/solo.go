@@ -1,0 +1,32 @@
+package workloads
+
+import (
+	"repro/internal/apps/jpeg"
+	"repro/internal/apps/sections"
+	"repro/internal/core"
+)
+
+// JPEG1Only returns the first JPEG decoder of application 1 running
+// alone. It exists for the compositionality ablation (experiment X1):
+// under the shared cache the decoder's miss count changes drastically
+// when the co-running tasks are removed; under partitioning it barely
+// moves — the paper's definition of a compositional system.
+func JPEG1Only(scale Scale) core.Workload {
+	return core.Workload{
+		Name: "jpeg1-only",
+		Factory: func() (*core.App, error) {
+			b := core.NewBuilder("jpeg1-only")
+			b.Sections(sections.DataSize, sections.BSSSize)
+			cfg := jpeg.Config{Suffix: "1", Width: 512, Height: 384, Frames: 2,
+				Quality: 2, Seed: 101, CPUs: [4]int{0, 1, 2, 3}}
+			if scale == Small {
+				cfg.Width, cfg.Height = 96, 64
+			}
+			if _, err := jpeg.Build(b, cfg); err != nil {
+				return nil, err
+			}
+			sections.PreloadData(b.ApplData())
+			return b.Build()
+		},
+	}
+}

@@ -1,0 +1,93 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/apps/mpeg2"
+	"repro/internal/core"
+	"repro/internal/platform"
+)
+
+func TestJPEGCannySmallRunsAndVerifies(t *testing.T) {
+	var h JPEGCannyHandles
+	w := JPEGCanny(Small, &h)
+	app, err := w.Factory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.NumTasks() != 15 {
+		t.Fatalf("tasks = %d, want 15 (2 jpeg × 4 + canny × 7)", app.NumTasks())
+	}
+	if _, err := core.RunApp(app, core.RunConfig{Platform: platform.Default()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.JPEG1.Verify(); err != nil {
+		t.Errorf("jpeg1: %v", err)
+	}
+	if err := h.JPEG2.Verify(); err != nil {
+		t.Errorf("jpeg2: %v", err)
+	}
+	if err := h.Canny.Verify(); err != nil {
+		t.Errorf("canny: %v", err)
+	}
+}
+
+func TestMPEG2SmallRunsAndVerifies(t *testing.T) {
+	var p *mpeg2.Pipeline
+	w := MPEG2(Small, &p)
+	app, err := w.Factory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.NumTasks() != 13 {
+		t.Fatalf("tasks = %d, want 13", app.NumTasks())
+	}
+	if _, err := core.RunApp(app, core.RunConfig{Platform: platform.Default()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Verify(); err != nil {
+		t.Errorf("mpeg2: %v", err)
+	}
+}
+
+func TestFactoryIsReproducible(t *testing.T) {
+	w := JPEGCanny(Small, nil)
+	a1, err := w.Factory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := w.Factory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical region layout across factory calls.
+	r1, r2 := a1.AS.Regions(), a2.AS.Regions()
+	if len(r1) != len(r2) {
+		t.Fatalf("region counts differ: %d vs %d", len(r1), len(r2))
+	}
+	for i := range r1 {
+		if r1[i].Name != r2[i].Name || r1[i].Base != r2[i].Base || r1[i].Size != r2[i].Size {
+			t.Fatalf("region %d differs: %v vs %v", i, r1[i], r2[i])
+		}
+	}
+}
+
+func TestEntitiesCoverAllRegions(t *testing.T) {
+	for _, w := range []core.Workload{JPEGCanny(Small, nil), MPEG2(Small, nil)} {
+		app, err := w.Factory()
+		if err != nil {
+			t.Fatal(err)
+		}
+		covered := map[int32]bool{}
+		for _, e := range app.Entities() {
+			for _, r := range e.Regions {
+				covered[int32(r)] = true
+			}
+		}
+		for _, r := range app.AS.Regions() {
+			if !covered[int32(r.ID)] {
+				t.Errorf("%s: region %s not covered by any entity", w.Name, r.Name)
+			}
+		}
+	}
+}
