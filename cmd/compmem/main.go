@@ -37,6 +37,8 @@ func main() {
 	small := flag.Bool("small", false, "use the fast, small-scale workloads")
 	runs := flag.Int("runs", 2, "profiling repetitions for miss-curve averaging")
 	solver := flag.String("solver", "mckp", "partitioning solver: mckp or ilp")
+	engine := flag.String("engine", "stackdist", "profiling engine: stackdist or bank")
+	workers := flag.Int("workers", 0, "harness worker pool size; 0 = GOMAXPROCS, 1 = sequential")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: compmem [flags] table1|table2|fig2|fig3|headline|compose|granularity|split|migration|assign|all\n")
 		flag.PrintDefaults()
@@ -52,6 +54,7 @@ func main() {
 		cfg = experiments.Small()
 	}
 	cfg.ProfileRuns = *runs
+	cfg.Workers = *workers
 	switch *solver {
 	case "mckp":
 		cfg.Solver = core.SolverMCKP
@@ -59,6 +62,14 @@ func main() {
 		cfg.Solver = core.SolverILP
 	default:
 		fatal(fmt.Errorf("unknown solver %q", *solver))
+	}
+	switch *engine {
+	case "stackdist":
+		cfg.Engine = profile.EngineStackDist
+	case "bank":
+		cfg.Engine = profile.EngineBank
+	default:
+		fatal(fmt.Errorf("unknown engine %q", *engine))
 	}
 
 	cmd := flag.Arg(0)
@@ -114,6 +125,7 @@ func run(cmd string, cfg experiments.Config) error {
 	case "curves":
 		curves, err := core.Profile(workloadFor(cfg, true), core.OptimizeConfig{
 			Platform: cfg.Platform, Runs: cfg.ProfileRuns, Solver: cfg.Solver,
+			Engine: cfg.Engine, Workers: cfg.Workers,
 		})
 		if err != nil {
 			return err
@@ -121,6 +133,7 @@ func run(cmd string, cfg experiments.Config) error {
 		printCurves("2jpeg+canny", curves)
 		curves, err = core.Profile(workloadFor(cfg, false), core.OptimizeConfig{
 			Platform: cfg.Platform, Runs: cfg.ProfileRuns, Solver: cfg.Solver,
+			Engine: cfg.Engine, Workers: cfg.Workers,
 		})
 		if err != nil {
 			return err

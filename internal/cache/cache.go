@@ -30,6 +30,15 @@ type Config struct {
 // SizeBytes returns the capacity of a cache with this geometry.
 func (c Config) SizeBytes() int { return c.Sets * c.Ways * c.LineSize }
 
+// SetMask returns the mask selecting the set index from a line address.
+// Exported so geometry consumers (tests, the profiling engines' oracles)
+// index exactly like the cache itself; New uses it internally.
+func (c Config) SetMask() uint64 { return uint64(c.Sets - 1) }
+
+// LineShift returns log2(LineSize), the shift turning a byte address
+// into a line address. Exported for the same reason as SetMask.
+func (c Config) LineShift() uint { return uint(bits.TrailingZeros(uint(c.LineSize))) }
+
 // Validate checks the geometry.
 func (c Config) Validate() error {
 	if c.Sets <= 0 || c.Sets&(c.Sets-1) != 0 {
@@ -112,8 +121,8 @@ func New(cfg Config) *Cache {
 	}
 	return &Cache{
 		cfg:       cfg,
-		lineShift: uint(bits.TrailingZeros(uint(cfg.LineSize))),
-		setMask:   uint64(cfg.Sets - 1),
+		lineShift: cfg.LineShift(),
+		setMask:   cfg.SetMask(),
 		lines:     make([]line, cfg.Sets*cfg.Ways),
 	}
 }
@@ -259,8 +268,10 @@ func (c *Cache) record(region mem.RegionID, part int, res Result, write bool) {
 		c.stats.Writebacks++
 	}
 	if region >= 0 {
-		for int(region) >= len(c.regions) {
-			c.regions = append(c.regions, EntityStats{})
+		if int(region) >= len(c.regions) {
+			grown := make([]EntityStats, region+1)
+			copy(grown, c.regions)
+			c.regions = grown
 		}
 		c.regions[region].Accesses++
 		if !res.Hit {

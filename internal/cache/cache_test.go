@@ -37,6 +37,21 @@ func TestConfigSizeBytes(t *testing.T) {
 	}
 }
 
+func TestConfigGeometryHelpers(t *testing.T) {
+	c := Config{Sets: 2048, Ways: 4, LineSize: 64}
+	if c.SetMask() != 2047 {
+		t.Errorf("SetMask = %#x, want 0x7ff", c.SetMask())
+	}
+	if c.LineShift() != 6 {
+		t.Errorf("LineShift = %d, want 6", c.LineShift())
+	}
+	// The helpers must agree with how the cache itself indexes.
+	cc := New(c)
+	if cc.setMask != c.SetMask() || cc.lineShift != c.LineShift() {
+		t.Error("cache indexing disagrees with Config helpers")
+	}
+}
+
 func TestNewPanicsOnBadConfig(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -7,6 +7,7 @@ import (
 	"repro/internal/ilp"
 	"repro/internal/mckp"
 	"repro/internal/mem"
+	"repro/internal/parallel"
 	"repro/internal/platform"
 	"repro/internal/profile"
 	"repro/internal/rtos"
@@ -39,6 +40,13 @@ type OptimizeConfig struct {
 	RTUnits   int   // run-time system partition; 0 = 4
 	Solver    Solver
 	MaxCycles uint64
+	// Engine selects the miss-curve measurement engine; the zero value
+	// is the single-pass stack-distance simulator, profile.EngineBank
+	// the bank-of-caches reference oracle.
+	Engine profile.Engine
+	// Workers bounds the concurrency of the profiling repetitions;
+	// 0 = GOMAXPROCS, 1 = sequential.
+	Workers int
 }
 
 func (oc *OptimizeConfig) fillDefaults() {
@@ -71,6 +79,11 @@ type OptimizeResult struct {
 // interleavings, which is what makes averaging meaningful for the shared
 // sections (task-private streams are identical across runs by Kahn
 // determinism).
+//
+// The repetitions are independent simulations — each owns its app,
+// platform and profiler — so they fan out over a bounded worker pool
+// (oc.Workers). Runs are averaged in repetition order, so the result is
+// identical to the sequential path.
 func Profile(w Workload, oc OptimizeConfig) ([]profile.Curve, error) {
 	oc.fillDefaults()
 	app, err := w.Factory()
@@ -91,19 +104,24 @@ func Profile(w Workload, oc OptimizeConfig) ([]profile.Curve, error) {
 		UnitSets: rtos.AllocUnit,
 		Ways:     oc.Platform.L2.Ways,
 		LineSize: oc.Platform.L2.LineSize,
+		Engine:   oc.Engine,
 	}
-	var runs [][]profile.Curve
-	jitter := []float64{1.0, 0.85, 1.2, 0.7, 1.4, 0.95, 1.1}
-	for r := 0; r < oc.Runs; r++ {
-		if r > 0 {
-			app, err = w.Factory()
-			if err != nil {
-				return nil, err
-			}
+	// Apps are built serially: a workload factory may publish handles to
+	// the app it builds (workloads.JPEGCanny / MPEG2 take an optional
+	// handle pointer), so only the simulations themselves fan out.
+	apps := make([]*App, oc.Runs)
+	apps[0] = app
+	for r := 1; r < oc.Runs; r++ {
+		if apps[r], err = w.Factory(); err != nil {
+			return nil, err
 		}
+	}
+	runs := make([][]profile.Curve, oc.Runs)
+	jitter := []float64{1.0, 0.85, 1.2, 0.7, 1.4, 0.95, 1.1}
+	err = parallel.Do(parallel.Workers(oc.Workers), oc.Runs, func(r int) error {
 		prof, err := profile.New(pcfg, names, regionOf)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		rc := RunConfig{
 			Platform:   oc.Platform,
@@ -112,10 +130,14 @@ func Profile(w Workload, oc OptimizeConfig) ([]profile.Curve, error) {
 			L2Observer: prof.Observe,
 		}
 		rc.Platform.Sched.Quantum = int64(float64(oc.Platform.Sched.Quantum) * jitter[r%len(jitter)])
-		if _, err := RunApp(app, rc); err != nil {
-			return nil, fmt.Errorf("core: profiling run %d: %w", r, err)
+		if _, err := RunApp(apps[r], rc); err != nil {
+			return fmt.Errorf("core: profiling run %d: %w", r, err)
 		}
-		runs = append(runs, prof.Curves())
+		runs[r] = prof.Curves()
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return profile.Average(runs)
 }

@@ -58,9 +58,7 @@ func Composition(cfg Config) (*CompositionResult, *report.Table, error) {
 	full := workloads.JPEGCanny(cfg.Scale, nil)
 	solo := workloads.JPEG1Only(cfg.Scale)
 
-	opt, err := core.Optimize(full, core.OptimizeConfig{
-		Platform: cfg.Platform, Runs: cfg.ProfileRuns, Solver: cfg.Solver,
-	})
+	opt, err := core.Optimize(full, cfg.OptimizeConfig())
 	if err != nil {
 		return nil, nil, err
 	}
@@ -111,16 +109,13 @@ func Granularity(cfg Config) (*report.Table, error) {
 	totalUnits := cfg.Platform.L2.Sets / 8
 	wayUnits := totalUnits / cfg.Platform.L2.Ways
 
-	fine, err := core.Optimize(w, core.OptimizeConfig{
-		Platform: cfg.Platform, Runs: cfg.ProfileRuns,
-	})
+	fine, err := core.Optimize(w, cfg.OptimizeConfig())
 	if err != nil {
 		return nil, err
 	}
-	coarse, err := core.Optimize(w, core.OptimizeConfig{
-		Platform: cfg.Platform, Runs: cfg.ProfileRuns,
-		Sizes: []int{wayUnits}, // every entity gets exactly one way
-	})
+	coarseOC := cfg.OptimizeConfig()
+	coarseOC.Sizes = []int{wayUnits} // every entity gets exactly one way
+	coarse, err := core.Optimize(w, coarseOC)
 	if err != nil {
 		// Way granularity usually over-commits: with more entities than
 		// ways the program is infeasible, which is itself the paper's

@@ -17,7 +17,9 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/parallel"
 	"repro/internal/platform"
+	"repro/internal/profile"
 	"repro/internal/report"
 	"repro/internal/workloads"
 )
@@ -28,6 +30,35 @@ type Config struct {
 	Platform    platform.Config
 	ProfileRuns int
 	Solver      core.Solver
+	// Engine selects the profiling engine (default: the single-pass
+	// stack-distance simulator; profile.EngineBank is the reference
+	// bank-of-caches oracle).
+	Engine profile.Engine
+	// Workers bounds the harness's fan-out: the shared/profiled legs of
+	// a study, the profiling repetitions, and the headline's per-app
+	// studies all run on bounded worker pools. 0 = GOMAXPROCS,
+	// 1 = fully sequential. Every simulation owns its platform
+	// instance, so the results are identical at any worker count.
+	//
+	// The bound applies per fan-out stage, and stages nest (headline →
+	// study legs → profiling repetitions), so peak concurrency can
+	// reach the product of the nested stages' bounds — up to
+	// 3×2×Workers simulations for Headline. Use Workers=1 when a
+	// strict single-simulation-at-a-time run is needed.
+	Workers int
+}
+
+// OptimizeConfig translates the harness configuration into the
+// profiling/optimization options, so every command honors the engine and
+// worker knobs.
+func (c Config) OptimizeConfig() core.OptimizeConfig {
+	return core.OptimizeConfig{
+		Platform: c.Platform,
+		Runs:     c.ProfileRuns,
+		Solver:   c.Solver,
+		Engine:   c.Engine,
+		Workers:  c.Workers,
+	}
 }
 
 // Default returns the paper-scale configuration: the 4-CPU, 512 KB L2
@@ -61,19 +92,35 @@ func (s *Study) MissRatio() float64 {
 	return float64(s.Shared.TotalMisses()) / float64(p)
 }
 
-// RunStudy executes the full pipeline on one workload.
+// RunStudy executes the full pipeline on one workload. The shared
+// baseline and the profile+optimize leg are independent simulations and
+// run concurrently; the partitioned run needs the optimized allocation
+// and follows.
 func RunStudy(w core.Workload, cfg Config) (*Study, error) {
-	shared, err := core.Run(w, core.RunConfig{Platform: cfg.Platform})
-	if err != nil {
-		return nil, fmt.Errorf("experiments: shared run: %w", err)
+	var (
+		shared *core.Result
+		opt    *core.OptimizeResult
+	)
+	legs := []func() error{
+		func() error {
+			var err error
+			shared, err = core.Run(w, core.RunConfig{Platform: cfg.Platform})
+			if err != nil {
+				return fmt.Errorf("experiments: shared run: %w", err)
+			}
+			return nil
+		},
+		func() error {
+			var err error
+			opt, err = core.Optimize(w, cfg.OptimizeConfig())
+			if err != nil {
+				return fmt.Errorf("experiments: optimize: %w", err)
+			}
+			return nil
+		},
 	}
-	opt, err := core.Optimize(w, core.OptimizeConfig{
-		Platform: cfg.Platform,
-		Runs:     cfg.ProfileRuns,
-		Solver:   cfg.Solver,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("experiments: optimize: %w", err)
+	if err := parallel.Do(parallel.Workers(cfg.Workers), len(legs), func(i int) error { return legs[i]() }); err != nil {
+		return nil, err
 	}
 	part, err := core.Run(w, core.RunConfig{
 		Platform: cfg.Platform,
@@ -182,19 +229,35 @@ type HeadlineRow struct {
 }
 
 // Headline runs both applications plus the 1 MB shared-L2 MPEG-2 variant
-// and renders the in-text headline numbers of section 5.
+// and renders the in-text headline numbers of section 5. The three legs
+// are independent and fan out over the harness worker pool; rows and
+// table are assembled in the fixed App1, App2, 1 MB order afterwards, so
+// the output is identical to the sequential path.
 func Headline(cfg Config) (*report.Table, []HeadlineRow, error) {
 	t := &report.Table{
 		Title: "Headline (paper: 5x / 6.5x fewer misses; 9.46->2.21% / 5.1->0.8% miss rate; CPI 1.4->1.1 / ~1.75->~1.65)",
 		Headers: []string{"app", "shared miss", "part miss", "ratio",
 			"shared rate", "part rate", "shared CPI", "part CPI", "maxRelDiff", "energy gain"},
 	}
+	studies := make([]*Study, 2)
+	var bigRes *core.Result
+	legs := []func() error{
+		func() error { var err error; studies[0], err = App1(cfg); return err },
+		func() error { var err error; studies[1], err = App2(cfg); return err },
+		func() error {
+			// MPEG-2 on a 1 MB shared L2.
+			big := cfg.Platform
+			big.L2.Sets *= 2
+			var err error
+			bigRes, err = core.Run(workloads.MPEG2(cfg.Scale, nil), core.RunConfig{Platform: big})
+			return err
+		},
+	}
+	if err := parallel.Do(parallel.Workers(cfg.Workers), len(legs), func(i int) error { return legs[i]() }); err != nil {
+		return nil, nil, err
+	}
 	var rows []HeadlineRow
-	for _, run := range []func(Config) (*Study, error){App1, App2} {
-		s, err := run(cfg)
-		if err != nil {
-			return nil, nil, err
-		}
+	for _, s := range studies {
 		r := HeadlineRow{
 			App:          s.Workload,
 			SharedMiss:   s.Shared.TotalMisses(),
@@ -212,13 +275,6 @@ func Headline(cfg Config) (*report.Table, []HeadlineRow, error) {
 		t.AddRow(r.App, r.SharedMiss, r.PartMiss, r.Ratio, r.SharedRate, r.PartRate,
 			r.SharedCPI, r.PartCPI, r.MaxRelDiff,
 			fmt.Sprintf("%.1f%%", (1-r.PartEnergy/r.SharedEnergy)*100))
-	}
-	// MPEG-2 on a 1 MB shared L2.
-	big := cfg.Platform
-	big.L2.Sets *= 2
-	bigRes, err := core.Run(workloads.MPEG2(cfg.Scale, nil), core.RunConfig{Platform: big})
-	if err != nil {
-		return nil, nil, err
 	}
 	rows = append(rows, HeadlineRow{
 		App:        "mpeg2 @1MB shared",

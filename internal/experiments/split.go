@@ -58,9 +58,7 @@ func SplitSections(cfg Config) (*report.Table, error) {
 func Migration(cfg Config) (*report.Table, error) {
 	w := workloads.JPEGCanny(cfg.Scale, nil)
 
-	opt, err := core.Optimize(w, core.OptimizeConfig{
-		Platform: cfg.Platform, Runs: cfg.ProfileRuns, Solver: cfg.Solver,
-	})
+	opt, err := core.Optimize(w, cfg.OptimizeConfig())
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,67 @@
+// Package parallel provides the bounded fan-out primitive used by the
+// experiment harness. Every simulation owns its platform instance, so
+// independent legs (profiling repetitions, shared vs profiled runs, the
+// per-application studies of the headline table) are safe to run
+// concurrently by construction; this package only supplies the bounded
+// worker pool and deterministic error selection.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a worker-count knob: n itself when positive, otherwise
+// GOMAXPROCS. A knob of 1 forces sequential execution.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Do runs fn(0), ..., fn(n-1) on at most workers goroutines and waits for
+// all of them. Every index runs even if an earlier one fails; the
+// returned error is the lowest-index failure, so the caller sees the same
+// error regardless of scheduling. With workers <= 1 the calls run
+// sequentially on the calling goroutine.
+func Do(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		var first error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+package parallel
+
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoRunsEveryIndex(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 100} {
+		var hits [50]int32
+		err := Do(workers, len(hits), func(i int) error {
+			atomic.AddInt32(&hits[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestDoReturnsLowestIndexError(t *testing.T) {
+	errA, errB := errors.New("a"), errors.New("b")
+	for _, workers := range []int{1, 4} {
+		err := Do(workers, 10, func(i int) error {
+			switch i {
+			case 3:
+				return errA
+			case 7:
+				return errB
+			}
+			return nil
+		})
+		if err != errA {
+			t.Errorf("workers=%d: err = %v, want lowest-index %v", workers, err, errA)
+		}
+	}
+}
+
+func TestDoZeroTasks(t *testing.T) {
+	if err := Do(4, 0, func(int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var inFlight, peak int32
+	err := Do(workers, 64, func(i int) error {
+		n := atomic.AddInt32(&inFlight, 1)
+		for {
+			p := atomic.LoadInt32(&peak)
+			if n <= p || atomic.CompareAndSwapInt32(&peak, p, n) {
+				break
+			}
+		}
+		runtime.Gosched()
+		atomic.AddInt32(&inFlight, -1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak > workers {
+		t.Errorf("observed %d concurrent tasks, want <= %d", peak, workers)
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if Workers(5) != 5 {
+		t.Error("explicit knob ignored")
+	}
+	if Workers(0) != runtime.GOMAXPROCS(0) {
+		t.Error("default not GOMAXPROCS")
+	}
+	if Workers(-1) != runtime.GOMAXPROCS(0) {
+		t.Error("negative not defaulted")
+	}
+}

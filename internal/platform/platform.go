@@ -105,22 +105,33 @@ func New(cfg Config, as *mem.AddressSpace, rtData, rtBSS *mem.Region) (*Platform
 	p := &Platform{cfg: cfg, as: as, rtData: rtData, rtBSS: rtBSS}
 	p.bus = bus.New(cfg.Bus)
 	p.l2 = cache.New(cfg.L2)
+	// Precompute L1-cacheability per region: the hierarchy consults it
+	// on every single access, and resolving region + kind through the
+	// address space there is measurable on the hot path. Regions are
+	// all allocated before the platform is assembled, so a dense table
+	// indexed by region id suffices (ids past the table are conservative
+	// bypass, matching the nil-region behavior of the closure it
+	// replaces).
+	l1ok := make([]bool, as.NumRegions())
+	for _, r := range as.Regions() {
+		l1ok[r.ID] = !r.Kind.Shared()
+	}
+	l1Cacheable := func(id mem.RegionID) bool {
+		return id >= 0 && int(id) < len(l1ok) && l1ok[id]
+	}
 	for i := 0; i < cfg.NumCPUs; i++ {
 		core := cpu.New(cpu.Config{ID: i, Name: fmt.Sprintf("cpu%d", i), BaseCPI: cfg.BaseCPI})
 		l1cfg := cfg.L1
 		l1cfg.Name = fmt.Sprintf("l1.%d", i)
 		l1 := cache.New(l1cfg)
 		h := &cache.Hierarchy{
-			L1:       l1,
-			L2:       p.l2,
-			L1HitLat: cfg.L1HitLat,
-			L2HitLat: cfg.L2HitLat,
-			Mem:      p.bus,
-			L1Cacheable: func(id mem.RegionID) bool {
-				r := as.Region(id)
-				return r != nil && !r.Kind.Shared()
-			},
-			RegionOf: as.FindID,
+			L1:          l1,
+			L2:          p.l2,
+			L1HitLat:    cfg.L1HitLat,
+			L2HitLat:    cfg.L2HitLat,
+			Mem:         p.bus,
+			L1Cacheable: l1Cacheable,
+			RegionOf:    as.FindID,
 		}
 		p.cores = append(p.cores, core)
 		p.l1s = append(p.l1s, l1)

@@ -1,0 +1,62 @@
+package profile
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// benchStream builds a deterministic synthetic L2-bound stream with the
+// locality mix of the real workloads: tight loops, medium working sets,
+// and streaming sweeps, spread over two entities.
+func benchStream(n int) []uint64 {
+	stream := make([]uint64, n)
+	x := uint64(0x9E3779B97F4A7C15)
+	for i := range stream {
+		x ^= x >> 12
+		x ^= x << 25
+		x ^= x >> 27
+		v := x * 0x2545F4914F6CDD1D
+		switch v % 4 {
+		case 0:
+			stream[i] = v % 64
+		case 1:
+			stream[i] = v % 2048
+		case 2:
+			stream[i] = (1 << 20) + uint64(i)%(1<<15)
+		default:
+			stream[i] = uint64(i/9) % 8192
+		}
+	}
+	return stream
+}
+
+// BenchmarkProfilerObserve measures the per-access cost of the profiling
+// hot path at the paper geometry (8 candidate sizes, 8-set units, 4-way)
+// for both engines, tracking the stack-distance speedup over the
+// bank-of-caches oracle.
+func BenchmarkProfilerObserve(b *testing.B) {
+	cfg := Config{
+		Sizes:    []int{1, 2, 4, 8, 16, 32, 64, 128},
+		UnitSets: 8,
+		Ways:     4,
+		LineSize: 64,
+	}
+	regionOf := map[mem.RegionID]int{0: 0, 1: 1}
+	stream := benchStream(1 << 16)
+	for _, engine := range []Engine{EngineStackDist, EngineBank} {
+		b.Run(engine.String(), func(b *testing.B) {
+			ecfg := cfg
+			ecfg.Engine = engine
+			p, err := New(ecfg, []string{"a", "b"}, regionOf)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				line := stream[i&(len(stream)-1)]
+				p.Observe(line, line&1 == 0, mem.RegionID(line&1))
+			}
+		})
+	}
+}

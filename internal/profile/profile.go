@@ -7,12 +7,23 @@
 //
 // Instead of storing address traces, the profiler taps the L2-bound
 // access stream (through cache.Cache.Observer) during one functional run
-// and feeds every entity's references into a bank of candidate-size
-// caches online. Because partitioning isolates entities completely, an
-// entity's miss count inside a partition of z sets equals its miss count
-// in a standalone cache of z sets fed the same stream — the property
-// verified by TestPartitionEqualsIsolatedCacheProperty in internal/cache
-// and exploited here.
+// and measures every candidate size online. Because partitioning isolates
+// entities completely, an entity's miss count inside a partition of z
+// sets equals its miss count in a standalone cache of z sets fed the same
+// stream — the property verified by TestPartitionEqualsIsolatedCacheProperty
+// in internal/cache and exploited here.
+//
+// Two engines implement the measurement:
+//
+//   - EngineStackDist (default) runs internal/stackdist's single-pass
+//     Mattson simulator: one recency-stack walk per access yields the
+//     exact hit/miss verdict at every candidate size at once. This is
+//     not an approximation — LRU with bit-selection indexing satisfies
+//     the inclusion property across the power-of-two candidate sizes,
+//     so the walk reproduces every candidate cache's state exactly.
+//   - EngineBank replays the stream into a bank of real cache.Cache
+//     instances, one per candidate size. It is kept as the reference
+//     oracle: TestEnginesEquivalent* assert bit-identical curves.
 package profile
 
 import (
@@ -21,14 +32,34 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/mem"
+	"repro/internal/stackdist"
 )
 
-// Config describes the candidate-cache bank.
+// Engine selects the miss-curve measurement implementation.
+type Engine uint8
+
+// Available engines: the single-pass stack-distance simulator (default)
+// and the bank-of-caches reference oracle.
+const (
+	EngineStackDist Engine = iota
+	EngineBank
+)
+
+// String implements fmt.Stringer.
+func (e Engine) String() string {
+	if e == EngineBank {
+		return "bank"
+	}
+	return "stackdist"
+}
+
+// Config describes the candidate sizes and geometry.
 type Config struct {
 	Sizes    []int // candidate sizes in allocation units, ascending
 	UnitSets int   // sets per unit (rtos.AllocUnit)
 	Ways     int   // L2 associativity
 	LineSize int
+	Engine   Engine // measurement engine; zero value = EngineStackDist
 }
 
 // Validate checks the configuration.
@@ -57,27 +88,30 @@ type Curve struct {
 
 // At returns the miss count at the given size. The size must be one of
 // the candidate sizes; otherwise the nearest not-larger candidate is used
-// (curves are step functions of the admissible sizes).
+// (curves are step functions of the admissible sizes). Sizes is sorted
+// ascending, so a binary search suffices; At sits inside the MCKP
+// item-building loop and is called for every entity × candidate size.
 func (c *Curve) At(units int) float64 {
-	best := -1
-	for k, s := range c.Sizes {
-		if s <= units {
-			best = k
-		}
+	// First index with Sizes[i] > units; the candidate before it is the
+	// largest not-larger one.
+	i := sort.SearchInts(c.Sizes, units+1)
+	if i == 0 {
+		return c.Misses[0]
 	}
-	if best < 0 {
-		best = 0
-	}
-	return c.Misses[best]
+	return c.Misses[i-1]
 }
 
-// Profiler feeds one run's L2-bound stream into per-entity candidate
-// caches. Attach Observe to the L2 via cache.Cache.Observer.
+// Profiler feeds one run's L2-bound stream into the selected engine.
+// Attach Observe to the L2 via cache.Cache.Observer.
 type Profiler struct {
-	cfg      Config
-	names    []string
-	entityOf map[mem.RegionID]int
-	banks    [][]*cache.Cache // [entity][size]
+	cfg   Config
+	names []string
+	// entityOf maps region id -> entity index, -1 for untracked regions.
+	// Region ids are dense and small (mem.AddressSpace allocates them
+	// sequentially), so a slice beats a map lookup on the hot path.
+	entityOf []int32
+	banks    [][]*cache.Cache // [entity][size], EngineBank only
+	sims     []*stackdist.Sim // [entity], EngineStackDist only
 	accesses []uint64
 }
 
@@ -90,30 +124,71 @@ func New(cfg Config, names []string, regionOf map[mem.RegionID]int) (*Profiler, 
 	sizes := append([]int(nil), cfg.Sizes...)
 	sort.Ints(sizes)
 	cfg.Sizes = sizes
+	maxID := mem.RegionID(-1)
+	for r := range regionOf {
+		if r > maxID {
+			maxID = r
+		}
+	}
+	entityOf := make([]int32, maxID+1)
+	for i := range entityOf {
+		entityOf[i] = -1
+	}
+	for r, e := range regionOf {
+		if r >= 0 {
+			entityOf[r] = int32(e)
+		}
+	}
 	p := &Profiler{
 		cfg:      cfg,
 		names:    names,
-		entityOf: regionOf,
-		banks:    make([][]*cache.Cache, len(names)),
+		entityOf: entityOf,
 		accesses: make([]uint64, len(names)),
 	}
-	for e := range names {
-		for _, s := range sizes {
-			p.banks[e] = append(p.banks[e], cache.New(cache.Config{
-				Name:     fmt.Sprintf("prof.%s.%d", names[e], s),
-				Sets:     s * cfg.UnitSets,
-				Ways:     cfg.Ways,
-				LineSize: cfg.LineSize,
-			}))
+	switch cfg.Engine {
+	case EngineStackDist:
+		sdCfg := stackdist.Config{Sizes: sizes, UnitSets: cfg.UnitSets, Ways: cfg.Ways}
+		p.sims = make([]*stackdist.Sim, len(names))
+		for e := range names {
+			sim, err := stackdist.New(sdCfg)
+			if err != nil {
+				return nil, fmt.Errorf("profile: %w", err)
+			}
+			p.sims[e] = sim
 		}
+	case EngineBank:
+		p.banks = make([][]*cache.Cache, len(names))
+		for e := range names {
+			for _, s := range sizes {
+				p.banks[e] = append(p.banks[e], cache.New(cache.Config{
+					Name:     fmt.Sprintf("prof.%s.%d", names[e], s),
+					Sets:     s * cfg.UnitSets,
+					Ways:     cfg.Ways,
+					LineSize: cfg.LineSize,
+				}))
+			}
+		}
+	default:
+		return nil, fmt.Errorf("profile: unknown engine %d", cfg.Engine)
 	}
 	return p, nil
 }
 
+// Engine returns the measurement engine in use.
+func (p *Profiler) Engine() Engine { return p.cfg.Engine }
+
 // Observe implements the cache observer hook.
 func (p *Profiler) Observe(lineAddr uint64, write bool, region mem.RegionID) {
-	e, ok := p.entityOf[region]
-	if !ok {
+	if region < 0 || int(region) >= len(p.entityOf) {
+		return
+	}
+	e := p.entityOf[region]
+	if e < 0 {
+		return
+	}
+	if p.sims != nil {
+		// The sim keeps its own access counter; skip the redundant one.
+		p.sims[e].Access(lineAddr)
 		return
 	}
 	p.accesses[e]++
@@ -127,8 +202,15 @@ func (p *Profiler) Curves() []Curve {
 	out := make([]Curve, len(p.names))
 	for e, name := range p.names {
 		c := Curve{Entity: name, Sizes: append([]int(nil), p.cfg.Sizes...), Accesses: float64(p.accesses[e])}
-		for _, bank := range p.banks[e] {
-			c.Misses = append(c.Misses, float64(bank.Stats().Misses))
+		if p.sims != nil {
+			c.Accesses = float64(p.sims[e].Accesses())
+			for _, m := range p.sims[e].Misses() {
+				c.Misses = append(c.Misses, float64(m))
+			}
+		} else {
+			for _, bank := range p.banks[e] {
+				c.Misses = append(c.Misses, float64(bank.Stats().Misses))
+			}
 		}
 		out[e] = c
 	}

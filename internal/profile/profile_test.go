@@ -41,6 +41,96 @@ func TestCurveAt(t *testing.T) {
 			t.Errorf("At(%d) = %v, want %v", units, got, want)
 		}
 	}
+	long := Curve{Sizes: []int{1, 2, 4, 8, 16, 32, 64, 128}}
+	for k := range long.Sizes {
+		long.Misses = append(long.Misses, float64(int(1000)>>k))
+	}
+	// The binary search must agree with a linear scan at every point.
+	for units := 0; units <= 256; units++ {
+		best := 0
+		for k, s := range long.Sizes {
+			if s <= units {
+				best = k
+			}
+		}
+		if got := long.At(units); got != long.Misses[best] {
+			t.Errorf("At(%d) = %v, want %v", units, got, long.Misses[best])
+		}
+	}
+}
+
+func TestEngineString(t *testing.T) {
+	if EngineStackDist.String() != "stackdist" || EngineBank.String() != "bank" {
+		t.Error("engine names wrong")
+	}
+}
+
+// TestEnginesEquivalent feeds identical streams with assorted locality
+// profiles to both engines and requires bit-identical curves: the
+// stack-distance walk is exact, not an approximation.
+func TestEnginesEquivalent(t *testing.T) {
+	pcfg := Config{Sizes: []int{1, 2, 4, 8}, UnitSets: 8, Ways: 4, LineSize: 64}
+	regionOf := map[mem.RegionID]int{0: 0, 1: 0, 2: 1}
+	names := []string{"taskA", "taskB"}
+
+	sd, err := New(pcfg, names, regionOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bankCfg := pcfg
+	bankCfg.Engine = EngineBank
+	bank, err := New(bankCfg, names, regionOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sd.Engine() != EngineStackDist || bank.Engine() != EngineBank {
+		t.Fatal("engine selection broken")
+	}
+
+	feed := func(line uint64, write bool, region mem.RegionID) {
+		sd.Observe(line, write, region)
+		bank.Observe(line, write, region)
+	}
+	// Deterministic xorshift64* stream mixing loops, streams and bursts
+	// across both entities, including writes (which must not matter).
+	x := uint64(0x1234_5678_9ABC_DEF1)
+	for i := 0; i < 80000; i++ {
+		x ^= x >> 12
+		x ^= x << 25
+		x ^= x >> 27
+		v := x * 0x2545F4914F6CDD1D
+		region := mem.RegionID(v % 3)
+		write := v&8 == 0
+		var line uint64
+		switch v % 5 {
+		case 0:
+			line = v % 48 // tight loop
+		case 1:
+			line = v % 1024 // medium working set
+		case 2:
+			line = (1 << 22) + v%(1<<16) // far stream
+		case 3:
+			line = uint64(i/11) % 4096 // slow sequential sweep
+		default:
+			line = (v % 64) * 64 // set-conflict pattern
+		}
+		feed(line, write, region)
+	}
+	a, b := sd.Curves(), bank.Curves()
+	if len(a) != len(b) {
+		t.Fatalf("curve counts differ: %d vs %d", len(a), len(b))
+	}
+	for e := range a {
+		if a[e].Accesses != b[e].Accesses {
+			t.Errorf("%s: accesses %v vs %v", a[e].Entity, a[e].Accesses, b[e].Accesses)
+		}
+		for k := range a[e].Misses {
+			if a[e].Misses[k] != b[e].Misses[k] {
+				t.Errorf("%s at %d units: stackdist %v, bank %v",
+					a[e].Entity, a[e].Sizes[k], a[e].Misses[k], b[e].Misses[k])
+			}
+		}
+	}
 }
 
 func TestProfilerSeparatesEntities(t *testing.T) {
