@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/mem"
+	"repro/internal/platform"
 	"repro/internal/profile"
 	"repro/internal/rtos"
 	"repro/internal/workloads"
@@ -434,6 +435,56 @@ func BenchmarkAssignment(b *testing.B) {
 	b.Logf("\n%s", experiments.Assignment(s, cpus))
 }
 
+// benchRunStage measures one execution-engine stage — a full functional
+// simulation of an application — under both engines, so engine wins are
+// tracked separately from the profiling stage (BenchmarkFigure3*) and
+// from the end-to-end pipeline.
+func benchRunStage(b *testing.B, s *experiments.Study, w core.Workload, strategy core.Strategy) {
+	for _, eng := range []platform.Engine{platform.EngineLineMerged, platform.EngineWordExact} {
+		b.Run(eng.String(), func(b *testing.B) {
+			rc := core.RunConfig{Platform: benchCfg.Platform, Strategy: strategy}
+			rc.Platform.Engine = eng
+			if strategy == core.Partitioned {
+				rc.Alloc = s.Opt.Allocation
+			}
+			var res *core.Result
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = core.Run(w, rc)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.Platform.Makespan)/float64(b.Elapsed().Nanoseconds())*float64(b.N), "simcycles/ns")
+		})
+	}
+}
+
+// BenchmarkRunSharedJpegCanny measures the shared-cache functional run of
+// application 1 per execution engine.
+func BenchmarkRunSharedJpegCanny(b *testing.B) {
+	benchRunStage(b, nil, workloads.JPEGCanny(workloads.Paper, nil), core.Shared)
+}
+
+// BenchmarkRunSharedMpeg2 measures the shared-cache functional run of the
+// MPEG-2 decoder per execution engine.
+func BenchmarkRunSharedMpeg2(b *testing.B) {
+	benchRunStage(b, nil, workloads.MPEG2(workloads.Paper, nil), core.Shared)
+}
+
+// BenchmarkRunPartitionedJpegCanny measures the partitioned run of
+// application 1 per execution engine.
+func BenchmarkRunPartitionedJpegCanny(b *testing.B) {
+	benchRunStage(b, app1(b), workloads.JPEGCanny(workloads.Paper, nil), core.Partitioned)
+}
+
+// BenchmarkRunPartitionedMpeg2 measures the partitioned run of the MPEG-2
+// decoder per execution engine.
+func BenchmarkRunPartitionedMpeg2(b *testing.B) {
+	benchRunStage(b, app2(b), workloads.MPEG2(workloads.Paper, nil), core.Partitioned)
+}
+
 // BenchmarkSmallAppEndToEnd measures the simulator's throughput on the
 // small-scale application (useful for tracking simulator performance).
 func BenchmarkSmallAppEndToEnd(b *testing.B) {
@@ -442,6 +493,18 @@ func BenchmarkSmallAppEndToEnd(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.Run(w, core.RunConfig{Platform: pc}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWorkloadFactoryJpegCanny isolates application construction
+// (content synthesis, tables, regions) — the setup cost shared by every
+// Run* benchmark iteration, useful when attributing engine wins.
+func BenchmarkWorkloadFactoryJpegCanny(b *testing.B) {
+	w := workloads.JPEGCanny(workloads.Paper, nil)
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Factory(); err != nil {
 			b.Fatal(err)
 		}
 	}

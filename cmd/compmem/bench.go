@@ -1,0 +1,126 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/platform"
+	"repro/internal/workloads"
+)
+
+// benchResult is one timed stage, in the machine-readable shape of
+// `compmem bench -json` (the seed of the BENCH_* performance trajectory).
+type benchResult struct {
+	Name       string  `json:"name"`
+	Iterations int     `json:"iterations"`
+	NsPerOp    int64   `json:"ns_per_op"`
+	MsPerOp    float64 `json:"ms_per_op"`
+}
+
+// benchReport is the top-level JSON document.
+type benchReport struct {
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Scale      string        `json:"scale"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+// runBench times the execution-engine stages — the functional shared and
+// partitioned runs plus the full profiling pipeline, per application and
+// per engine — and renders a table or JSON. Each stage runs iters times;
+// the minimum is reported (the conventional noise-resistant statistic).
+func runBench(cfg experiments.Config, iters int, asJSON bool) error {
+	if iters <= 0 {
+		iters = 3
+	}
+	scale := "paper"
+	if cfg.Scale == workloads.Small {
+		scale = "small"
+	}
+	rep := benchReport{
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scale:      scale,
+	}
+	apps := []struct {
+		name string
+		w    core.Workload
+	}{
+		{"2jpeg+canny", workloadFor(cfg, true)},
+		{"mpeg2", workloadFor(cfg, false)},
+	}
+	engines := []platform.Engine{platform.EngineLineMerged, platform.EngineWordExact}
+
+	measure := func(name string, fn func() error) error {
+		best := time.Duration(1<<63 - 1)
+		for i := 0; i < iters; i++ {
+			start := time.Now()
+			if err := fn(); err != nil {
+				return fmt.Errorf("bench %s: %w", name, err)
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		rep.Benchmarks = append(rep.Benchmarks, benchResult{
+			Name:       name,
+			Iterations: iters,
+			NsPerOp:    best.Nanoseconds(),
+			MsPerOp:    float64(best.Nanoseconds()) / 1e6,
+		})
+		return nil
+	}
+
+	for _, app := range apps {
+		// One optimize per app provides the partitioned runs' allocation.
+		opt, err := core.Optimize(app.w, cfg.OptimizeConfig())
+		if err != nil {
+			return err
+		}
+		for _, eng := range engines {
+			pc := cfg.Platform
+			pc.Engine = eng
+			w := app.w
+			if err := measure(fmt.Sprintf("run-shared-%s/%s", app.name, eng), func() error {
+				_, err := core.Run(w, core.RunConfig{Platform: pc})
+				return err
+			}); err != nil {
+				return err
+			}
+			if err := measure(fmt.Sprintf("run-partitioned-%s/%s", app.name, eng), func() error {
+				_, err := core.Run(w, core.RunConfig{Platform: pc, Strategy: core.Partitioned, Alloc: opt.Allocation})
+				return err
+			}); err != nil {
+				return err
+			}
+			if err := measure(fmt.Sprintf("profile-pipeline-%s/%s", app.name, eng), func() error {
+				oc := cfg.OptimizeConfig()
+				oc.Platform.Engine = eng
+				oc.Runs = 1
+				_, err := core.Profile(w, oc)
+				return err
+			}); err != nil {
+				return err
+			}
+		}
+	}
+
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	fmt.Printf("execution-engine benchmarks (%s scale, best of %d, GOMAXPROCS=%d)\n",
+		rep.Scale, iters, rep.GOMAXPROCS)
+	for _, b := range rep.Benchmarks {
+		fmt.Printf("  %-44s %10.1f ms\n", b.Name, b.MsPerOp)
+	}
+	return nil
+}

@@ -19,16 +19,20 @@
 //	split     task-unified vs split instruction/data partitions (X4)
 //	migration schedule sensitivity under task migration (X5)
 //	curves    dump the profiled per-entity miss curves m_i(z_p)
-//	all       everything above
+//	bench     time the execution-engine stages (-json for bench.json output)
+//	all       everything above except bench
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/platform"
 	"repro/internal/profile"
 	"repro/internal/workloads"
 )
@@ -38,9 +42,14 @@ func main() {
 	runs := flag.Int("runs", 2, "profiling repetitions for miss-curve averaging")
 	solver := flag.String("solver", "mckp", "partitioning solver: mckp or ilp")
 	engine := flag.String("engine", "stackdist", "profiling engine: stackdist or bank")
+	exec := flag.String("exec", "merged", "execution engine: merged (exact line-merged fast path) or word (reference oracle)")
 	workers := flag.Int("workers", 0, "harness worker pool size; 0 = GOMAXPROCS, 1 = sequential")
+	benchN := flag.Int("benchn", 3, "iterations per stage for the bench command (best is reported)")
+	asJSON := flag.Bool("json", false, "bench command: emit machine-readable JSON on stdout")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the command to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile after the command to this file")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: compmem [flags] table1|table2|fig2|fig3|headline|compose|granularity|split|migration|assign|all\n")
+		fmt.Fprintf(os.Stderr, "usage: compmem [flags] table1|table2|fig2|fig3|headline|compose|granularity|split|migration|assign|curves|bench|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -71,9 +80,50 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown engine %q", *engine))
 	}
+	ee, err := platform.ParseEngine(*exec)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.Platform.Engine = ee
+
+	profiling := false
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		profiling = true
+	}
 
 	cmd := flag.Arg(0)
-	if err := run(cmd, cfg); err != nil {
+	if cmd == "bench" {
+		err = runBench(cfg, *benchN, *asJSON)
+	} else {
+		err = run(cmd, cfg)
+	}
+	// Complete both profiles before any exit path — a failing run is
+	// exactly the one a user wants to profile.
+	if profiling {
+		pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, ferr := os.Create(*memProfile)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		defer f.Close()
+		// Materialize the live heap: without a collection the profile
+		// only reflects the last automatic GC cycle.
+		runtime.GC()
+		if ferr := pprof.WriteHeapProfile(f); ferr != nil {
+			fatal(ferr)
+		}
+	}
+	if err != nil {
 		fatal(err)
 	}
 }

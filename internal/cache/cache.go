@@ -86,19 +86,18 @@ type EntityStats struct {
 	Misses   uint64
 }
 
-type line struct {
-	tag   uint64 // full line address (Addr >> lineShift); unique across partitions
-	last  uint64 // LRU timestamp
-	valid bool
-	dirty bool
-}
-
-// Cache is one level of the memory hierarchy.
+// Cache is one level of the memory hierarchy. Line state is kept in
+// parallel arrays (set-major, sets*ways each) so the per-access tag scan
+// of a 4-way set reads one 32-byte block: tags holds the full line
+// address plus one (0 = invalid way; line addresses fit 58 bits, so the
+// +1 cannot overflow), last the LRU stamps, dirty the write-back bits.
 type Cache struct {
 	cfg       Config
 	lineShift uint
 	setMask   uint64
-	lines     []line // sets*ways, set-major
+	tags      []uint64
+	last      []uint64
+	dirty     []bool
 	table     *PartitionTable
 
 	clock   uint64
@@ -119,11 +118,14 @@ func New(cfg Config) *Cache {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
+	n := cfg.Sets * cfg.Ways
 	return &Cache{
 		cfg:       cfg,
 		lineShift: cfg.LineShift(),
 		setMask:   cfg.SetMask(),
-		lines:     make([]line, cfg.Sets*cfg.Ways),
+		tags:      make([]uint64, n),
+		last:      make([]uint64, n),
+		dirty:     make([]bool, n),
 	}
 }
 
@@ -153,8 +155,10 @@ func (c *Cache) PartitionTable() *PartitionTable { return c.table }
 
 // Flush invalidates every line without counting writebacks or evictions.
 func (c *Cache) Flush() {
-	for i := range c.lines {
-		c.lines[i] = line{}
+	for i := range c.tags {
+		c.tags[i] = 0
+		c.last[i] = 0
+		c.dirty[i] = false
 	}
 }
 
@@ -174,8 +178,9 @@ func (c *Cache) ResetStats() {
 // Result describes the outcome of one line reference.
 type Result struct {
 	Hit       bool
-	Writeback bool   // a dirty victim was evicted
-	VictimTag uint64 // line address of the evicted victim, valid when Writeback
+	Evicted   bool   // a valid line was evicted to make room
+	Writeback bool   // the evicted victim was dirty
+	VictimTag uint64 // line address of the evicted victim, valid when Evicted
 }
 
 // Access performs one memory access, possibly split over two lines, and
@@ -210,15 +215,17 @@ func (c *Cache) AccessLine(lineAddr uint64, write bool, region mem.RegionID) Res
 		set, part = c.table.mapSet(set, region)
 	}
 	base := int(set) * c.cfg.Ways
-	ways := c.lines[base : base+c.cfg.Ways]
+	end := base + c.cfg.Ways
+	tags := c.tags[base:end:end]
+	tag := lineAddr + 1
 
 	var res Result
-	// Hit path.
-	for i := range ways {
-		if ways[i].valid && ways[i].tag == lineAddr {
-			ways[i].last = c.clock
+	// Hit path: one scan over the packed tag block.
+	for i := range tags {
+		if tags[i] == tag {
+			c.last[base+i] = c.clock
 			if write {
-				ways[i].dirty = true
+				c.dirty[base+i] = true
 			}
 			res.Hit = true
 			c.record(region, part, res, write)
@@ -227,12 +234,12 @@ func (c *Cache) AccessLine(lineAddr uint64, write bool, region mem.RegionID) Res
 	}
 	// Miss: pick invalid way or LRU victim.
 	victim := 0
-	for i := range ways {
-		if !ways[i].valid {
+	for i := range tags {
+		if tags[i] == 0 {
 			victim = i
 			goto fill
 		}
-		if ways[i].last < ways[victim].last {
+		if c.last[base+i] < c.last[base+victim] {
 			victim = i
 		}
 	}
@@ -240,55 +247,129 @@ func (c *Cache) AccessLine(lineAddr uint64, write bool, region mem.RegionID) Res
 	if c.table != nil {
 		c.parts[part].Evictions++
 	}
-	if ways[victim].dirty {
+	res.Evicted = true
+	res.VictimTag = tags[victim] - 1
+	if c.dirty[base+victim] {
 		res.Writeback = true
-		res.VictimTag = ways[victim].tag
 	}
 fill:
-	ways[victim] = line{tag: lineAddr, last: c.clock, valid: true, dirty: write}
+	tags[victim] = tag
+	c.last[base+victim] = c.clock
+	c.dirty[base+victim] = write
 	c.record(region, part, res, write)
 	return res
 }
 
+// record credits one access outcome to every counter family. Hit, miss
+// and writeback are folded into 0/1 increments so the per-access cost is
+// a fixed run of adds instead of a branch tree (this path remains hot for
+// every first-of-line access and every miss on the line-merged engine).
 func (c *Cache) record(region mem.RegionID, part int, res Result, write bool) {
-	c.stats.Accesses++
+	hit := uint64(0)
+	if res.Hit {
+		hit = 1
+	}
+	wb := uint64(0)
+	if res.Writeback {
+		wb = 1
+	}
 	op := trace.Read
 	if write {
 		op = trace.Write
 	}
-	c.byOp[op].Accesses++
-	if res.Hit {
-		c.stats.Hits++
-		c.byOp[op].Hits++
-	} else {
-		c.stats.Misses++
-		c.byOp[op].Misses++
-	}
-	if res.Writeback {
-		c.stats.Writebacks++
-	}
+	c.stats.Accesses++
+	c.stats.Hits += hit
+	c.stats.Misses += 1 - hit
+	c.stats.Writebacks += wb
+	o := &c.byOp[op]
+	o.Accesses++
+	o.Hits += hit
+	o.Misses += 1 - hit
 	if region >= 0 {
 		if int(region) >= len(c.regions) {
 			grown := make([]EntityStats, region+1)
 			copy(grown, c.regions)
 			c.regions = grown
 		}
-		c.regions[region].Accesses++
-		if !res.Hit {
-			c.regions[region].Misses++
-		}
+		r := &c.regions[region]
+		r.Accesses++
+		r.Misses += 1 - hit
 	}
 	if c.table != nil {
 		p := &c.parts[part]
 		p.Accesses++
-		if res.Hit {
-			p.Hits++
-		} else {
-			p.Misses++
+		p.Hits += hit
+		p.Misses += 1 - hit
+		p.Writebacks += wb
+	}
+}
+
+// CommitHits credits reads+writes guaranteed hits on a line that is known
+// to be resident — the batched commit of the exact line-merged fast path.
+// The caller (the execution engine's per-task line register) proves
+// residency from strict handoff: the line was referenced by the previous
+// access of the same task and nothing else has touched this cache since.
+//
+// State and statistics end up exactly as reads+writes individual
+// AccessLine hits would leave them: the clock advances by the batch size,
+// the line's LRU stamp becomes the final clock value, the dirty bit is set
+// when the batch contains a write, and every counter family (aggregate,
+// per-op, per-region, per-partition) is credited per access. The Observer
+// is NOT invoked; callers coalescing on an observed cache must take the
+// word-granular path instead (Hierarchy.FastSpec disables cacheable
+// batching, returning sets=0, when the L1 has an Observer).
+//
+// CommitHits panics if the line is absent: that means the residency proof
+// was violated, which is a programming error in the fast path, and the
+// differential oracle tests exist to keep it impossible.
+func (c *Cache) CommitHits(lineAddr uint64, region mem.RegionID, reads, writes uint64) {
+	n := reads + writes
+	if n == 0 {
+		return
+	}
+	set := lineAddr & c.setMask
+	part := 0
+	if c.table != nil {
+		set, part = c.table.mapSet(set, region)
+	}
+	base := int(set) * c.cfg.Ways
+	end := base + c.cfg.Ways
+	tags := c.tags[base:end:end]
+	tag := lineAddr + 1
+	c.clock += n
+	found := false
+	for i := range tags {
+		if tags[i] == tag {
+			c.last[base+i] = c.clock
+			if writes > 0 {
+				c.dirty[base+i] = true
+			}
+			found = true
+			break
 		}
-		if res.Writeback {
-			p.Writebacks++
+	}
+	if !found {
+		panic(fmt.Sprintf("cache %q: CommitHits on absent line %#x (fast-path residency proof violated)",
+			c.cfg.Name, lineAddr))
+	}
+	c.stats.Accesses += n
+	c.stats.Hits += n
+	c.byOp[trace.Read].Accesses += reads
+	c.byOp[trace.Read].Hits += reads
+	c.byOp[trace.Write].Accesses += writes
+	c.byOp[trace.Write].Hits += writes
+	if region >= 0 {
+		if int(region) >= len(c.regions) {
+			grown := make([]EntityStats, region+1)
+			copy(grown, c.regions)
+			c.regions = grown
 		}
+		c.regions[region].Accesses += n
+	}
+	if c.table != nil {
+		p := &c.parts[part]
+		p.Accesses += n
+		p.Hits += n
 	}
 }
 
@@ -301,8 +382,8 @@ func (c *Cache) Probe(addr uint64, region mem.RegionID) bool {
 		set, _ = c.table.mapSet(set, region)
 	}
 	base := int(set) * c.cfg.Ways
-	for _, w := range c.lines[base : base+c.cfg.Ways] {
-		if w.valid && w.tag == lineAddr {
+	for _, t := range c.tags[base : base+c.cfg.Ways] {
+		if t == lineAddr+1 {
 			return true
 		}
 	}
@@ -339,8 +420,8 @@ func (c *Cache) PartitionStats(part int) Stats {
 // OccupiedLines counts currently valid lines (test/diagnostic helper).
 func (c *Cache) OccupiedLines() int {
 	n := 0
-	for i := range c.lines {
-		if c.lines[i].valid {
+	for _, t := range c.tags {
+		if t != 0 {
 			n++
 		}
 	}

@@ -1,6 +1,8 @@
 package cache
 
 import (
+	"fmt"
+
 	"repro/internal/mem"
 	"repro/internal/trace"
 )
@@ -99,24 +101,32 @@ func (h *Hierarchy) AccessAt(a trace.Access, now uint64) uint64 {
 }
 
 func (h *Hierarchy) accessLine(lineAddr uint64, shift uint, write bool, region mem.RegionID, now uint64) uint64 {
-	lat := h.L1HitLat
-	useL1 := h.L1 != nil && (h.L1Cacheable == nil || h.L1Cacheable(region))
+	lat, _, _ := h.accessLineRes(lineAddr, shift, write, region, now)
+	return lat
+}
+
+// accessLineRes is accessLine plus the L1 outcome, which the fast path's
+// register file uses to track residency (useL1 false on the bypass path,
+// where r1 is meaningless).
+func (h *Hierarchy) accessLineRes(lineAddr uint64, shift uint, write bool, region mem.RegionID, now uint64) (lat uint64, useL1 bool, r1 Result) {
+	lat = h.L1HitLat
+	useL1 = h.L1 != nil && (h.L1Cacheable == nil || h.L1Cacheable(region))
 	if !useL1 {
 		if h.haveBypassLine && h.lastBypassLine == lineAddr {
 			h.MergedBursts++
-			return lat + 1
+			return lat + 1, false, r1
 		}
 		h.lastBypassLine = lineAddr
 		h.haveBypassLine = true
 	}
 	if useL1 {
-		r := h.L1.AccessLine(lineAddr, write, region)
-		if r.Writeback {
+		r1 = h.L1.AccessLine(lineAddr, write, region)
+		if r1.Writeback {
 			h.WritebacksToL2++
-			h.writebackToL2(r.VictimTag, shift, now)
+			h.writebackToL2(r1.VictimTag, shift, now)
 		}
-		if r.Hit {
-			return lat
+		if r1.Hit {
+			return lat, true, r1
 		}
 	}
 	// L1 miss (or bypass): go to the shared L2. When the L1 holds the
@@ -143,7 +153,87 @@ func (h *Hierarchy) accessLine(lineAddr uint64, shift uint, write bool, region m
 	if useL1 {
 		h.DemandFills++
 	}
-	return lat
+	return lat, useL1, r1
+}
+
+// ChargeLine walks the hierarchy for one single-line access — the
+// slow-path primitive of the execution engine's line-register file — and
+// reports, besides the latency, what the register file needs to track L1
+// residency exactly: whether the line is cacheable (false = bypass
+// class), whether the L1 filled (an L1 miss brought the line in), and
+// which valid line the fill evicted (evicted is the victim's line address
+// plus one; 0 = no valid line was displaced).
+func (h *Hierarchy) ChargeLine(lineAddr uint64, write bool, region mem.RegionID, now uint64) (lat uint64, cacheable, filled bool, evicted uint64) {
+	lat, useL1, r1 := h.accessLineRes(lineAddr, h.LineShift(), write, region, now)
+	if !useL1 {
+		return lat, false, false, 0
+	}
+	if r1.Hit {
+		return lat, true, false, 0
+	}
+	if r1.Evicted {
+		evicted = r1.VictimTag + 1
+	}
+	return lat, true, true, evicted
+}
+
+// LineShift returns log2 of the line-register granularity of the exact
+// fast path: the L1's line size when a private cache is present, else the
+// L2's. It matches the split granularity of AccessAt, so a single-line
+// access at this shift never spans hierarchy lines.
+func (h *Hierarchy) LineShift() uint {
+	if h.L1 != nil {
+		return h.L1.lineShift
+	}
+	return h.L2.lineShift
+}
+
+// FastSpec returns the line-register geometry of the exact fast path:
+// the line shift, the number of private-cache sets to key cacheable line
+// registers by (0 disables cacheable batching — no private cache, or one
+// that is observed or partitioned and therefore needs the word-granular
+// walk), and the per-repeat latency of each repeat class.
+//
+// The exactness argument: tasks execute in strict handoff, so between two
+// accesses of one task to the same L1 line, that core's private L1 can
+// only be touched by the task's own accesses. A registered line stays
+// resident — and every re-reference is a guaranteed hit at hitLat — until
+// a walk reaches its set (only a fill into the set can evict it), which
+// is when the engine retires the register. A bypassed line re-referenced
+// immediately is still in the outstanding transaction's line buffer
+// (merged burst at mergeLat), until any other bypass access moves the
+// buffer. The engine samples this spec whenever a slice resume hands the
+// task a different Memory than its previous slice used.
+func (h *Hierarchy) FastSpec() (shift uint, sets int, hitLat, mergeLat uint64) {
+	shift = h.LineShift()
+	if h.L1 != nil && h.L1.Observer == nil && h.L1.table == nil {
+		sets = h.L1.cfg.Sets
+	}
+	return shift, sets, h.L1HitLat, h.L1HitLat + 1
+}
+
+// CacheableLine reports whether the region's lines may live in the
+// private cache; false selects the bypass burst-merge repeat class.
+func (h *Hierarchy) CacheableLine(region mem.RegionID) bool {
+	return h.L1 != nil && (h.L1Cacheable == nil || h.L1Cacheable(region))
+}
+
+// CommitRepeats commits a batch of reads+writes coalesced repeat
+// references of one line, classified by CacheableLine. On the merge path it
+// credits the burst-merge counter; on the cacheable path it batch-commits
+// guaranteed L1 hits. Latency is charged by the caller (repeats never
+// reach the L2 or the memory port on either path, matching the
+// word-granular walk).
+func (h *Hierarchy) CommitRepeats(lineAddr uint64, region mem.RegionID, reads, writes uint64, merge bool) {
+	if merge {
+		if !h.haveBypassLine || h.lastBypassLine != lineAddr {
+			panic(fmt.Sprintf("cache: CommitRepeats merge of line %#x, bypass buffer holds %#x (fast-path burst proof violated)",
+				lineAddr, h.lastBypassLine))
+		}
+		h.MergedBursts += reads + writes
+		return
+	}
+	h.L1.CommitHits(lineAddr, region, reads, writes)
 }
 
 // writebackToL2 inserts an L1 victim into the L2 as a posted write.

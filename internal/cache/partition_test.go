@@ -267,3 +267,56 @@ func TestPartitionEqualsIsolatedCacheProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestAccessTwoLineSplitUnderPartition verifies that an access straddling
+// a line boundary references both lines, each translated through the
+// owning entity's partition — counted as two accesses in that partition,
+// landing in its exclusive set range.
+func TestAccessTwoLineSplitUnderPartition(t *testing.T) {
+	table, err := NewPartitionTable(64, "rt", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, err := table.AddPartition("a", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const regionA = mem.RegionID(7)
+	if err := table.Assign(regionA, pa); err != nil {
+		t.Fatal(err)
+	}
+	c := New(Config{Name: "l2", Sets: 64, Ways: 2, LineSize: 64})
+	c.SetPartitionTable(table)
+
+	// 8-byte access at line end: lines 0x10 and 0x11, both owned by A.
+	hit := c.Access(trace.Access{Addr: 0x10*64 + 60, Size: 8, Op: trace.Write, Region: regionA})
+	if hit {
+		t.Error("cold straddling access reported as hit")
+	}
+	ps := c.PartitionStats(pa)
+	if ps.Accesses != 2 || ps.Misses != 2 {
+		t.Errorf("partition stats after straddle = %+v, want 2 accesses, 2 misses", ps)
+	}
+	if es := c.RegionStats(regionA); es.Accesses != 2 || es.Misses != 2 {
+		t.Errorf("region stats after straddle = %+v", es)
+	}
+	// Both lines must live inside partition A's set range [4, 12).
+	base := table.Partition(pa).BaseSet
+	for _, line := range []uint64{0x10, 0x11} {
+		set, part := table.MapSet(line&c.Config().SetMask(), regionA)
+		if part != pa || set < uint64(base) || set >= uint64(base+8) {
+			t.Errorf("line %#x mapped to set %d partition %d", line, set, part)
+		}
+		if !c.Probe(line*64, regionA) {
+			t.Errorf("line %#x not resident after fill", line)
+		}
+	}
+	// Warm re-access: both lines hit, in the same partition.
+	if !c.Access(trace.Access{Addr: 0x10*64 + 60, Size: 8, Op: trace.Read, Region: regionA}) {
+		t.Error("warm straddling access missed")
+	}
+	ps = c.PartitionStats(pa)
+	if ps.Accesses != 4 || ps.Hits != 2 {
+		t.Errorf("partition stats after warm straddle = %+v, want 4 accesses, 2 hits", ps)
+	}
+}

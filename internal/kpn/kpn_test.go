@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/cache"
 	"repro/internal/cpu"
 	"repro/internal/mem"
 	"repro/internal/trace"
@@ -521,5 +522,131 @@ func TestFIFOOrderProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestChargeBulkOddSizesAndStraddles verifies the word decomposition of
+// bulk transfers: 4-byte words from the start offset, a short final word,
+// and line-straddling words left intact — the exact stream a memcpy loop
+// would issue.
+func TestChargeBulkOddSizesAndStraddles(t *testing.T) {
+	for _, tc := range []struct {
+		off  uint64
+		n    int
+		want []uint8 // expected access sizes in order
+	}{
+		{0, 7, []uint8{4, 3}},
+		{1, 13, []uint8{4, 4, 4, 1}},
+		{62, 8, []uint8{4, 4}},   // words straddle the 64 B line boundary
+		{61, 6, []uint8{4, 2}},   // first word straddles
+		{0, 1, []uint8{1}},
+		{63, 2, []uint8{2}},      // single straddling short word
+	} {
+		as := mem.NewAddressSpace()
+		h := newHarness(t)
+		rec := recordingMem{}
+		var wrote, read bool
+		p := h.addProc(as, "w", func(c *Ctx) {
+			buf := make([]byte, tc.n)
+			for i := range buf {
+				buf[i] = byte(i + 1)
+			}
+			c.StoreBytes(c.Heap(), tc.off, buf)
+			wrote = true
+			got := make([]byte, tc.n)
+			c.LoadBytes(c.Heap(), tc.off, got)
+			read = true
+			for i := range got {
+				if got[i] != buf[i] {
+					panic("bulk round trip mismatch")
+				}
+			}
+		})
+		p.Start()
+		for p.State() != Done && p.State() != Failed {
+			if y := p.RunSlice(h.core, &rec, 1<<30); y.Reason == YieldFailed {
+				t.Fatalf("off=%d n=%d: %v", tc.off, tc.n, y.Err)
+			}
+		}
+		if !wrote || !read {
+			t.Fatalf("off=%d n=%d: body did not complete", tc.off, tc.n)
+		}
+		var stores, loads []trace.Access
+		for _, a := range rec.accesses {
+			switch a.Op {
+			case trace.Write:
+				stores = append(stores, a)
+			case trace.Read:
+				loads = append(loads, a)
+			}
+		}
+		check := func(kind string, got []trace.Access) {
+			if len(got) != len(tc.want) {
+				t.Fatalf("off=%d n=%d: %s accesses = %d, want %d", tc.off, tc.n, kind, len(got), len(tc.want))
+			}
+			addr := h.procs[len(h.procs)-1].Heap.Base + tc.off
+			for i, a := range got {
+				if a.Size != tc.want[i] || a.Addr != addr {
+					t.Errorf("off=%d n=%d: %s[%d] = addr %#x size %d, want addr %#x size %d",
+						tc.off, tc.n, kind, i, a.Addr, a.Size, addr, tc.want[i])
+				}
+				addr += uint64(a.Size)
+			}
+		}
+		check("store", stores)
+		check("load", loads)
+	}
+}
+
+// TestBulkEnginesBitIdentical drives one task issuing odd-size bulk
+// transfers, straddles and byte runs through a real two-level hierarchy
+// under both execution engines and requires identical cache statistics,
+// stall cycles and consumed cycles.
+func TestBulkEnginesBitIdentical(t *testing.T) {
+	run := func(wordExact bool) (cache.Stats, cache.Stats, uint64, uint64) {
+		as := mem.NewAddressSpace()
+		l1 := cache.New(cache.Config{Name: "l1", Sets: 8, Ways: 2, LineSize: 64})
+		l2 := cache.New(cache.Config{Name: "l2", Sets: 64, Ways: 4, LineSize: 64})
+		h := &cache.Hierarchy{L1: l1, L2: l2, L1HitLat: 1, L2HitLat: 8, Mem: &cache.FixedMem{Latency: 40}}
+		core := cpu.New(cpu.Config{Name: "p0", BaseCPI: 1.0})
+		p := &Process{
+			Name:      "w",
+			WordExact: wordExact,
+			Code:      as.MustAlloc("w.code", mem.KindCode, "w", 4096),
+			Heap:      as.MustAlloc("w.heap", mem.KindHeap, "w", 65536),
+			HotCode:   128,
+			Body: func(c *Ctx) {
+				buf := make([]byte, 200)
+				for i := range buf {
+					buf[i] = byte(i)
+				}
+				for it := uint64(0); it < 50; it++ {
+					c.StoreBytes(c.Heap(), it*13%1000+1, buf[:7+it%190])
+					c.LoadBytes(c.Heap(), it*29%2000, buf[:1+it%200])
+					c.Exec(30)
+					for j := uint64(0); j < 70; j++ {
+						c.Store8(c.Heap(), 4096+it*64+j, byte(j))
+					}
+				}
+			},
+		}
+		p.Start()
+		for p.State() != Done && p.State() != Failed {
+			if y := p.RunSlice(core, h, 97); y.Reason == YieldFailed {
+				t.Fatal(y.Err)
+			}
+		}
+		return l1.Stats(), l2.Stats(), core.StallCycles(), p.ConsumedCycles()
+	}
+	l1f, l2f, stallF, consF := run(false)
+	l1w, l2w, stallW, consW := run(true)
+	if l1f != l1w {
+		t.Errorf("L1 stats: merged %+v vs word %+v", l1f, l1w)
+	}
+	if l2f != l2w {
+		t.Errorf("L2 stats: merged %+v vs word %+v", l2f, l2w)
+	}
+	if stallF != stallW || consF != consW {
+		t.Errorf("stall/consumed: merged %d/%d vs word %d/%d", stallF, consF, stallW, consW)
 	}
 }

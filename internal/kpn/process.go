@@ -24,6 +24,37 @@ type Memory interface {
 	AccessAt(a trace.Access, now uint64) uint64
 }
 
+// LineMemory extends Memory with the contract of the exact line-merged
+// fast path (implemented by cache.Hierarchy). Because tasks run in strict
+// handoff — exactly one task executes at any instant — accesses of one
+// task to a line it touched before (with no intervening walk into that
+// line's private-cache set) are provably served as repeats of the first
+// access: L1 hits, or merged bypass bursts. The Ctx tracks such lines in
+// a per-set register file, charges repeat latencies as they occur, and
+// retires each line's cache-state commit in one CommitRepeats call
+// instead of one AccessAt walk per word. Memory implementations without
+// these hooks (test stubs) are driven word-granularly, which is also the
+// reference-oracle behavior behind Process.WordExact.
+type LineMemory interface {
+	Memory
+	// FastSpec returns the register-file geometry: line shift, number of
+	// private-cache sets (0 disables cacheable batching), and the
+	// per-repeat latency of the cacheable and bypass repeat classes.
+	FastSpec() (shift uint, sets int, hitLat, mergeLat uint64)
+	// CacheableLine reports whether the region's lines may live in the
+	// private cache (false selects the bypass burst-merge class).
+	CacheableLine(region mem.RegionID) bool
+	// ChargeLine walks the hierarchy for one single-line access and
+	// reports what the register file needs to track residency: the
+	// repeat class, whether the private cache filled, and the line a
+	// fill evicted (victim line address + 1; 0 = none).
+	ChargeLine(lineAddr uint64, write bool, region mem.RegionID, now uint64) (lat uint64, cacheable, filled bool, evicted uint64)
+	// CommitRepeats commits reads+writes coalesced repeats of the line in
+	// one call, leaving cache state and statistics exactly as the
+	// word-granular walk would.
+	CommitRepeats(lineAddr uint64, region mem.RegionID, reads, writes uint64, merge bool)
+}
+
 // State enumerates the lifecycle of a process.
 type State uint8
 
@@ -84,6 +115,10 @@ type resumeMsg struct {
 
 type killSignal struct{}
 
+// ctxLineSize is the instruction-fetch granularity of the execution
+// model: one 64 B line of 4 B instruction words.
+const ctxLineSize = 64
+
 // Process is one YAPI task.
 type Process struct {
 	Name string
@@ -101,6 +136,13 @@ type Process struct {
 	// instruction fetches cycle through it. 0 means the whole Code
 	// region.
 	HotCode uint64
+
+	// WordExact forces the reference oracle: every access is charged
+	// word-granularly through a full Memory.AccessAt walk, with no
+	// line-run coalescing. Must be set before Start. The platform engine
+	// sets it from platform.Config.Engine; differential tests prove the
+	// default fast path bit-identical to this path.
+	WordExact bool
 
 	state  State
 	ctx    *Ctx
@@ -154,9 +196,15 @@ func (p *Process) run() {
 			if _, ok := r.(killSignal); ok {
 				return // engine tear-down
 			}
+			// Retire any pending commits the body left behind so counters
+			// stay consistent. flushEntry zeroes each register before
+			// committing, so a panic raised by the flush itself cannot
+			// recurse here.
+			p.ctx.flushAll()
 			p.yield <- Yield{Reason: YieldFailed, Err: fmt.Errorf("kpn: process %q: %v", p.Name, r)}
 			return
 		}
+		p.ctx.flushAll()
 		p.yield <- Yield{Reason: YieldDone}
 	}()
 	p.ctx.awaitResume()
@@ -221,12 +269,89 @@ type Ctx struct {
 
 	fetchCursor uint64
 	instrAccum  uint64
-	lineSize    uint64
 	consumed    uint64 // execution + stall cycles attributed to this task
+
+	// Line-register file of the exact fast path: slotWays registers per
+	// L1 set (mirroring the L1's associativity) plus one register for
+	// the bypass line buffer. A register is armed by the slow-path walk
+	// that brought (or found) its line in the L1; subsequent accesses to
+	// a registered line are guaranteed repeats (L1 hits, or merged
+	// bypass bursts): their latency is charged immediately — so core
+	// time, slice budget and bus arbitration stay cycle-exact
+	// continuously — while the per-line cache-state commit (LRU stamp,
+	// dirty bit, statistics) is buffered and retired in one
+	// CommitRepeats call.
+	//
+	// Residency proof: a registered line can only leave the L1 through a
+	// fill into its set, every fill happens inside a slow-path walk of
+	// this task (strict handoff: nothing else touches this core's L1
+	// mid-slice), and each walk reports its victim, which drops the
+	// victim's register. Commit exactness: LRU victim selection compares
+	// stamps within one set only, so only per-set commit order matters;
+	// each set's pending registers are retired in last-touch order
+	// before any walk into that set stamps the L1 behind them. The
+	// bypass register is retired before any walk (a bypass walk moves
+	// the hardware line buffer; the commit is a pure counter, so early
+	// retirement is exact). Everything is retired and invalidated at
+	// yields — after a resume the task may be on another core, and other
+	// tasks touch the caches in between.
+	lmem     LineMemory // memsys's fast-path view; nil = word-granular
+	coalesce bool       // false under Process.WordExact
+	shift    uint       // line shift of the register file
+	setMask  uint64     // L1 set mask
+	hitLat   uint64     // per-repeat latency, cacheable class
+	mergeLat uint64     // per-repeat latency, bypass class
+	slots    []lineRun // slotWays per set; nil = cacheable batching off
+	keys     []uint64  // packed epoch|line|region per slot, for the scan
+	slotsBuf []lineRun
+	keysBuf  []uint64
+	bypass   lineRun
+	dirty []int32 // slot indices with pending commits; -1 = bypass
+	epoch uint64  // registers are valid only when their epoch matches
+	seq   uint64  // per-register last-touch order within a slice
+}
+
+// Packed register keys: epoch (18 bits, wrapping with a full key clear) |
+// line (26 bits: the 4 GiB address space holds 2^26 64 B lines) | region
+// (20 bits, guarded). One compare identifies line, region and validity.
+const (
+	keyRegionBits = 20
+	keyLineBits   = 26
+	keyEpochMask  = 1<<(64-keyRegionBits-keyLineBits) - 1
+)
+
+// packKey builds the scan key, or 0 when the access is outside the
+// packable range (then registers never match and every access walks).
+func (c *Ctx) packKey(line uint64, region mem.RegionID) uint64 {
+	if line >= 1<<keyLineBits || uint64(region) >= 1<<keyRegionBits {
+		return 0
+	}
+	return (c.epoch&keyEpochMask)<<(keyLineBits+keyRegionBits) | line<<keyRegionBits | uint64(region)
+}
+
+// slotWays is the associativity of the line-register file. Matching the
+// platform L1's associativity keeps a task's simultaneous hot lines per
+// set (code line plus stencil rows) registered together; a deeper file
+// would track lines the L1 itself cannot hold.
+const slotWays = 4
+
+// lineRun is one line register: the armed line plus its pending
+// (uncommitted) repeat counts.
+type lineRun struct {
+	line    uint64
+	region  mem.RegionID
+	idx     int32 // flat slot index, -1 for the bypass register
+	merge   bool
+	pending bool
+	epoch   uint64
+	touch   uint64 // last-touch sequence, orders per-set commits
+	lat0    uint64 // latency of one repeat
+	reads   uint64
+	writes  uint64
 }
 
 func newCtx(p *Process) *Ctx {
-	return &Ctx{proc: p, lineSize: 64}
+	return &Ctx{proc: p, coalesce: !p.WordExact, epoch: 1, bypass: lineRun{idx: -1}}
 }
 
 // awaitResume parks the goroutine until the engine grants a slice.
@@ -236,17 +361,55 @@ func (c *Ctx) awaitResume() {
 		panic(killSignal{})
 	}
 	c.core = m.core
-	c.memsys = m.mem
+	if m.mem != c.memsys {
+		c.memsys = m.mem
+		c.lmem = nil
+		c.slots = nil
+		if c.coalesce {
+			if lm, ok := m.mem.(LineMemory); ok {
+				c.lmem = lm
+				var sets int
+				c.shift, sets, c.hitLat, c.mergeLat = lm.FastSpec()
+				if sets > 0 {
+					if len(c.slotsBuf) != sets*slotWays {
+						c.slotsBuf = make([]lineRun, sets*slotWays)
+						for i := range c.slotsBuf {
+							c.slotsBuf[i].idx = int32(i)
+						}
+						c.keysBuf = make([]uint64, sets*slotWays)
+					}
+					c.slots = c.slotsBuf
+					c.keys = c.keysBuf
+					c.setMask = uint64(sets - 1)
+				}
+			}
+		}
+	}
+	// Invalidate every register: the task may now be on a different
+	// core, and other tasks and the OS touched the caches in between.
+	// The packed keys embed the (wrapping) epoch; when the masked epoch
+	// revisits a value, the keys of the eponymous earlier epoch are
+	// wiped so they cannot resurrect.
+	c.epoch++
+	if c.epoch&keyEpochMask == 0 {
+		for i := range c.keys {
+			c.keys[i] = 0
+		}
+	}
 	c.budget = m.budget
 }
 
-// yieldAndWait hands control back and parks until the next slice.
+// yieldAndWait hands control back and parks until the next slice, with
+// every pending commit retired first — other tasks observe the caches
+// while this one is parked.
 func (c *Ctx) yieldAndWait(y Yield) {
+	c.flushAll()
 	c.proc.yield <- y
 	c.awaitResume()
 }
 
-// maybeYield yields when the slice budget is exhausted.
+// maybeYield yields when the slice budget is exhausted. Repeats charge
+// their latency immediately, so the budget is always current.
 func (c *Ctx) maybeYield() {
 	if c.budget <= 0 {
 		c.yieldAndWait(Yield{Reason: YieldQuantum})
@@ -271,7 +434,8 @@ func (c *Ctx) Core() *cpu.Core { return c.core }
 // Heap returns the task's heap region.
 func (c *Ctx) Heap() *mem.Region { return c.proc.Heap }
 
-// Now returns the local time of the current core.
+// Now returns the local time of the current core (always current: the
+// fast path charges every access's latency as it is issued).
 func (c *Ctx) Now() uint64 { return c.core.Now() }
 
 // Exec retires n instructions: advances time by n*BaseCPI and issues one
@@ -282,9 +446,9 @@ func (c *Ctx) Exec(n uint64) {
 	if hot == 0 || hot > c.proc.Code.Size {
 		hot = c.proc.Code.Size
 	}
-	instrPerLine := c.lineSize / 4
+	const instrPerLine = ctxLineSize / 4
 	for n > 0 {
-		step := instrPerLine - c.instrAccum%instrPerLine
+		step := instrPerLine - c.instrAccum&(instrPerLine-1)
 		if step > n {
 			step = n
 		}
@@ -293,15 +457,15 @@ func (c *Ctx) Exec(n uint64) {
 		c.consumed += cyc
 		c.instrAccum += step
 		n -= step
-		if c.instrAccum%instrPerLine == 0 {
+		if c.instrAccum&(instrPerLine-1) == 0 {
 			a := trace.Access{
 				Addr:   c.proc.Code.Base + c.fetchCursor,
-				Size:   uint8(c.lineSize),
+				Size:   uint8(ctxLineSize),
 				Op:     trace.Fetch,
 				Region: c.proc.Code.ID,
 			}
-			c.charge(a)
-			c.fetchCursor += c.lineSize
+			c.access(a)
+			c.fetchCursor += ctxLineSize
 			if c.fetchCursor >= hot {
 				c.fetchCursor = 0
 			}
@@ -310,7 +474,8 @@ func (c *Ctx) Exec(n uint64) {
 	}
 }
 
-// charge sends one access through the memory system and stalls the core.
+// charge sends one access through the memory system and stalls the core —
+// the word-granular reference path.
 func (c *Ctx) charge(a trace.Access) {
 	lat := c.memsys.AccessAt(a, c.core.Now())
 	c.core.Stall(lat)
@@ -318,9 +483,294 @@ func (c *Ctx) charge(a trace.Access) {
 	c.consumed += lat
 }
 
-// access issues a data access and yields if the budget ran out.
-func (c *Ctx) access(a trace.Access) {
+// chargeFiltered charges one access through the line-register file: a
+// single-line access to an armed register is a guaranteed repeat (latency
+// charged now, cache-state commit deferred); anything else takes the slow
+// path and re-arms a register on the last line it touched. It never
+// yields; callers test the budget afterwards, exactly as the
+// word-granular loop does.
+func (c *Ctx) chargeFiltered(a trace.Access) {
+	if c.lmem == nil {
+		c.charge(a)
+		return
+	}
+	size := uint64(a.Size)
+	if size == 0 {
+		size = 1
+	}
+	first := a.Addr >> c.shift
+	last := (a.Addr + size - 1) >> c.shift
+	if first == last {
+		key := c.packKey(first, a.Region)
+		if e := c.lookup(first, a.Region, key); e != nil {
+			c.bufferOn(e, 1, a.Op == trace.Write)
+			return
+		}
+		c.slowCharge1(first, a.Op == trace.Write, a.Region, key)
+		return
+	}
+	c.slowChargeWide(a, first, last)
+}
+
+// lookup returns the armed register covering a single-line access, or
+// nil. key is the access's packed key (0 = unpackable, never matches).
+func (c *Ctx) lookup(line uint64, region mem.RegionID, key uint64) *lineRun {
+	if b := &c.bypass; b.epoch == c.epoch && b.line == line && b.region == region {
+		return b
+	}
+	if c.slots != nil && key != 0 {
+		base := (line & c.setMask) * slotWays
+		for i := base; i < base+slotWays; i++ {
+			if c.keys[i] == key {
+				return &c.slots[i]
+			}
+		}
+	}
+	return nil
+}
+
+// slowCharge1 walks the hierarchy for one single-line access that missed
+// the register file, and updates the file from the walk's outcome: the
+// accessed line is armed; on an L1 fill the reported victim's register is
+// dropped. Pending commits that the walk must observe in order — the
+// accessed set's, plus the bypass register's (a bypass walk moves the
+// hardware line buffer) — are retired first.
+func (c *Ctx) slowCharge1(line uint64, write bool, region mem.RegionID, key uint64) {
+	if c.bypass.pending {
+		c.flushEntry(&c.bypass)
+	}
+	var base uint64
+	if c.slots != nil {
+		base = (line & c.setMask) * slotWays
+		c.flushSlot(base)
+	}
+	lat, cacheable, filled, evicted := c.lmem.ChargeLine(line, write, region, c.core.Now())
+	c.core.Stall(lat)
+	c.budget -= int64(lat)
+	c.consumed += lat
+	if cacheable {
+		if c.slots != nil {
+			if filled && evicted != 0 {
+				c.dropLine(base, evicted-1)
+			}
+			c.arm(base, line, region, key)
+		}
+	} else {
+		b := &c.bypass
+		b.line, b.region, b.epoch, b.lat0, b.merge = line, region, c.epoch, c.mergeLat, true
+	}
+}
+
+// slowChargeWide charges a line-straddling access through the generic
+// walk, conservatively retiring and dropping every register the walk
+// could interact with, and arms the last line touched.
+func (c *Ctx) slowChargeWide(a trace.Access, first, last uint64) {
+	if c.bypass.pending {
+		c.flushEntry(&c.bypass)
+	}
+	cacheable := c.lmem.CacheableLine(a.Region)
+	if cacheable && c.slots != nil {
+		for ln := first; ln <= last; ln++ {
+			base := (ln & c.setMask) * slotWays
+			c.flushSlot(base)
+			for i := base; i < base+slotWays; i++ {
+				c.slots[i].epoch = 0
+				c.keys[i] = 0
+			}
+		}
+	} else if !cacheable {
+		c.bypass.epoch = 0
+	}
 	c.charge(a)
+	if cacheable {
+		if c.slots != nil {
+			c.arm((last&c.setMask)*slotWays, last, a.Region, c.packKey(last, a.Region))
+		}
+	} else {
+		b := &c.bypass
+		b.line, b.region, b.epoch, b.lat0, b.merge = last, a.Region, c.epoch, c.mergeLat, true
+	}
+}
+
+// flushSlot retires a set's pending commits in last-touch order — the
+// per-set LRU order the word-granular path would have stamped.
+func (c *Ctx) flushSlot(base uint64) {
+	for {
+		var best *lineRun
+		for i := base; i < base+slotWays; i++ {
+			s := &c.slots[i]
+			if s.pending && (best == nil || s.touch < best.touch) {
+				best = s
+			}
+		}
+		if best == nil {
+			return
+		}
+		c.flushEntry(best)
+	}
+}
+
+// dropLine invalidates every register holding an evicted line. An L1
+// line wider than the address space's region alignment can span two
+// regions and thus carry two registers; all of them leave with the line.
+func (c *Ctx) dropLine(base, line uint64) {
+	for i := base; i < base+slotWays; i++ {
+		s := &c.slots[i]
+		if s.epoch == c.epoch && s.line == line {
+			s.epoch = 0
+			c.keys[i] = 0
+		}
+	}
+}
+
+// arm registers a line in its set, replacing a stale or least-recently
+// touched register. The set's pending commits were already retired by the
+// preceding flushSlot. Unpackable accesses (key 0) are not armed — the
+// scan could never find them.
+func (c *Ctx) arm(base, line uint64, region mem.RegionID, key uint64) {
+	if key == 0 {
+		return
+	}
+	victim := &c.slots[base]
+	for i := base; i < base+slotWays; i++ {
+		s := &c.slots[i]
+		if s.epoch != c.epoch {
+			victim = s
+			break
+		}
+		if s.touch < victim.touch {
+			victim = s
+		}
+	}
+	victim.line, victim.region, victim.epoch, victim.lat0, victim.merge = line, region, c.epoch, c.hitLat, false
+	victim.touch = c.seq
+	c.seq++
+	c.keys[victim.idx] = key
+}
+
+// bufferOn charges up to m guaranteed repeats on an armed register —
+// stall, budget and consumed cycles immediately; reads/writes counts
+// deferred — stopping at the repeat on which the slice budget reaches
+// zero so the caller's maybeYield fires on exactly the word the
+// word-granular loop would yield on. Returns how many were charged.
+func (c *Ctx) bufferOn(e *lineRun, m uint64, write bool) uint64 {
+	take := m
+	if e.lat0 > 0 && m > 1 {
+		if c.budget <= 0 {
+			take = 1
+		} else if until := (uint64(c.budget) + e.lat0 - 1) / e.lat0; take > until {
+			take = until
+		}
+	}
+	if !e.pending {
+		e.pending = true
+		c.dirty = append(c.dirty, e.idx)
+	}
+	e.touch = c.seq
+	c.seq++
+	if write {
+		e.writes += take
+	} else {
+		e.reads += take
+	}
+	if e.lat0 != 0 {
+		lat := take * e.lat0
+		c.core.Stall(lat)
+		c.budget -= int64(lat)
+		c.consumed += lat
+	}
+	return take
+}
+
+// flushEntry retires a register's pending commit. Counts are zeroed
+// before committing so a panic from the commit (a violated residency
+// proof) cannot double-commit from the failure path.
+func (c *Ctx) flushEntry(e *lineRun) {
+	if !e.pending {
+		return
+	}
+	reads, writes := e.reads, e.writes
+	e.reads, e.writes, e.pending = 0, 0, false
+	c.lmem.CommitRepeats(e.line, e.region, reads, writes, e.merge)
+}
+
+// flushAll retires every pending commit. Commit order across sets is
+// free — LRU order only matters within a set — but registers of the same
+// set must retire in last-touch order, so each pending register is
+// flushed through its set's ordered flush.
+func (c *Ctx) flushAll() {
+	for _, idx := range c.dirty {
+		if idx < 0 {
+			c.flushEntry(&c.bypass)
+		} else if c.slots[idx].pending {
+			c.flushSlot(uint64(idx) &^ (slotWays - 1))
+		}
+	}
+	c.dirty = c.dirty[:0]
+}
+
+// access issues one access and yields if the budget ran out. The
+// registered-repeat case — the bulk of all traffic — is handled inline
+// with no further calls; everything else falls through to the filter. A
+// zero-latency repeat skips the yield test: it cannot exhaust the budget,
+// which is positive on entry from every charging path (each yields before
+// returning with it non-positive) — except from Exec's fetch site, which
+// runs its own budget test right after.
+func (c *Ctx) access(a trace.Access) {
+	if c.lmem != nil {
+		size := uint64(a.Size)
+		if size == 0 {
+			size = 1
+		}
+		line := a.Addr >> c.shift
+		if (a.Addr+size-1)>>c.shift == line && line < 1<<keyLineBits && uint64(a.Region) < 1<<keyRegionBits {
+			key := (c.epoch&keyEpochMask)<<(keyLineBits+keyRegionBits) | line<<keyRegionBits | uint64(a.Region)
+			var e *lineRun
+			if c.slots != nil {
+				base := (line & c.setMask) * slotWays
+				k := c.keys[base : base+slotWays : base+slotWays]
+				switch key {
+				case k[0]:
+					e = &c.slots[base]
+				case k[1]:
+					e = &c.slots[base+1]
+				case k[2]:
+					e = &c.slots[base+2]
+				case k[3]:
+					e = &c.slots[base+3]
+				}
+			}
+			if e == nil {
+				if b := &c.bypass; b.epoch == c.epoch && b.line == line && b.region == a.Region {
+					e = b
+				}
+			}
+			if e != nil {
+				e.touch = c.seq
+				c.seq++
+				if a.Op == trace.Write {
+					e.writes++
+				} else {
+					e.reads++
+				}
+				if !e.pending {
+					e.pending = true
+					c.dirty = append(c.dirty, e.idx)
+				}
+				if e.lat0 != 0 {
+					c.core.Stall(e.lat0)
+					c.budget -= int64(e.lat0)
+					c.consumed += e.lat0
+					c.maybeYield()
+				}
+				return
+			}
+			c.slowCharge1(line, a.Op == trace.Write, a.Region, key)
+			c.maybeYield()
+			return
+		}
+	}
+	c.chargeFiltered(a)
 	c.maybeYield()
 }
 
@@ -381,13 +831,58 @@ func (c *Ctx) StoreBytes(r *mem.Region, off uint64, src []byte) {
 	c.chargeBulk(r, off, uint64(len(src)), trace.Write)
 }
 
-// chargeBulk issues one 4-byte access per word of a bulk transfer.
+// chargeBulk charges the memory traffic of a bulk transfer: one access
+// per 4-byte word (the final word may be shorter), exactly the pattern of
+// a memcpy loop. On the line-merged fast path the words of each cache
+// line after the first are committed as a single batch — one hierarchy
+// walk plus one CommitRepeats per line instead of sixteen walks — while
+// yields still land on exactly the word the word-granular loop would
+// yield on.
 func (c *Ctx) chargeBulk(r *mem.Region, off, n uint64, op trace.Op) {
-	for done := uint64(0); done < n; done += 4 {
+	write := op == trace.Write
+	for done := uint64(0); done < n; {
 		sz := n - done
 		if sz > 4 {
 			sz = 4
 		}
 		c.access(trace.Access{Addr: r.Base + off + done, Size: uint8(sz), Op: op, Region: r.ID})
+		done += sz
+		if c.lmem == nil || done >= n {
+			continue
+		}
+		// Batch the following words that lie entirely inside the line the
+		// last word touched, if a register covers it. A word straddling
+		// the line boundary is left to the next slow-path access.
+		cur := r.Base + off + done
+		line := cur >> c.shift
+		e := c.lookup(line, r.ID, c.packKey(line, r.ID))
+		if e == nil {
+			continue
+		}
+		rm := n - done
+		space := ((line + 1) << c.shift) - cur
+		var m, bytes uint64
+		if rm <= space {
+			m, bytes = (rm+3)/4, rm
+		} else {
+			m = space / 4
+			bytes = m * 4
+		}
+		if m == 0 {
+			continue
+		}
+		k := c.bufferOn(e, m, write)
+		if k == m {
+			done += bytes
+		} else {
+			// Budget exhausted mid-line: all charged words were full
+			// 4-byte words (only the last of m can be short); the rest
+			// are re-issued after the resume.
+			done += k * 4
+		}
+		// The word loop tests the budget after every word — including
+		// the final one of the transfer — so the yield lands on exactly
+		// the same word.
+		c.maybeYield()
 	}
 }

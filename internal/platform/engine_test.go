@@ -1,0 +1,257 @@
+package platform
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/kpn"
+	"repro/internal/mem"
+	"repro/internal/rtos"
+)
+
+// buildStress assembles a deterministic multi-task application exercising
+// every access shape the line-merged fast path coalesces: long same-line
+// byte runs, 9-point stencils hopping between heap rows, odd-size and
+// unaligned bulk transfers, word-granular FIFO streaming (L1 bypass),
+// single-line hot code, and frame-buffer rows. Sized so that quanta of a
+// few cycles force yields in the middle of coalesced runs.
+func buildStress(as *mem.AddressSpace) (tasks []*kpn.Process, entities []rtos.AllocEntry) {
+	f1 := kpn.MustNewFIFO(as, "s.f1", 4, 8)
+	f2 := kpn.MustNewFIFO(as, "s.f2", 12, 4) // token straddles lines over time
+	fr := kpn.MustNewFrame(as, "s.frame", 48, 16, 1)
+
+	mk := func(name string, hot uint64, body func(*kpn.Ctx)) *kpn.Process {
+		p := &kpn.Process{
+			Name:    name,
+			Body:    body,
+			Code:    as.MustAlloc(name+".code", mem.KindCode, name, 1024),
+			Heap:    as.MustAlloc(name+".heap", mem.KindHeap, name, 8192),
+			HotCode: hot,
+		}
+		tasks = append(tasks, p)
+		return p
+	}
+
+	prod := mk("prod", 64, func(c *kpn.Ctx) { // single-line hot loop
+		h := c.Heap()
+		buf := make([]byte, 12)
+		for i := uint32(0); i < 150; i++ {
+			// Byte run across a line boundary.
+			for j := uint64(0); j < 70; j++ {
+				c.Store8(h, uint64(i%8)*64+j, byte(i+uint32(j)))
+			}
+			c.Exec(40)
+			f1.Write32(c, i*i)
+			for j := range buf {
+				buf[j] = byte(i) + byte(j)
+			}
+			// Unaligned odd-size bulk store.
+			c.StoreBytes(h, 1+uint64(i%5), buf[:7+i%5])
+			f2.Write(c, buf)
+		}
+		f1.Close()
+		f2.Close()
+	})
+	_ = prod
+
+	mk("stencil", 128, func(c *kpn.Ctx) {
+		h := c.Heap()
+		for {
+			v, ok := f1.Read32(c)
+			if !ok {
+				break
+			}
+			row := uint64(v%16) * 96
+			// 9-point stencil: three same-line runs per pixel.
+			for x := uint64(1); x < 47; x++ {
+				s := uint32(c.Load8(c.Heap(), row+x-1)) + uint32(c.Load8(h, row+x)) + uint32(c.Load8(h, row+x+1))
+				s += uint32(c.Load8(h, row+96+x-1)) + uint32(c.Load8(h, row+96+x)) + uint32(c.Load8(h, row+96+x+1))
+				c.Exec(14)
+				c.Store8(h, row+192+x, byte(s))
+			}
+		}
+	})
+
+	mk("sink", 0, func(c *kpn.Ctx) {
+		line := make([]byte, 48)
+		tok := make([]byte, 12)
+		y := 0
+		for f2.Read(c, tok) {
+			for i, b := range tok {
+				line[(y+i)%48] = b
+			}
+			fr.StoreRow(c, y%16, line)
+			fr.LoadRow(c, (y+5)%16, line)
+			// Per-pixel frame traffic (bypass, 1-byte).
+			for x := 0; x < 48; x += 3 {
+				fr.Store8(c, x, y%16, fr.Load8(c, x, y%16)+1)
+			}
+			c.Exec(60)
+			y++
+		}
+	})
+
+	entities = []rtos.AllocEntry{
+		{Name: "prod", Units: 2, Regions: []mem.RegionID{tasks[0].Code.ID, tasks[0].Heap.ID}},
+		{Name: "stencil", Units: 4, Regions: []mem.RegionID{tasks[1].Code.ID, tasks[1].Heap.ID}},
+		{Name: "sink", Units: 2, Regions: []mem.RegionID{tasks[2].Code.ID, tasks[2].Heap.ID}},
+		{Name: "s.f1", Units: 1, Regions: []mem.RegionID{f1.Region.ID}},
+		{Name: "s.f2", Units: 1, Regions: []mem.RegionID{f2.Region.ID}},
+		{Name: "s.frame", Units: 2, Regions: []mem.RegionID{fr.Region.ID}},
+	}
+	return tasks, entities
+}
+
+// snapshot renders every observable quantity of a finished run — the
+// comparison key of the differential oracle test.
+func snapshot(pl *Platform, res *RunResult) string {
+	s := fmt.Sprintf("makespan=%d instrs=%d switches=%d cpis=%v\n",
+		res.Makespan, res.TotalInstrs, res.Switches, res.CPIs)
+	s += fmt.Sprintf("l2=%+v bus=%+v banks=%v\n", res.L2, res.BusStats, pl.Bus().BankAccesses())
+	for i, core := range pl.Cores() {
+		s += fmt.Sprintf("core%d: now=%d instr=%d stall=%d switch=%d idle=%d\n",
+			i, core.Now(), core.Instructions(), core.StallCycles(), core.SwitchCycles(), core.IdleCycles())
+	}
+	for i := 0; i < len(pl.l1s); i++ {
+		s += fmt.Sprintf("l1.%d=%+v\n", i, pl.L1(i).Stats())
+	}
+	for i, h := range pl.hiers {
+		s += fmt.Sprintf("hier%d: fills=%d wbL2=%d wbMem=%d merged=%d\n",
+			i, h.DemandFills, h.WritebacksToL2, h.WritebacksToMem, h.MergedBursts)
+	}
+	for id := mem.RegionID(0); int(id) < pl.AddressSpace().NumRegions(); id++ {
+		r := pl.AddressSpace().Region(id)
+		s += fmt.Sprintf("region %s: l2=%+v", r.Name, pl.L2().RegionStats(id))
+		for i := 0; i < len(pl.l1s); i++ {
+			s += fmt.Sprintf(" l1.%d=%+v", i, pl.L1(i).RegionStats(id))
+		}
+		s += "\n"
+	}
+	if pl.L2().PartitionTable() != nil {
+		for pid := range pl.L2().PartitionTable().Partitions() {
+			s += fmt.Sprintf("part %d: %+v\n", pid, pl.L2().PartitionStats(pid))
+		}
+	}
+	for _, t := range pl.Scheduler().Tasks() {
+		s += fmt.Sprintf("task %s: consumed=%d\n", t.Name, t.ConsumedCycles())
+	}
+	return s
+}
+
+// runStress executes the stress application once under the given engine
+// and returns the full observable snapshot.
+func runStress(t *testing.T, cfg Config, partitioned bool) string {
+	t.Helper()
+	as := mem.NewAddressSpace()
+	rtData := as.MustAlloc("rt.data", mem.KindRTData, "", 256)
+	rtBSS := as.MustAlloc("rt.bss", mem.KindRTBSS, "", 128)
+	tasks, entities := buildStress(as)
+	pl, err := New(cfg, as, rtData, rtBSS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, task := range tasks {
+		if err := pl.AddTask(task, i%cfg.NumCPUs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if partitioned {
+		alloc, err := rtos.BuildAllocation(cfg.L2.Sets, 2, entities)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl.InstallAllocation(alloc)
+	}
+	res, err := pl.Run(2_000_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snapshot(pl, res)
+}
+
+// TestEngineDifferentialStress proves the line-merged fast path
+// bit-identical to the word-granular oracle on an adversarial synthetic
+// workload, across quanta small enough to split coalesced runs, non-zero
+// L1 hit latencies (so hits drain the slice budget), partitioned and
+// shared L2, and one- and two-CPU tiles.
+func TestEngineDifferentialStress(t *testing.T) {
+	for _, tc := range []struct {
+		name        string
+		quantum     int64
+		l1HitLat    uint64
+		cpus        int
+		partitioned bool
+	}{
+		{"default", 5000, 0, 2, false},
+		{"tiny-quantum", 7, 0, 2, false},
+		{"hitlat1-q13", 13, 1, 2, false},
+		{"hitlat3-q50", 50, 3, 1, false},
+		{"partitioned", 5000, 0, 2, true},
+		{"partitioned-hitlat1-q19", 19, 1, 2, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := Default()
+			cfg.NumCPUs = tc.cpus
+			cfg.Sched.Quantum = tc.quantum
+			cfg.L1HitLat = tc.l1HitLat
+			cfg.SwitchTouches = 8
+
+			cfg.Engine = EngineLineMerged
+			fast := runStress(t, cfg, tc.partitioned)
+			cfg.Engine = EngineWordExact
+			oracle := runStress(t, cfg, tc.partitioned)
+			if fast != oracle {
+				t.Errorf("fast path diverges from word-exact oracle:\n--- merged ---\n%s--- word ---\n%s", fast, oracle)
+			}
+		})
+	}
+}
+
+// TestRTSectionOneWord regresses the modulo-zero hazard: rt sections of
+// exactly one word (and smaller) must not panic the OS-traffic model.
+func TestRTSectionOneWord(t *testing.T) {
+	for _, size := range []uint64{1, 4} {
+		as := mem.NewAddressSpace()
+		rtData := as.MustAlloc("rt.data", mem.KindRTData, "", size)
+		rtBSS := as.MustAlloc("rt.bss", mem.KindRTBSS, "", size)
+		cfg := testConfig()
+		cfg.NumCPUs = 1
+		cfg.Sched.Quantum = 200 // force switches
+		pl, err := New(cfg, as, rtData, rtBSS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mk := func(name string) *kpn.Process {
+			return mkTask(as, name, func(c *kpn.Ctx) { c.Exec(2000) })
+		}
+		pl.AddTask(mk("a"), 0)
+		pl.AddTask(mk("b"), 0)
+		if _, err := pl.Run(100_000_000); err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		if size == 4 {
+			if s := pl.L2().RegionStats(rtData.ID); s.Accesses == 0 {
+				t.Errorf("size 4: no rt-data traffic recorded")
+			}
+		}
+	}
+}
+
+func TestRTOffset(t *testing.T) {
+	for _, tc := range []struct {
+		cursor, size uint64
+		off          uint64
+		ok           bool
+	}{
+		{0, 0, 0, false},
+		{10, 3, 0, false},
+		{10, 4, 0, true},
+		{10, 8, 10 % 4, true},
+		{1000, 4096, 1000 % 4092, true},
+	} {
+		off, ok := rtOffset(tc.cursor, tc.size)
+		if off != tc.off || ok != tc.ok {
+			t.Errorf("rtOffset(%d,%d) = %d,%v want %d,%v", tc.cursor, tc.size, off, ok, tc.off, tc.ok)
+		}
+	}
+}

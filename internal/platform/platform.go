@@ -24,6 +24,45 @@ import (
 	"repro/internal/trace"
 )
 
+// Engine selects the execution engine's access-charging path.
+type Engine uint8
+
+// Execution engines. Both produce bit-identical results — statistics,
+// per-entity misses, makespan, CPI, energy, bus traffic — which the
+// differential tests in internal/platform and internal/experiments
+// enforce; EngineWordExact exists as the reference oracle and for
+// debugging the fast path.
+const (
+	// EngineLineMerged (the default) coalesces each task's consecutive
+	// same-line accesses through a per-task line register and commits
+	// them to the hierarchy in batched calls. Exact by the strict-handoff
+	// argument: nothing can touch a core's L1 between two consecutive
+	// accesses of the task running on it.
+	EngineLineMerged Engine = iota
+	// EngineWordExact charges every access individually through the full
+	// hierarchy walk, word by word.
+	EngineWordExact
+)
+
+// String implements fmt.Stringer.
+func (e Engine) String() string {
+	if e == EngineWordExact {
+		return "word"
+	}
+	return "merged"
+}
+
+// ParseEngine resolves the CLI spelling of an engine.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "merged", "":
+		return EngineLineMerged, nil
+	case "word":
+		return EngineWordExact, nil
+	}
+	return 0, fmt.Errorf("platform: unknown execution engine %q (want merged or word)", s)
+}
+
 // Config describes a tile.
 type Config struct {
 	NumCPUs  int
@@ -39,6 +78,10 @@ type Config struct {
 	// on every task switch (scheduler state, translation tables), which
 	// is what makes the rt-data/rt-bss rows of Tables 1 and 2 matter.
 	SwitchTouches int
+
+	// Engine selects the execution engine: the exact line-merged fast
+	// path (zero value) or the word-granular reference oracle.
+	Engine Engine
 }
 
 // Default returns the experimental platform of section 5: four
@@ -75,6 +118,9 @@ func (c Config) Validate() error {
 	}
 	if err := c.Bus.Validate(); err != nil {
 		return err
+	}
+	if c.Engine > EngineWordExact {
+		return fmt.Errorf("platform: unknown engine %d", c.Engine)
 	}
 	return c.Sched.Validate()
 }
@@ -163,8 +209,11 @@ func (p *Platform) Scheduler() *rtos.Scheduler { return p.sched }
 // AddressSpace returns the simulated address space.
 func (p *Platform) AddressSpace() *mem.AddressSpace { return p.as }
 
-// AddTask registers a task with a static processor assignment.
+// AddTask registers a task with a static processor assignment and stamps
+// it with the configured execution engine (tasks must be added before the
+// run starts for the stamp to take effect).
 func (p *Platform) AddTask(proc *kpn.Process, cpuIdx int) error {
+	proc.WordExact = p.cfg.Engine == EngineWordExact
 	return p.sched.Add(proc, cpuIdx)
 }
 
@@ -268,19 +317,35 @@ func (p *Platform) noteRunWithOSTraffic(task *kpn.Process, ci int) bool {
 		n := uint64(p.cfg.SwitchTouches)
 		for i := uint64(0); i < n; i++ {
 			if p.rtData != nil {
-				off := (p.rtOff + i*4) % (p.rtData.Size - 4)
-				h.AccessAt(trace.Access{Addr: p.rtData.Base + off, Size: 4,
-					Op: trace.Read, Region: p.rtData.ID}, core.Now())
+				if off, ok := rtOffset(p.rtOff+i*4, p.rtData.Size); ok {
+					h.AccessAt(trace.Access{Addr: p.rtData.Base + off, Size: 4,
+						Op: trace.Read, Region: p.rtData.ID}, core.Now())
+				}
 			}
 			if p.rtBSS != nil && i%2 == 0 {
-				off := (p.rtOff + i*8) % (p.rtBSS.Size - 4)
-				h.AccessAt(trace.Access{Addr: p.rtBSS.Base + off, Size: 4,
-					Op: trace.Write, Region: p.rtBSS.ID}, core.Now())
+				if off, ok := rtOffset(p.rtOff+i*8, p.rtBSS.Size); ok {
+					h.AccessAt(trace.Access{Addr: p.rtBSS.Base + off, Size: 4,
+						Op: trace.Write, Region: p.rtBSS.ID}, core.Now())
+				}
 			}
 		}
 		p.rtOff += 64
 	}
 	return switched
+}
+
+// rtOffset folds a rolling cursor into an rt section so a 4-byte word at
+// the returned offset stays in bounds. Sections of exactly one word pin
+// the cursor to 0 (the naive modulo would divide by zero); sections too
+// small for a word skip the access.
+func rtOffset(cursor, size uint64) (uint64, bool) {
+	if size < 4 {
+		return 0, false
+	}
+	if size == 4 {
+		return 0, true
+	}
+	return cursor % (size - 4), true
 }
 
 func (p *Platform) result() *RunResult {
