@@ -53,8 +53,8 @@ func runBench(cfg experiments.Config, iters int, asJSON bool) error {
 		name string
 		w    core.Workload
 	}{
-		{"2jpeg+canny", workloadFor(cfg, true)},
-		{"mpeg2", workloadFor(cfg, false)},
+		{"2jpeg+canny", workloads.JPEGCanny(cfg.Scale, nil)},
+		{"mpeg2", workloads.MPEG2(cfg.Scale, nil)},
 	}
 	engines := []platform.Engine{platform.EngineLineMerged, platform.EngineWordExact}
 

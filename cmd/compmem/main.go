@@ -1,10 +1,13 @@
 // Command compmem regenerates the evaluation artifacts of "Compositional
 // memory systems for multimedia communicating tasks" (Molnos et al.,
-// DATE 2005) on the simulated CAKE platform.
+// DATE 2005) on the simulated CAKE platform, and exposes the declarative
+// scenario API: every command below resolves to built-in scenario specs
+// executed on a memoizing batch runner, arbitrary specs run from JSON
+// files, and `serve` exposes the same surface over HTTP.
 //
 // Usage:
 //
-//	compmem [-small] [-runs N] [-solver mckp|ilp] <command>
+//	compmem [-small] [-runs N] [-solver mckp|ilp] [-json] <command>
 //
 // Commands:
 //
@@ -21,19 +24,26 @@
 //	curves    dump the profiled per-entity miss curves m_i(z_p)
 //	bench     time the execution-engine stages (-json for bench.json output)
 //	all       everything above except bench
+//	run       execute scenario specs: run -scenario file.json [-json]
+//	serve     HTTP scenario service: serve [-addr :8080]
+//	scenarios list built-in scenarios and registered workloads
+//
+// With -json, every evaluation command emits its artifacts as versioned
+// JSON envelopes instead of text.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
 
-	"repro/internal/core"
 	"repro/internal/experiments"
-	"repro/internal/platform"
-	"repro/internal/profile"
+	"repro/internal/scenario"
+	"repro/internal/serve"
 	"repro/internal/workloads"
 )
 
@@ -45,46 +55,30 @@ func main() {
 	exec := flag.String("exec", "merged", "execution engine: merged (exact line-merged fast path) or word (reference oracle)")
 	workers := flag.Int("workers", 0, "harness worker pool size; 0 = GOMAXPROCS, 1 = sequential")
 	benchN := flag.Int("benchn", 3, "iterations per stage for the bench command (best is reported)")
-	asJSON := flag.Bool("json", false, "bench command: emit machine-readable JSON on stdout")
+	asJSON := flag.Bool("json", false, "emit machine-readable JSON envelopes on stdout")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the command to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile after the command to this file")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: compmem [flags] table1|table2|fig2|fig3|headline|compose|granularity|split|migration|assign|curves|bench|all\n")
+		fmt.Fprintf(os.Stderr, "usage: compmem [flags] table1|table2|fig2|fig3|headline|compose|granularity|split|migration|assign|curves|bench|all|run|serve|scenarios\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if flag.NArg() != 1 {
+	if flag.NArg() < 1 {
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	cfg := experiments.Default()
-	if *small {
-		cfg = experiments.Small()
-	}
-	cfg.ProfileRuns = *runs
-	cfg.Workers = *workers
-	switch *solver {
-	case "mckp":
-		cfg.Solver = core.SolverMCKP
-	case "ilp":
-		cfg.Solver = core.SolverILP
-	default:
-		fatal(fmt.Errorf("unknown solver %q", *solver))
-	}
-	switch *engine {
-	case "stackdist":
-		cfg.Engine = profile.EngineStackDist
-	case "bank":
-		cfg.Engine = profile.EngineBank
-	default:
-		fatal(fmt.Errorf("unknown engine %q", *engine))
-	}
-	ee, err := platform.ParseEngine(*exec)
+	cfg, err := experiments.ConfigFromFlags(experiments.Flags{
+		Small:         *small,
+		Runs:          *runs,
+		Solver:        *solver,
+		ProfileEngine: *engine,
+		ExecEngine:    *exec,
+		Workers:       *workers,
+	})
 	if err != nil {
 		fatal(err)
 	}
-	cfg.Platform.Engine = ee
 
 	profiling := false
 	if *cpuProfile != "" {
@@ -99,11 +93,27 @@ func main() {
 		profiling = true
 	}
 
-	cmd := flag.Arg(0)
-	if cmd == "bench" {
-		err = runBench(cfg, *benchN, *asJSON)
-	} else {
-		err = run(cmd, cfg)
+	cmd, rest := flag.Arg(0), flag.Args()[1:]
+	switch cmd {
+	case "bench":
+		err = expectNoArgs(cmd, rest)
+		if err == nil {
+			err = runBench(cfg, *benchN, *asJSON)
+		}
+	case "run":
+		err = runScenarios(cfg, rest, *asJSON)
+	case "serve":
+		err = runServe(cfg, rest)
+	case "scenarios":
+		err = expectNoArgs(cmd, rest)
+		if err == nil {
+			err = listScenarios(cfg, *asJSON)
+		}
+	default:
+		err = expectNoArgs(cmd, rest)
+		if err == nil {
+			err = runCommand(cmd, cfg, *asJSON)
+		}
 	}
 	// Complete both profiles before any exit path — a failing run is
 	// exactly the one a user wants to profile.
@@ -133,135 +143,142 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func run(cmd string, cfg experiments.Config) error {
-	switch cmd {
-	case "table1":
-		s, err := experiments.App1(cfg)
-		if err != nil {
-			return err
-		}
-		fmt.Println(experiments.AllocationTable(s, "Table 1: allocated L2 units, 2 jpegs & canny"))
-	case "table2":
-		s, err := experiments.App2(cfg)
-		if err != nil {
-			return err
-		}
-		fmt.Println(experiments.AllocationTable(s, "Table 2: allocated L2 units, mpeg2"))
-	case "fig2":
-		for _, f := range []func(experiments.Config) (*experiments.Study, error){
-			experiments.App1, experiments.App2,
-		} {
-			s, err := f(cfg)
-			if err != nil {
-				return err
-			}
-			fmt.Println(experiments.Figure2(s))
-			fmt.Printf("total: shared %d vs partitioned %d (%.2fx)\n\n",
-				s.Shared.TotalMisses(), s.Part.TotalMisses(), s.MissRatio())
-		}
-	case "fig3":
-		for _, f := range []func(experiments.Config) (*experiments.Study, error){
-			experiments.App1, experiments.App2,
-		} {
-			s, err := f(cfg)
-			if err != nil {
-				return err
-			}
-			chart, rep := experiments.Figure3(s)
-			fmt.Println(chart)
-			fmt.Printf("compositional at the paper's 2%% threshold: %v (max %.3f%%, mean %.3f%%)\n\n",
-				rep.Compositional(0.02), rep.MaxRelDiff*100, rep.MeanRelDiff*100)
-		}
-	case "curves":
-		curves, err := core.Profile(workloadFor(cfg, true), core.OptimizeConfig{
-			Platform: cfg.Platform, Runs: cfg.ProfileRuns, Solver: cfg.Solver,
-			Engine: cfg.Engine, Workers: cfg.Workers,
-		})
-		if err != nil {
-			return err
-		}
-		printCurves("2jpeg+canny", curves)
-		curves, err = core.Profile(workloadFor(cfg, false), core.OptimizeConfig{
-			Platform: cfg.Platform, Runs: cfg.ProfileRuns, Solver: cfg.Solver,
-			Engine: cfg.Engine, Workers: cfg.Workers,
-		})
-		if err != nil {
-			return err
-		}
-		printCurves("mpeg2", curves)
-	case "headline":
-		tab, _, err := experiments.Headline(cfg)
-		if err != nil {
-			return err
-		}
-		fmt.Println(tab)
-	case "compose":
-		_, tab, err := experiments.Composition(cfg)
-		if err != nil {
-			return err
-		}
-		fmt.Println(tab)
-	case "granularity":
-		tab, err := experiments.Granularity(cfg)
-		if err != nil {
-			return err
-		}
-		fmt.Println(tab)
-	case "split":
-		tab, err := experiments.SplitSections(cfg)
-		if err != nil {
-			return err
-		}
-		fmt.Println(tab)
-	case "migration":
-		tab, err := experiments.Migration(cfg)
-		if err != nil {
-			return err
-		}
-		fmt.Println(tab)
-	case "assign":
-		s, err := experiments.App1(cfg)
-		if err != nil {
-			return err
-		}
-		fmt.Println(experiments.Assignment(s, cfg.Platform.NumCPUs))
-		s2, err := experiments.App2(cfg)
-		if err != nil {
-			return err
-		}
-		fmt.Println(experiments.Assignment(s2, cfg.Platform.NumCPUs))
-	case "all":
-		for _, c := range []string{"headline", "table1", "table2", "fig2", "fig3", "compose", "granularity", "split", "migration", "assign"} {
-			if err := run(c, cfg); err != nil {
-				return fmt.Errorf("%s: %w", c, err)
-			}
-		}
-	default:
-		return fmt.Errorf("unknown command %q", cmd)
+// expectNoArgs rejects stray arguments after commands that take none,
+// so `compmem fig2 fig3` fails loudly instead of dropping fig3.
+func expectNoArgs(cmd string, rest []string) error {
+	if len(rest) != 0 {
+		return fmt.Errorf("%s takes no arguments (got %q)", cmd, rest)
 	}
 	return nil
 }
 
-// workloadFor selects one of the two evaluation applications.
-func workloadFor(cfg experiments.Config, app1 bool) core.Workload {
-	if app1 {
-		return workloads.JPEGCanny(cfg.Scale, nil)
+// runCommand executes one evaluation command through the scenario layer
+// and prints the legacy text (or, with -json, the artifact envelopes).
+func runCommand(cmd string, cfg experiments.Config, asJSON bool) error {
+	rn := scenario.NewRunner(cfg.Workers)
+	out, err := experiments.RunCommand(cmd, cfg, rn)
+	if err != nil {
+		return err
 	}
-	return workloads.MPEG2(cfg.Scale, nil)
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out.Documents)
+	}
+	fmt.Print(out.Text)
+	return nil
 }
 
-// printCurves dumps the per-entity miss curves m_i(z_p), the raw input of
-// the section 3.2 optimization.
-func printCurves(app string, curves []profile.Curve) {
-	fmt.Printf("miss curves m_i(z) for %s (misses at 1..128 units):\n", app)
-	for _, c := range curves {
-		if c.Accesses == 0 {
-			continue
-		}
-		fmt.Printf("  %-14s acc=%8.0f  ", c.Entity, c.Accesses)
-		for k, m := range c.Misses {
-			fmt.Printf("%d:%.0f ", c.Sizes[k], m)
-		}
-		fmt.Println()
+// runScenarios executes arbitrary scenario specs from a JSON file (a
+// single spec, an array, or {"scenarios":[...]}; specs may overlay any
+// built-in through "base"). A bare built-in name also works.
+func runScenarios(cfg experiments.Config, args []string, asJSON bool) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	path := fs.String("scenario", "", "scenario spec: a JSON file or a built-in scenario name")
+	subJSON := fs.Bool("json", false, "emit result documents as JSON (one envelope per scenario)")
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
+	if *path == "" {
+		return fmt.Errorf("run: -scenario file.json (or a built-in name) is required")
+	}
+	specs, err := loadSpecs(cfg, *path)
+	if err != nil {
+		return err
+	}
+	rn := scenario.NewRunner(cfg.Workers)
+	results := rn.RunBatch(specs)
+
+	if asJSON || *subJSON {
+		enc := json.NewEncoder(os.Stdout)
+		for _, r := range results {
+			if err := enc.Encode(r.Envelope()); err != nil {
+				return err
+			}
+		}
+	} else {
+		for i, r := range results {
+			if i > 0 {
+				fmt.Println()
+			}
+			fmt.Print(experiments.RenderResult(r))
+		}
+	}
+	for i, r := range results {
+		if r.Error != "" {
+			return fmt.Errorf("scenario %d: %s", i, r.Error)
+		}
+	}
+	return nil
+}
+
+// loadSpecs reads scenario specs from a file, or resolves a built-in
+// scenario name.
+func loadSpecs(cfg experiments.Config, path string) ([]scenario.Scenario, error) {
+	lookup := func(name string) (scenario.Scenario, bool) {
+		return experiments.BuiltinScenario(cfg, name)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		if spec, ok := lookup(path); ok {
+			return []scenario.Scenario{spec}, nil
+		}
+		return nil, fmt.Errorf("run: %w (and %q is not a built-in scenario; see `compmem scenarios`)", err, path)
+	}
+	raws, err := scenario.SplitSpecs(raw)
+	if err != nil {
+		return nil, fmt.Errorf("run: %w", err)
+	}
+	specs := make([]scenario.Scenario, len(raws))
+	for i, r := range raws {
+		spec, err := scenario.Resolve(r, lookup)
+		if err != nil {
+			return nil, fmt.Errorf("run: scenario %d: %w", i, err)
+		}
+		specs[i] = spec
+	}
+	return specs, nil
+}
+
+// runServe starts the HTTP scenario service.
+func runServe(cfg experiments.Config, args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rn := scenario.NewRunner(cfg.Workers)
+	fmt.Fprintf(os.Stderr, "compmem: serving scenario API on %s (workloads: %v)\n", *addr, workloads.Names())
+	return http.ListenAndServe(*addr, serve.New(cfg, rn))
+}
+
+// listScenarios prints the built-in scenario names and registered
+// workloads.
+func listScenarios(cfg experiments.Config, asJSON bool) error {
+	defs := experiments.BuiltinScenarios(cfg)
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(map[string]interface{}{
+			"scenarios": defs,
+			"workloads": workloads.Names(),
+		})
+	}
+	fmt.Println("built-in scenarios (usable as `run -scenario <name>` or as a spec's \"base\"):")
+	for _, n := range experiments.BuiltinNames() {
+		s, err := defs[n].Normalize()
+		if err != nil {
+			return err
+		}
+		extra := ""
+		if s.AllocWorkload != "" {
+			extra = fmt.Sprintf(", alloc from %s", s.AllocWorkload)
+		}
+		if s.Migration {
+			extra += ", migration"
+		}
+		fmt.Printf("  %-16s %s partition of %s%s\n", n, s.Partition, s.Workload, extra)
+	}
+	fmt.Printf("registered workloads: %v\n", workloads.Names())
+	return nil
 }

@@ -1,7 +1,9 @@
 // Example custom shows how a downstream user builds their own task graph
 // against the library: a three-stage software-defined-radio-like pipeline
-// (sampler -> filter bank -> demodulator) with a frame buffer, profiled
-// and partitioned with both solvers (MCKP and branch-and-bound ILP), plus
+// (sampler -> filter bank -> demodulator) with a frame buffer, registered
+// in the workload registry so declarative Scenario specs can address it
+// by name, run through the scenario batch runner, then profiled and
+// partitioned with both solvers (MCKP and branch-and-bound ILP), plus
 // the section 3.1 assignment model on the measured task times.
 package main
 
@@ -12,6 +14,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/kpn"
 	"repro/internal/platform"
+	"repro/internal/scenario"
+	"repro/internal/workloads"
 )
 
 func buildApp() (*core.App, error) {
@@ -76,8 +80,29 @@ func buildApp() (*core.App, error) {
 }
 
 func main() {
-	w := core.Workload{Name: "sdr", Factory: buildApp}
+	// Register the workload: from here on, "sdr" is addressable from any
+	// scenario spec (a JSON file, a serve-mode submission, or the
+	// programmatic Scenario below), like the built-in applications.
+	if err := workloads.Register("sdr", func(workloads.BuildConfig) core.Workload {
+		return core.Workload{Name: "sdr", Factory: buildApp}
+	}); err != nil {
+		log.Fatal(err)
+	}
+	w, err := workloads.Build("sdr", workloads.BuildConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
 	pc := platform.Default()
+
+	// The declarative route: a full study of the registered workload as
+	// one serializable spec on the memoizing batch runner.
+	rn := scenario.NewRunner(0)
+	doc, err := rn.Run(scenario.Scenario{Workload: "sdr", Runs: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scenario study (key %s): shared %d vs partitioned %d misses, compositional: %v\n",
+		doc.Key, doc.Shared.TotalMisses, doc.Partitioned.TotalMisses, doc.Compose.Compositional(0.02))
 
 	shared, err := core.Run(w, core.RunConfig{Platform: pc})
 	if err != nil {

@@ -32,6 +32,17 @@ func (s Solver) String() string {
 	return "mckp"
 }
 
+// ParseSolver resolves the CLI/spec spelling of a solver.
+func ParseSolver(s string) (Solver, error) {
+	switch s {
+	case "mckp", "":
+		return SolverMCKP, nil
+	case "ilp":
+		return SolverILP, nil
+	}
+	return 0, fmt.Errorf("core: unknown solver %q (want mckp or ilp)", s)
+}
+
 // OptimizeConfig parameterizes profiling and optimization.
 type OptimizeConfig struct {
 	Platform  platform.Config

@@ -209,23 +209,25 @@ func Figure3(s *Study) (*report.BarChart, *core.ComposeReport) {
 	return c, s.Compose
 }
 
-// HeadlineRow summarizes one study for the headline table.
+// HeadlineRow summarizes one study for the headline table. It is part
+// of the machine-readable surface (`compmem headline -json` emits the
+// rows in a versioned report envelope).
 type HeadlineRow struct {
-	App        string
-	SharedMiss uint64
-	PartMiss   uint64
-	Ratio      float64
-	SharedRate float64
-	PartRate   float64
-	SharedCPI  float64
-	PartCPI    float64
-	MaxRelDiff float64
+	App        string  `json:"app"`
+	SharedMiss uint64  `json:"shared_misses"`
+	PartMiss   uint64  `json:"partitioned_misses"`
+	Ratio      float64 `json:"ratio"`
+	SharedRate float64 `json:"shared_miss_rate"`
+	PartRate   float64 `json:"partitioned_miss_rate"`
+	SharedCPI  float64 `json:"shared_cpi"`
+	PartCPI    float64 `json:"partitioned_cpi"`
+	MaxRelDiff float64 `json:"max_rel_diff"`
 	// Energy in the arbitrary units of core.PowerModel: the paper's
 	// power criterion ("optimizing the overall execution time
 	// (respectively the number of misses) gives the most power
 	// consumptions reduction").
-	SharedEnergy float64
-	PartEnergy   float64
+	SharedEnergy float64 `json:"shared_energy"`
+	PartEnergy   float64 `json:"partitioned_energy"`
 }
 
 // Headline runs both applications plus the 1 MB shared-L2 MPEG-2 variant

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"sort"
+
+	"repro/internal/rtos"
+	"repro/internal/scenario"
+)
+
+// Built-in scenario names: every legacy command of the CLI resolves to
+// one or more of these, and user specs can overlay any of them through
+// the "base" field.
+const (
+	ScenarioApp1          = "app1"            // full study of 2×JPEG + Canny (Tables 1, Figures 2-3)
+	ScenarioApp2          = "app2"            // full study of MPEG-2 (Table 2)
+	ScenarioMpeg2Big      = "mpeg2-1mb"       // MPEG-2 on a 1 MB shared L2 (headline variant)
+	ScenarioApp1Curves    = "app1-curves"     // miss-curve profile of application 1
+	ScenarioApp2Curves    = "app2-curves"     // miss-curve profile of application 2
+	ScenarioJPEG1Solo     = "jpeg1-solo"      // X1: solo decoder under the full app's allocation
+	ScenarioApp1Split     = "app1-split"      // X4: split instruction/data partitions
+	ScenarioApp1Migration = "app1-migration"  // X5: study under task migration
+	ScenarioApp1Optimize  = "app1-optimize"   // X2: fine-grained optimize leg (no measured runs)
+	ScenarioApp1Column    = "app1-column"     // X2: column-caching optimize leg (one whole way each)
+)
+
+// baseSpec maps the harness configuration onto the scenario fields every
+// built-in shares.
+func baseSpec(cfg Config) scenario.Scenario {
+	ps := scenario.PlatformSpecOf(cfg.Platform)
+	return scenario.Scenario{
+		Scale:         cfg.Scale.String(),
+		Platform:      &ps,
+		Runs:          cfg.ProfileRuns,
+		Solver:        cfg.Solver.String(),
+		ProfileEngine: cfg.Engine.String(),
+		ExecEngine:    cfg.Platform.Engine.String(),
+	}
+}
+
+// BuiltinScenarios returns the canonical named scenario definitions for
+// the given harness configuration: the paper's tables and figures plus
+// the X1–X5 extension studies, as data.
+func BuiltinScenarios(cfg Config) map[string]scenario.Scenario {
+	defs := make(map[string]scenario.Scenario)
+	add := func(name string, mutate func(*scenario.Scenario)) {
+		s := baseSpec(cfg)
+		s.Name = name
+		if mutate != nil {
+			mutate(&s)
+		}
+		defs[name] = s
+	}
+
+	add(ScenarioApp1, func(s *scenario.Scenario) {
+		s.Workload = "2jpeg+canny"
+	})
+	add(ScenarioApp2, func(s *scenario.Scenario) {
+		s.Workload = "mpeg2"
+	})
+	add(ScenarioMpeg2Big, func(s *scenario.Scenario) {
+		s.Workload = "mpeg2"
+		s.Partition = scenario.PartitionShared
+		big := cfg.Platform
+		big.L2.Sets *= 2
+		ps := scenario.PlatformSpecOf(big)
+		s.Platform = &ps
+	})
+	add(ScenarioApp1Curves, func(s *scenario.Scenario) {
+		s.Workload = "2jpeg+canny"
+		s.Partition = scenario.PartitionProfile
+	})
+	add(ScenarioApp2Curves, func(s *scenario.Scenario) {
+		s.Workload = "mpeg2"
+		s.Partition = scenario.PartitionProfile
+	})
+	add(ScenarioJPEG1Solo, func(s *scenario.Scenario) {
+		s.Workload = "jpeg1-only"
+		s.AllocWorkload = "2jpeg+canny"
+	})
+	add(ScenarioApp1Split, func(s *scenario.Scenario) {
+		s.Workload = "2jpeg+canny(split i/d)"
+	})
+	add(ScenarioApp1Migration, func(s *scenario.Scenario) {
+		s.Workload = "2jpeg+canny"
+		s.Migration = true
+	})
+	add(ScenarioApp1Optimize, func(s *scenario.Scenario) {
+		s.Workload = "2jpeg+canny"
+		s.Partition = scenario.PartitionOptimize
+	})
+	add(ScenarioApp1Column, func(s *scenario.Scenario) {
+		s.Workload = "2jpeg+canny"
+		s.Partition = scenario.PartitionOptimize
+		// One candidate size: a whole cache way (column caching, the
+		// related-work granularity of experiment X2).
+		totalUnits := cfg.Platform.L2.Sets / rtos.AllocUnit
+		s.Sizes = []int{totalUnits / cfg.Platform.L2.Ways}
+	})
+	return defs
+}
+
+// BuiltinScenario resolves one built-in by name.
+func BuiltinScenario(cfg Config, name string) (scenario.Scenario, bool) {
+	s, ok := BuiltinScenarios(cfg)[name]
+	return s, ok
+}
+
+// BuiltinNames lists the built-in scenario names, sorted.
+func BuiltinNames() []string {
+	defs := BuiltinScenarios(Default())
+	names := make([]string, 0, len(defs))
+	for n := range defs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

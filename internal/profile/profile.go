@@ -53,6 +53,17 @@ func (e Engine) String() string {
 	return "stackdist"
 }
 
+// ParseEngine resolves the CLI/spec spelling of a profiling engine.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "stackdist", "":
+		return EngineStackDist, nil
+	case "bank":
+		return EngineBank, nil
+	}
+	return 0, fmt.Errorf("profile: unknown profiling engine %q (want stackdist or bank)", s)
+}
+
 // Config describes the candidate sizes and geometry.
 type Config struct {
 	Sizes    []int // candidate sizes in allocation units, ascending

@@ -1,0 +1,73 @@
+package report
+
+import "encoding/json"
+
+// SchemaVersion is the version of every machine-readable document the
+// harness emits: report envelopes (tables, charts, headline rows) and
+// the scenario result documents share it, so one consumer-side check
+// covers the whole surface. Bump it on any incompatible field change.
+const SchemaVersion = 1
+
+// Envelope is the versioned wrapper around one machine-readable
+// artifact. Kind discriminates the payload shape ("table", "barchart",
+// "headline", "scenario.result", ...).
+type Envelope struct {
+	SchemaVersion int         `json:"schema_version"`
+	Kind          string      `json:"kind"`
+	Payload       interface{} `json:"payload"`
+}
+
+// NewEnvelope wraps a payload under the current schema version.
+func NewEnvelope(kind string, payload interface{}) Envelope {
+	return Envelope{SchemaVersion: SchemaVersion, Kind: kind, Payload: payload}
+}
+
+// tableJSON is the wire shape of a Table.
+type tableJSON struct {
+	Title   string     `json:"title,omitempty"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+}
+
+// MarshalJSON renders the table as a versioned envelope, so `-json`
+// output of any table-producing command is self-describing.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	rows := t.Rows
+	if rows == nil {
+		rows = [][]string{}
+	}
+	return json.Marshal(NewEnvelope("table", tableJSON{
+		Title:   t.Title,
+		Headers: t.Headers,
+		Rows:    rows,
+	}))
+}
+
+// barPairJSON is the wire shape of one BarPair.
+type barPairJSON struct {
+	Label string  `json:"label"`
+	A     float64 `json:"a"`
+	B     float64 `json:"b"`
+}
+
+// barChartJSON is the wire shape of a BarChart.
+type barChartJSON struct {
+	Title  string        `json:"title,omitempty"`
+	ALabel string        `json:"a_label"`
+	BLabel string        `json:"b_label"`
+	Pairs  []barPairJSON `json:"pairs"`
+}
+
+// MarshalJSON renders the chart as a versioned envelope.
+func (c *BarChart) MarshalJSON() ([]byte, error) {
+	pairs := make([]barPairJSON, len(c.Pairs))
+	for i, p := range c.Pairs {
+		pairs[i] = barPairJSON{Label: p.Label, A: p.A, B: p.B}
+	}
+	return json.Marshal(NewEnvelope("barchart", barChartJSON{
+		Title:  c.Title,
+		ALabel: c.ALabel,
+		BLabel: c.BLabel,
+		Pairs:  pairs,
+	}))
+}

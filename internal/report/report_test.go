@@ -1,6 +1,7 @@
 package report
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -88,5 +89,38 @@ func TestBarChartTinyValueVisible(t *testing.T) {
 	out := c.String()
 	if !strings.Contains(out, "~") {
 		t.Error("nonzero value rendered invisible")
+	}
+}
+
+func TestTableMarshalJSONEnvelope(t *testing.T) {
+	tab := &Table{Title: "T", Headers: []string{"a", "b"}}
+	tab.AddRow(1, 2.5)
+	raw, err := json.Marshal(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"schema_version":1,"kind":"table","payload":{"title":"T","headers":["a","b"],"rows":[["1","2.5"]]}}`
+	if string(raw) != want {
+		t.Errorf("table envelope drifted:\n got %s\nwant %s", raw, want)
+	}
+	// An empty table still emits rows as [], not null.
+	raw, err = json.Marshal(&Table{Headers: []string{"x"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"rows":[]`) {
+		t.Errorf("empty table must emit empty rows array: %s", raw)
+	}
+}
+
+func TestBarChartMarshalJSONEnvelope(t *testing.T) {
+	c := &BarChart{Title: "C", ALabel: "l", BLabel: "r", Pairs: []BarPair{{Label: "x", A: 1, B: 2}}}
+	raw, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"schema_version":1,"kind":"barchart","payload":{"title":"C","a_label":"l","b_label":"r","pairs":[{"label":"x","a":1,"b":2}]}}`
+	if string(raw) != want {
+		t.Errorf("chart envelope drifted:\n got %s\nwant %s", raw, want)
 	}
 }

@@ -1,0 +1,188 @@
+package scenario
+
+import (
+	"repro/internal/core"
+	"repro/internal/profile"
+	"repro/internal/report"
+)
+
+// ResultKind is the envelope kind of a scenario result document.
+const ResultKind = "scenario.result"
+
+// Curve is the serializable per-entity miss curve m_i(z_p).
+type Curve struct {
+	Entity   string    `json:"entity"`
+	Sizes    []int     `json:"sizes"`
+	Misses   []float64 `json:"misses"`
+	Accesses float64   `json:"accesses"`
+}
+
+// EntitySummary is one allocation entity's cache statistics in a run.
+type EntitySummary struct {
+	Name     string `json:"name"`
+	Kind     string `json:"kind"`
+	Units    int    `json:"units,omitempty"`
+	Accesses uint64 `json:"accesses"`
+	Misses   uint64 `json:"misses"`
+}
+
+// RunSummary is the structured outcome of one measured execution.
+type RunSummary struct {
+	App         string            `json:"app"`
+	Strategy    string            `json:"strategy"`
+	TotalMisses uint64            `json:"total_misses"`
+	L2MissRate  float64           `json:"l2_miss_rate"`
+	CPIMean     float64           `json:"cpi_mean"`
+	Energy      float64           `json:"energy"`
+	Entities    []EntitySummary   `json:"entities"`
+	TaskCycles  map[string]uint64 `json:"task_cycles"`
+	TaskCPU     map[string]int    `json:"task_cpu"`
+}
+
+// Entity returns the named entity summary, or nil.
+func (r *RunSummary) Entity(name string) *EntitySummary {
+	for i := range r.Entities {
+		if r.Entities[i].Name == name {
+			return &r.Entities[i]
+		}
+	}
+	return nil
+}
+
+// OptimizeSummary is the structured outcome of the profile+solve stage.
+type OptimizeSummary struct {
+	Solver     string             `json:"solver"`
+	Budget     int                `json:"budget"`
+	TotalUnits int                `json:"total_units"`
+	Allocation map[string]int     `json:"allocation"`
+	Expected   map[string]float64 `json:"expected"`
+}
+
+// ComposeEntry compares expected and simulated misses for one entity.
+type ComposeEntry struct {
+	Name      string  `json:"name"`
+	Expected  float64 `json:"expected"`
+	Simulated uint64  `json:"simulated"`
+	RelDiff   float64 `json:"rel_diff"`
+}
+
+// ComposeSummary is the Figure 3 compositionality analysis.
+type ComposeSummary struct {
+	Entries        []ComposeEntry `json:"entries"`
+	TotalSimulated uint64         `json:"total_simulated"`
+	MaxRelDiff     float64        `json:"max_rel_diff"`
+	MeanRelDiff    float64        `json:"mean_rel_diff"`
+}
+
+// Compositional reports the paper's criterion at the given threshold.
+func (c *ComposeSummary) Compositional(threshold float64) bool {
+	return c.MaxRelDiff <= threshold
+}
+
+// Result is the versioned result document of one scenario. Which
+// sections are present depends on the spec's partition policy; Error is
+// set (and the sections nil) when the scenario failed.
+type Result struct {
+	SchemaVersion int      `json:"schema_version"`
+	Key           string   `json:"key,omitempty"`
+	Scenario      Scenario `json:"scenario"`
+	Error         string   `json:"error,omitempty"`
+
+	Shared      *RunSummary      `json:"shared,omitempty"`
+	Partitioned *RunSummary      `json:"partitioned,omitempty"`
+	Optimize    *OptimizeSummary `json:"optimize,omitempty"`
+	Compose     *ComposeSummary  `json:"compose,omitempty"`
+	Curves      []Curve          `json:"curves,omitempty"`
+}
+
+// MissRatio returns shared misses / partitioned misses (the paper's "N
+// times less misses"), or 0 when either run is missing.
+func (r *Result) MissRatio() float64 {
+	if r.Shared == nil || r.Partitioned == nil || r.Partitioned.TotalMisses == 0 {
+		return 0
+	}
+	return float64(r.Shared.TotalMisses) / float64(r.Partitioned.TotalMisses)
+}
+
+// Envelope wraps the result for the machine-readable output surface.
+func (r *Result) Envelope() report.Envelope {
+	return report.NewEnvelope(ResultKind, r)
+}
+
+// summarizeRun converts a core run result into the document shape.
+func summarizeRun(res *core.Result) *RunSummary {
+	s := &RunSummary{
+		App:         res.App,
+		Strategy:    res.Strategy.String(),
+		TotalMisses: res.TotalMisses(),
+		L2MissRate:  res.L2MissRate,
+		CPIMean:     res.CPIMean,
+		Energy:      res.Energy,
+		Entities:    make([]EntitySummary, len(res.Entities)),
+		TaskCycles:  make(map[string]uint64, len(res.TaskCycles)),
+		TaskCPU:     make(map[string]int, len(res.TaskCPU)),
+	}
+	for i, e := range res.Entities {
+		s.Entities[i] = EntitySummary{
+			Name:     e.Name,
+			Kind:     e.Kind.String(),
+			Units:    e.Units,
+			Accesses: e.Accesses,
+			Misses:   e.Misses,
+		}
+	}
+	for n, c := range res.TaskCycles {
+		s.TaskCycles[n] = c
+	}
+	for n, c := range res.TaskCPU {
+		s.TaskCPU[n] = c
+	}
+	return s
+}
+
+// summarizeOptimize converts an optimizer result into the document shape
+// (curves are carried separately, only under the profile policy).
+func summarizeOptimize(opt *core.OptimizeResult) *OptimizeSummary {
+	s := &OptimizeSummary{
+		Solver:     opt.Solver.String(),
+		Budget:     opt.Budget,
+		TotalUnits: opt.Allocation.TotalUnits(),
+		Allocation: make(map[string]int, len(opt.Allocation)),
+		Expected:   make(map[string]float64, len(opt.Expected)),
+	}
+	for n, u := range opt.Allocation {
+		s.Allocation[n] = u
+	}
+	for n, m := range opt.Expected {
+		s.Expected[n] = m
+	}
+	return s
+}
+
+// summarizeCompose converts the Figure 3 report into the document shape.
+func summarizeCompose(rep *core.ComposeReport) *ComposeSummary {
+	s := &ComposeSummary{
+		Entries:        make([]ComposeEntry, len(rep.Entries)),
+		TotalSimulated: rep.TotalSimulated,
+		MaxRelDiff:     rep.MaxRelDiff,
+		MeanRelDiff:    rep.MeanRelDiff,
+	}
+	for i, e := range rep.Entries {
+		s.Entries[i] = ComposeEntry{Name: e.Name, Expected: e.Expected, Simulated: e.Simulated, RelDiff: e.RelDiff}
+	}
+	return s
+}
+
+// summarizeCurves converts profiled curves into the document shape.
+func summarizeCurves(curves []profile.Curve) []Curve {
+	out := make([]Curve, len(curves))
+	for i, c := range curves {
+		out[i] = Curve{
+			Entity:   c.Entity,
+			Sizes:    append([]int(nil), c.Sizes...),
+			Misses:   append([]float64(nil), c.Misses...),
+			Accesses: c.Accesses,
+		}
+	}
+	return out
+}

@@ -1,0 +1,340 @@
+package scenario
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/parallel"
+	"repro/internal/profile"
+	"repro/internal/report"
+	"repro/internal/workloads"
+)
+
+// Runner validates scenarios and executes them with content-addressed
+// memoization. Memoization is per pipeline *stage* (profiling, the
+// profile+solve leg, each measured execution), keyed by a hash of
+// exactly the spec fields that stage depends on — so identical specs in
+// a batch simulate once, and different scenarios sharing a stage (every
+// command of the legacy CLI surface reuses the two applications'
+// studies; the solo-composition scenario borrows the full application's
+// optimization) share the simulation too. Every simulation is
+// deterministic at any worker count, so memoized and fresh results are
+// bit-identical.
+//
+// A Runner is safe for concurrent use; the serve mode shares one across
+// requests, turning the memo into a result cache.
+type Runner struct {
+	// workers bounds each fan-out stage (0 = GOMAXPROCS, 1 = fully
+	// sequential), exactly like experiments.Config.Workers.
+	workers int
+
+	mu   sync.Mutex
+	memo map[string]*memoEntry
+
+	stageRuns uint64 // stages actually executed
+	memoHits  uint64 // stage lookups served from the memo
+}
+
+// memoEntry is a single-flight memo slot: the first caller computes,
+// concurrent callers block on the sync.Once, later callers reuse.
+type memoEntry struct {
+	once sync.Once
+	val  interface{}
+	err  error
+}
+
+// NewRunner returns a Runner with the given worker-pool bound.
+func NewRunner(workers int) *Runner {
+	return &Runner{workers: workers, memo: make(map[string]*memoEntry)}
+}
+
+// Workers returns the runner's worker-pool knob (0 = GOMAXPROCS).
+func (r *Runner) Workers() int { return r.workers }
+
+// TrimMemo drops the whole memo when it holds more than max entries,
+// bounding a long-lived runner's memory. In-flight stages keep their
+// entry pointers and finish normally; later requests recompute — every
+// simulation is deterministic, so trimming never changes results.
+func (r *Runner) TrimMemo(max int) {
+	r.mu.Lock()
+	if len(r.memo) > max {
+		r.memo = make(map[string]*memoEntry)
+	}
+	r.mu.Unlock()
+}
+
+// Stats reports memoization effectiveness.
+type Stats struct {
+	StageRuns uint64 // pipeline stages executed
+	MemoHits  uint64 // stage requests served from the memo
+}
+
+// Stats returns a snapshot of the runner's counters.
+func (r *Runner) Stats() Stats {
+	return Stats{
+		StageRuns: atomic.LoadUint64(&r.stageRuns),
+		MemoHits:  atomic.LoadUint64(&r.memoHits),
+	}
+}
+
+// stage runs f once per key and memoizes its result.
+func (r *Runner) stage(key string, f func() (interface{}, error)) (interface{}, error) {
+	r.mu.Lock()
+	e, ok := r.memo[key]
+	if !ok {
+		e = &memoEntry{}
+		r.memo[key] = e
+	} else {
+		atomic.AddUint64(&r.memoHits, 1)
+	}
+	r.mu.Unlock()
+	e.once.Do(func() {
+		atomic.AddUint64(&r.stageRuns, 1)
+		e.val, e.err = f()
+	})
+	return e.val, e.err
+}
+
+// profileKey captures exactly what the profiling stage depends on.
+type profileKey struct {
+	Workload string       `json:"workload"`
+	Scale    string       `json:"scale"`
+	Seed     uint64       `json:"seed"`
+	Platform PlatformSpec `json:"platform"`
+	Exec     string       `json:"exec"`
+	Runs     int          `json:"runs"`
+	Engine   string       `json:"engine"`
+	Sizes    []int        `json:"sizes"`
+}
+
+func (r *Runner) profileStage(s Scenario) ([]profile.Curve, error) {
+	key := "profile|" + hashJSON(profileKey{
+		Workload: s.Workload, Scale: s.Scale, Seed: s.Seed,
+		Platform: *s.Platform, Exec: s.ExecEngine,
+		Runs: s.Runs, Engine: s.ProfileEngine, Sizes: s.Sizes,
+	})
+	v, err := r.stage(key, func() (interface{}, error) {
+		w, err := workloads.Build(s.Workload, s.buildConfig())
+		if err != nil {
+			return nil, err
+		}
+		oc, err := s.optimizeConfig(r.workers)
+		if err != nil {
+			return nil, err
+		}
+		return core.Profile(w, oc)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.([]profile.Curve), nil
+}
+
+// optimizeKey extends profileKey with the solver choice.
+type optimizeKey struct {
+	profileKey
+	Solver string `json:"solver"`
+}
+
+func (r *Runner) optimizeStage(s Scenario) (*core.OptimizeResult, error) {
+	key := "optimize|" + hashJSON(optimizeKey{
+		profileKey: profileKey{
+			Workload: s.Workload, Scale: s.Scale, Seed: s.Seed,
+			Platform: *s.Platform, Exec: s.ExecEngine,
+			Runs: s.Runs, Engine: s.ProfileEngine, Sizes: s.Sizes,
+		},
+		Solver: s.Solver,
+	})
+	v, err := r.stage(key, func() (interface{}, error) {
+		curves, err := r.profileStage(s)
+		if err != nil {
+			return nil, err
+		}
+		w, err := workloads.Build(s.Workload, s.buildConfig())
+		if err != nil {
+			return nil, err
+		}
+		app, err := w.Factory()
+		if err != nil {
+			return nil, err
+		}
+		oc, err := s.optimizeConfig(r.workers)
+		if err != nil {
+			return nil, err
+		}
+		return core.OptimizeFromCurves(app, curves, oc)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*core.OptimizeResult), nil
+}
+
+// runKey captures exactly what one measured execution depends on. The
+// partitioned run's allocation is identified by the key of the optimize
+// stage that produced it, not its content.
+type runKey struct {
+	Workload  string       `json:"workload"`
+	Scale     string       `json:"scale"`
+	Seed      uint64       `json:"seed"`
+	Platform  PlatformSpec `json:"platform"`
+	Exec      string       `json:"exec"`
+	Strategy  string       `json:"strategy"`
+	Migration bool         `json:"migration"`
+	AllocKey  string       `json:"alloc_key,omitempty"`
+}
+
+func (r *Runner) runStage(s Scenario, strat core.Strategy, alloc core.Allocation, allocKey string) (*core.Result, error) {
+	key := "run|" + hashJSON(runKey{
+		Workload: s.Workload, Scale: s.Scale, Seed: s.Seed,
+		Platform: *s.Platform, Exec: s.ExecEngine,
+		Strategy: strat.String(), Migration: s.Migration, AllocKey: allocKey,
+	})
+	v, err := r.stage(key, func() (interface{}, error) {
+		w, err := workloads.Build(s.Workload, s.buildConfig())
+		if err != nil {
+			return nil, err
+		}
+		pc, err := s.platformConfig()
+		if err != nil {
+			return nil, err
+		}
+		pc.Sched.AllowMigration = s.Migration
+		rc := core.RunConfig{Platform: pc, Strategy: strat, Alloc: alloc}
+		return core.Run(w, rc)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*core.Result), nil
+}
+
+// allocSpec returns the spec whose optimization provides the partitioned
+// run's allocation: the scenario itself, or its AllocWorkload stand-in.
+func allocSpec(s Scenario) Scenario {
+	if s.AllocWorkload == "" {
+		return s
+	}
+	a := s
+	a.Workload = s.AllocWorkload
+	a.AllocWorkload = ""
+	return a
+}
+
+// allocStageKey mirrors optimizeStage's key derivation, for runKey.
+func allocStageKey(s Scenario) string {
+	a := allocSpec(s)
+	return hashJSON(optimizeKey{
+		profileKey: profileKey{
+			Workload: a.Workload, Scale: a.Scale, Seed: a.Seed,
+			Platform: *a.Platform, Exec: a.ExecEngine,
+			Runs: a.Runs, Engine: a.ProfileEngine, Sizes: a.Sizes,
+		},
+		Solver: a.Solver,
+	})
+}
+
+// Run normalizes and executes one scenario. The returned Result always
+// carries the normalized spec and content key when normalization
+// succeeded; on a pipeline failure the error is returned and also
+// recorded in Result.Error, so batch consumers can use either form.
+func (r *Runner) Run(s Scenario) (*Result, error) {
+	n, err := s.Normalize()
+	if err != nil {
+		return &Result{SchemaVersion: report.SchemaVersion, Scenario: s, Error: err.Error()}, err
+	}
+	keyed := n
+	keyed.Name = ""
+	res := &Result{SchemaVersion: report.SchemaVersion, Key: hashJSON(keyed), Scenario: n}
+	if err := r.execute(n, res); err != nil {
+		res.Error = err.Error()
+		res.Shared, res.Partitioned, res.Optimize, res.Compose, res.Curves = nil, nil, nil, nil, nil
+		return res, err
+	}
+	return res, nil
+}
+
+// execute fills the result sections the partition policy calls for.
+func (r *Runner) execute(n Scenario, res *Result) error {
+	switch n.Partition {
+	case PartitionProfile:
+		curves, err := r.profileStage(n)
+		if err != nil {
+			return err
+		}
+		res.Curves = summarizeCurves(curves)
+		return nil
+
+	case PartitionOptimize:
+		opt, err := r.optimizeStage(n)
+		if err != nil {
+			return err
+		}
+		res.Optimize = summarizeOptimize(opt)
+		return nil
+
+	case PartitionShared:
+		shared, err := r.runStage(n, core.Shared, nil, "")
+		if err != nil {
+			return err
+		}
+		res.Shared = summarizeRun(shared)
+		return nil
+
+	case PartitionOptimized:
+		// The shared baseline and the profile+optimize leg are
+		// independent simulations and run concurrently, exactly like the
+		// legacy study pipeline; the partitioned run needs the optimized
+		// allocation and follows.
+		var (
+			shared *core.Result
+			opt    *core.OptimizeResult
+		)
+		legs := []func() error{
+			func() error {
+				var err error
+				shared, err = r.runStage(n, core.Shared, nil, "")
+				if err != nil {
+					return fmt.Errorf("scenario: shared run: %w", err)
+				}
+				return nil
+			},
+			func() error {
+				var err error
+				opt, err = r.optimizeStage(allocSpec(n))
+				if err != nil {
+					return fmt.Errorf("scenario: optimize: %w", err)
+				}
+				return nil
+			},
+		}
+		if err := parallel.Do(parallel.Workers(r.workers), len(legs), func(i int) error { return legs[i]() }); err != nil {
+			return err
+		}
+		part, err := r.runStage(n, core.Partitioned, opt.Allocation, allocStageKey(n))
+		if err != nil {
+			return fmt.Errorf("scenario: partitioned run: %w", err)
+		}
+		res.Shared = summarizeRun(shared)
+		res.Partitioned = summarizeRun(part)
+		res.Optimize = summarizeOptimize(opt)
+		res.Compose = summarizeCompose(core.CompareExpectedSimulated(opt.Expected, part))
+		return nil
+	}
+	return fmt.Errorf("scenario: unknown partition policy %q", n.Partition)
+}
+
+// RunBatch executes a batch over the worker pool. Results come back in
+// input order; a scenario's failure is recorded in its Result.Error
+// without failing the batch (the returned slice always has len(specs)
+// non-nil entries).
+func (r *Runner) RunBatch(specs []Scenario) []*Result {
+	results := make([]*Result, len(specs))
+	parallel.Do(parallel.Workers(r.workers), len(specs), func(i int) error {
+		results[i], _ = r.Run(specs[i])
+		return nil
+	})
+	return results
+}

@@ -1,0 +1,106 @@
+package scenario
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// smallSpec is a cheap profile-only scenario for runner tests.
+func smallSpec() Scenario {
+	return Scenario{Workload: "jpeg1-only", Scale: "small", Runs: 1, Partition: PartitionProfile}
+}
+
+// TestRunnerMemoizesIdenticalSpecs checks the batch contract: identical
+// specs in a batch simulate once and return identical documents.
+func TestRunnerMemoizesIdenticalSpecs(t *testing.T) {
+	rn := NewRunner(2)
+	a := smallSpec()
+	b := smallSpec()
+	b.Name = "same-but-named" // names must not defeat memoization
+	results := rn.RunBatch([]Scenario{a, b, a})
+	if len(results) != 3 {
+		t.Fatalf("want 3 results, got %d", len(results))
+	}
+	for i, r := range results {
+		if r.Error != "" {
+			t.Fatalf("result %d failed: %s", i, r.Error)
+		}
+	}
+	if results[0].Key != results[1].Key || results[1].Key != results[2].Key {
+		t.Errorf("keys differ: %s %s %s", results[0].Key, results[1].Key, results[2].Key)
+	}
+	st := rn.Stats()
+	if st.StageRuns != 1 {
+		t.Errorf("identical specs must simulate once, got %d stage runs (stats %+v)", st.StageRuns, st)
+	}
+	if st.MemoHits != 2 {
+		t.Errorf("want 2 memo hits, got %+v", st)
+	}
+	c0, _ := json.Marshal(results[0].Curves)
+	c2, _ := json.Marshal(results[2].Curves)
+	if string(c0) != string(c2) {
+		t.Error("memoized results differ from fresh ones")
+	}
+}
+
+// TestRunnerWorkerCountInvariance checks results are bit-identical at
+// any worker-pool bound.
+func TestRunnerWorkerCountInvariance(t *testing.T) {
+	spec := smallSpec()
+	seq, err := NewRunner(1).Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := NewRunner(4).Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(seq)
+	b, _ := json.Marshal(par)
+	if string(a) != string(b) {
+		t.Errorf("worker count changed the result document\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestRunBatchEmbedsErrors checks a failing spec doesn't fail the batch
+// and keeps its slot, in order.
+func TestRunBatchEmbedsErrors(t *testing.T) {
+	rn := NewRunner(1)
+	bad := Scenario{Workload: "no-such-workload"}
+	results := rn.RunBatch([]Scenario{smallSpec(), bad})
+	if results[0].Error != "" {
+		t.Errorf("good spec failed: %s", results[0].Error)
+	}
+	if results[1].Error == "" || !strings.Contains(results[1].Error, "unknown workload") {
+		t.Errorf("bad spec must carry its validation error, got %q", results[1].Error)
+	}
+	if results[1].Shared != nil || results[1].Curves != nil {
+		t.Error("failed result must carry no sections")
+	}
+}
+
+// TestSeedChangesWorkload checks the seed knob reaches the synthetic
+// inputs: different seeds must produce different profiles.
+func TestSeedChangesWorkload(t *testing.T) {
+	rn := NewRunner(2)
+	a := smallSpec()
+	b := smallSpec()
+	b.Seed = 9
+	ra, err := rn.Run(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := rn.Run(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Key == rb.Key {
+		t.Fatal("seed must be part of the content address")
+	}
+	ca, _ := json.Marshal(ra.Curves)
+	cb, _ := json.Marshal(rb.Curves)
+	if string(ca) == string(cb) {
+		t.Error("different seeds produced identical miss curves")
+	}
+}

@@ -1,0 +1,435 @@
+// Package scenario is the declarative experiment surface of the
+// reproduction: a Scenario is a JSON-(de)serializable spec naming a
+// registered workload, a platform geometry, engines, a solver and a
+// partition policy; a Runner validates specs and executes batches over
+// the bounded worker pool with content-addressed memoization (identical
+// specs — and identical pipeline stages across different specs —
+// simulate once); a Result is the structured, versioned document every
+// table and figure of the evaluation is derived from.
+//
+// Scenarios are data, not Go functions: new workload mixes, geometries
+// and policies are defined in JSON (or constructed programmatically),
+// batched through Runner.RunBatch, and served over HTTP by the
+// `compmem serve` mode, without touching the harness.
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/bus"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/profile"
+	"repro/internal/workloads"
+)
+
+// SpecVersion is the current Scenario spec version.
+const SpecVersion = 1
+
+// Partition policies: how far down the paper's pipeline a scenario runs.
+const (
+	// PartitionOptimized is the full study (the default): shared
+	// baseline run, profile + optimize, partitioned run, and the
+	// expected-vs-simulated compositionality comparison.
+	PartitionOptimized = "optimized"
+	// PartitionShared runs only the shared-cache baseline.
+	PartitionShared = "shared"
+	// PartitionOptimize profiles and solves for an allocation but runs
+	// no measured executions (the granularity ablation needs exactly
+	// this).
+	PartitionOptimize = "optimize"
+	// PartitionProfile only profiles the per-entity miss curves.
+	PartitionProfile = "profile"
+)
+
+var partitionPolicies = []string{PartitionOptimized, PartitionShared, PartitionOptimize, PartitionProfile}
+
+// Scenario is one serializable experiment spec. The zero value of every
+// optional field means "the harness default", so minimal specs stay
+// minimal; Normalize fills the canonical values in.
+type Scenario struct {
+	// SpecVersion is the spec schema version; 0 means current.
+	SpecVersion int `json:"spec_version,omitempty"`
+	// Name labels the scenario in listings and results. It does not
+	// affect the simulation (two scenarios differing only in Name share
+	// one content address).
+	Name string `json:"name,omitempty"`
+	// Base names a built-in scenario this spec overlays: omitted fields
+	// inherit the base's values. Resolved by Resolve before Normalize.
+	Base string `json:"base,omitempty"`
+
+	// Workload names a registered workload (see internal/workloads
+	// Register/Names).
+	Workload string `json:"workload"`
+	// Scale is "small" or "paper" (default).
+	Scale string `json:"scale,omitempty"`
+	// Seed perturbs the workload's synthetic input data; 0 is the
+	// canonical paper workload.
+	Seed uint64 `json:"seed,omitempty"`
+	// Platform overrides the section 5 tile geometry; nil keeps it.
+	Platform *PlatformSpec `json:"platform,omitempty"`
+
+	// Partition selects the pipeline policy: "optimized" (default),
+	// "shared", "optimize" or "profile".
+	Partition string `json:"partition,omitempty"`
+	// Runs is the number of jittered profiling repetitions averaged
+	// into the miss curves; default 2.
+	Runs int `json:"runs,omitempty"`
+	// Solver is "mckp" (default) or "ilp".
+	Solver string `json:"solver,omitempty"`
+	// ProfileEngine is "stackdist" (default) or "bank".
+	ProfileEngine string `json:"profile_engine,omitempty"`
+	// ExecEngine is "merged" (default) or "word".
+	ExecEngine string `json:"exec_engine,omitempty"`
+	// Sizes restricts the candidate partition sizes (allocation units,
+	// powers of two); nil means the default 1..128 ladder.
+	Sizes []int `json:"sizes,omitempty"`
+	// Migration enables dynamic scheduling with task migration for the
+	// measured shared/partitioned executions. Profiling runs always use
+	// static scheduling — the regime the paper's model covers.
+	Migration bool `json:"migration,omitempty"`
+	// AllocWorkload, for the "optimized" policy, borrows the partitioned
+	// run's allocation from optimizing this workload instead of the
+	// scenario's own — the compositionality ablation validates a solo
+	// task under the full application's allocation this way.
+	AllocWorkload string `json:"alloc_workload,omitempty"`
+}
+
+// CacheSpec overrides a cache geometry; zero fields keep the default.
+type CacheSpec struct {
+	Sets     int `json:"sets,omitempty"`
+	Ways     int `json:"ways,omitempty"`
+	LineSize int `json:"line_size,omitempty"`
+}
+
+func (c CacheSpec) apply(base cache.Config) cache.Config {
+	if c.Sets != 0 {
+		base.Sets = c.Sets
+	}
+	if c.Ways != 0 {
+		base.Ways = c.Ways
+	}
+	if c.LineSize != 0 {
+		base.LineSize = c.LineSize
+	}
+	return base
+}
+
+// BusSpec overrides the interconnect; zero fields keep the default.
+type BusSpec struct {
+	TransferCycles uint64 `json:"transfer_cycles,omitempty"`
+	MemLatency     uint64 `json:"mem_latency,omitempty"`
+	Banks          int    `json:"banks,omitempty"`
+	LineSize       int    `json:"line_size,omitempty"`
+}
+
+func (b BusSpec) apply(base bus.Config) bus.Config {
+	if b.TransferCycles != 0 {
+		base.TransferCycles = b.TransferCycles
+	}
+	if b.MemLatency != 0 {
+		base.MemLatency = b.MemLatency
+	}
+	if b.Banks != 0 {
+		base.Banks = b.Banks
+	}
+	if b.LineSize != 0 {
+		base.LineSize = b.LineSize
+	}
+	return base
+}
+
+// SchedSpec overrides the scheduler; zero fields keep the default.
+type SchedSpec struct {
+	Quantum    int64  `json:"quantum,omitempty"`
+	SwitchCost uint64 `json:"switch_cost,omitempty"`
+}
+
+// PlatformSpec is the serializable platform geometry. Zero-valued fields
+// keep the section 5 default (platform.Default()), so a custom geometry
+// only names what it changes — e.g. {"num_cpus": 8}.
+type PlatformSpec struct {
+	NumCPUs       int       `json:"num_cpus,omitempty"`
+	BaseCPI       float64   `json:"base_cpi,omitempty"`
+	L1            CacheSpec `json:"l1,omitempty"`
+	L2            CacheSpec `json:"l2,omitempty"`
+	L1HitLatency  uint64    `json:"l1_hit_latency,omitempty"`
+	L2HitLatency  uint64    `json:"l2_hit_latency,omitempty"`
+	Bus           BusSpec   `json:"bus,omitempty"`
+	Sched         SchedSpec `json:"sched,omitempty"`
+	SwitchTouches int       `json:"switch_touches,omitempty"`
+}
+
+// Config materializes the spec over the default tile.
+func (p PlatformSpec) Config() platform.Config {
+	pc := platform.Default()
+	if p.NumCPUs != 0 {
+		pc.NumCPUs = p.NumCPUs
+	}
+	if p.BaseCPI != 0 {
+		pc.BaseCPI = p.BaseCPI
+	}
+	pc.L1 = p.L1.apply(pc.L1)
+	pc.L2 = p.L2.apply(pc.L2)
+	if p.L1HitLatency != 0 {
+		pc.L1HitLat = p.L1HitLatency
+	}
+	if p.L2HitLatency != 0 {
+		pc.L2HitLat = p.L2HitLatency
+	}
+	pc.Bus = p.Bus.apply(pc.Bus)
+	if p.Sched.Quantum != 0 {
+		pc.Sched.Quantum = p.Sched.Quantum
+	}
+	if p.Sched.SwitchCost != 0 {
+		pc.Sched.SwitchCost = p.Sched.SwitchCost
+	}
+	if p.SwitchTouches != 0 {
+		pc.SwitchTouches = p.SwitchTouches
+	}
+	return pc
+}
+
+// PlatformSpecOf captures an assembled platform.Config as a spec — the
+// inverse of PlatformSpec.Config for configurations reachable from the
+// default (every field is written explicitly, so the round trip is
+// exact whenever no meaningful field is zero while its default is not).
+func PlatformSpecOf(pc platform.Config) PlatformSpec {
+	return PlatformSpec{
+		NumCPUs:       pc.NumCPUs,
+		BaseCPI:       pc.BaseCPI,
+		L1:            CacheSpec{Sets: pc.L1.Sets, Ways: pc.L1.Ways, LineSize: pc.L1.LineSize},
+		L2:            CacheSpec{Sets: pc.L2.Sets, Ways: pc.L2.Ways, LineSize: pc.L2.LineSize},
+		L1HitLatency:  pc.L1HitLat,
+		L2HitLatency:  pc.L2HitLat,
+		Bus:           BusSpec{TransferCycles: pc.Bus.TransferCycles, MemLatency: pc.Bus.MemLatency, Banks: pc.Bus.Banks, LineSize: pc.Bus.LineSize},
+		Sched:         SchedSpec{Quantum: pc.Sched.Quantum, SwitchCost: pc.Sched.SwitchCost},
+		SwitchTouches: pc.SwitchTouches,
+	}
+}
+
+// Normalize validates the spec and returns its canonical form: every
+// defaultable field filled with its canonical value, enum spellings
+// canonicalized, sizes sorted. Two specs describing the same experiment
+// normalize identically, which is what makes content addressing work.
+func (s Scenario) Normalize() (Scenario, error) {
+	n := s
+	switch n.SpecVersion {
+	case 0:
+		n.SpecVersion = SpecVersion
+	case SpecVersion:
+	default:
+		return n, fmt.Errorf("scenario: unsupported spec_version %d (current %d)", n.SpecVersion, SpecVersion)
+	}
+	if n.Base != "" {
+		return n, fmt.Errorf("scenario: unresolved base %q (resolve built-in bases before Normalize)", n.Base)
+	}
+	if n.Workload == "" {
+		return n, fmt.Errorf("scenario: missing workload (registered: %v)", workloads.Names())
+	}
+	if _, ok := workloads.Lookup(n.Workload); !ok {
+		return n, fmt.Errorf("scenario: unknown workload %q (registered: %v)", n.Workload, workloads.Names())
+	}
+	scale, err := workloads.ParseScale(n.Scale)
+	if err != nil {
+		return n, err
+	}
+	n.Scale = scale.String()
+
+	if n.Partition == "" {
+		n.Partition = PartitionOptimized
+	}
+	valid := false
+	for _, p := range partitionPolicies {
+		if n.Partition == p {
+			valid = true
+			break
+		}
+	}
+	if !valid {
+		return n, fmt.Errorf("scenario: unknown partition policy %q (want one of %v)", n.Partition, partitionPolicies)
+	}
+	if n.AllocWorkload != "" {
+		if n.Partition != PartitionOptimized {
+			return n, fmt.Errorf("scenario: alloc_workload only applies to the %q partition policy (got %q)", PartitionOptimized, n.Partition)
+		}
+		if _, ok := workloads.Lookup(n.AllocWorkload); !ok {
+			return n, fmt.Errorf("scenario: unknown alloc_workload %q (registered: %v)", n.AllocWorkload, workloads.Names())
+		}
+	}
+
+	if n.Runs == 0 {
+		n.Runs = 2
+	}
+	if n.Runs < 0 {
+		return n, fmt.Errorf("scenario: runs %d not positive", n.Runs)
+	}
+	solver, err := core.ParseSolver(n.Solver)
+	if err != nil {
+		return n, err
+	}
+	n.Solver = solver.String()
+	pe, err := profile.ParseEngine(n.ProfileEngine)
+	if err != nil {
+		return n, err
+	}
+	n.ProfileEngine = pe.String()
+	ee, err := platform.ParseEngine(n.ExecEngine)
+	if err != nil {
+		return n, err
+	}
+	n.ExecEngine = ee.String()
+
+	if n.Sizes == nil {
+		n.Sizes = []int{1, 2, 4, 8, 16, 32, 64, 128}
+	} else {
+		n.Sizes = append([]int(nil), n.Sizes...)
+		sort.Ints(n.Sizes)
+		for _, v := range n.Sizes {
+			if v <= 0 || v&(v-1) != 0 {
+				return n, fmt.Errorf("scenario: candidate size %d not a positive power of two", v)
+			}
+		}
+	}
+
+	if n.Platform == nil {
+		n.Platform = &PlatformSpec{}
+	}
+	full := PlatformSpecOf(n.Platform.Config())
+	n.Platform = &full
+	pc, err := n.platformConfig()
+	if err != nil {
+		return n, err
+	}
+	if err := pc.Validate(); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// Key returns the scenario's content address: a hash of the canonical
+// JSON of the normalized spec with the non-semantic Name cleared. Two
+// scenarios with equal keys simulate identically.
+func (s Scenario) Key() (string, error) {
+	n, err := s.Normalize()
+	if err != nil {
+		return "", err
+	}
+	n.Name = ""
+	return hashJSON(n), nil
+}
+
+// hashJSON content-addresses any JSON-marshalable value.
+func hashJSON(v interface{}) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		// Every hashed value is a plain struct of scalars, slices and
+		// string-keyed maps; marshaling cannot fail.
+		panic(fmt.Sprintf("scenario: hashing: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:16])
+}
+
+// SplitSpecs splits a scenario document into its raw specs. Accepted
+// shapes, tried in order: {"scenarios":[spec,...]}, a bare array of
+// specs, or one spec object. Both the CLI's -scenario files and the
+// serve batch endpoint accept exactly these.
+func SplitSpecs(raw []byte) ([]json.RawMessage, error) {
+	var doc struct {
+		Scenarios []json.RawMessage `json:"scenarios"`
+	}
+	if err := json.Unmarshal(raw, &doc); err == nil && doc.Scenarios != nil {
+		return doc.Scenarios, nil
+	}
+	var arr []json.RawMessage
+	if err := json.Unmarshal(raw, &arr); err == nil {
+		return arr, nil
+	}
+	var obj map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &obj); err != nil {
+		return nil, fmt.Errorf("scenario: document is neither a spec object, an array of specs, nor {\"scenarios\":[...]}: %w", err)
+	}
+	return []json.RawMessage{raw}, nil
+}
+
+// Resolve parses a raw JSON spec, first overlaying it on the built-in
+// base it names (if any): fields present in raw override the base,
+// omitted fields inherit it. lookupBase maps a base name to its spec and
+// may be nil when bases are not supported by the caller.
+func Resolve(raw []byte, lookupBase func(string) (Scenario, bool)) (Scenario, error) {
+	var peek struct {
+		Base string `json:"base"`
+	}
+	if err := json.Unmarshal(raw, &peek); err != nil {
+		return Scenario{}, fmt.Errorf("scenario: parsing spec: %w", err)
+	}
+	var s Scenario
+	if peek.Base != "" {
+		if lookupBase == nil {
+			return Scenario{}, fmt.Errorf("scenario: base %q not supported here", peek.Base)
+		}
+		base, ok := lookupBase(peek.Base)
+		if !ok {
+			return Scenario{}, fmt.Errorf("scenario: unknown base scenario %q", peek.Base)
+		}
+		s = base
+	}
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return Scenario{}, fmt.Errorf("scenario: parsing spec: %w", err)
+	}
+	s.Base = ""
+	return s, nil
+}
+
+// scale returns the parsed workload scale of a normalized spec.
+func (s Scenario) scale() workloads.Scale {
+	sc, _ := workloads.ParseScale(s.Scale)
+	return sc
+}
+
+// buildConfig returns the workload build configuration.
+func (s Scenario) buildConfig() workloads.BuildConfig {
+	return workloads.BuildConfig{Scale: s.scale(), Seed: s.Seed}
+}
+
+// platformConfig materializes the platform with the exec engine set.
+func (s Scenario) platformConfig() (platform.Config, error) {
+	pc := s.Platform.Config()
+	ee, err := platform.ParseEngine(s.ExecEngine)
+	if err != nil {
+		return pc, err
+	}
+	pc.Engine = ee
+	return pc, nil
+}
+
+// optimizeConfig translates a normalized spec into the profiling and
+// optimization options. workers bounds the profiling fan-out.
+func (s Scenario) optimizeConfig(workers int) (core.OptimizeConfig, error) {
+	pc, err := s.platformConfig()
+	if err != nil {
+		return core.OptimizeConfig{}, err
+	}
+	solver, err := core.ParseSolver(s.Solver)
+	if err != nil {
+		return core.OptimizeConfig{}, err
+	}
+	pe, err := profile.ParseEngine(s.ProfileEngine)
+	if err != nil {
+		return core.OptimizeConfig{}, err
+	}
+	return core.OptimizeConfig{
+		Platform: pc,
+		Sizes:    s.Sizes,
+		Runs:     s.Runs,
+		Solver:   solver,
+		Engine:   pe,
+		Workers:  workers,
+	}, nil
+}

@@ -1,0 +1,206 @@
+package scenario
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestScenarioJSONGolden pins the wire format of a spec: the golden
+// string is the contract of the Scenario API (schema version 1).
+func TestScenarioJSONGolden(t *testing.T) {
+	spec := Scenario{
+		Name:      "custom-8cpu",
+		Workload:  "mpeg2",
+		Scale:     "small",
+		Seed:      7,
+		Partition: PartitionOptimized,
+		Runs:      3,
+		Solver:    "ilp",
+		Sizes:     []int{1, 2, 4},
+		Platform:  &PlatformSpec{NumCPUs: 8, L2: CacheSpec{Sets: 4096}},
+	}
+	const golden = `{"name":"custom-8cpu","workload":"mpeg2","scale":"small","seed":7,"platform":{"num_cpus":8,"l1":{},"l2":{"sets":4096},"bus":{},"sched":{}},"partition":"optimized","runs":3,"solver":"ilp","sizes":[1,2,4]}`
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != golden {
+		t.Errorf("spec wire format changed:\n got %s\nwant %s", raw, golden)
+	}
+	var back Scenario
+	if err := json.Unmarshal([]byte(golden), &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, spec) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", back, spec)
+	}
+}
+
+// TestMinimalSpecNormalizes checks that the smallest useful spec — just
+// a workload — normalizes to the canonical paper defaults.
+func TestMinimalSpecNormalizes(t *testing.T) {
+	n, err := Scenario{Workload: "mpeg2"}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Scale != "paper" || n.Partition != PartitionOptimized || n.Runs != 2 ||
+		n.Solver != "mckp" || n.ProfileEngine != "stackdist" || n.ExecEngine != "merged" {
+		t.Errorf("unexpected defaults: %+v", n)
+	}
+	if len(n.Sizes) != 8 || n.Sizes[0] != 1 || n.Sizes[7] != 128 {
+		t.Errorf("unexpected default sizes: %v", n.Sizes)
+	}
+	if n.Platform == nil || n.Platform.NumCPUs != 4 || n.Platform.L2.Sets != 2048 {
+		t.Errorf("unexpected default platform: %+v", n.Platform)
+	}
+}
+
+// TestInvalidSpecs enumerates the validation errors a bad spec must
+// produce (with actionable messages).
+func TestInvalidSpecs(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Scenario
+		want string
+	}{
+		{"missing workload", Scenario{}, "missing workload"},
+		{"unknown workload", Scenario{Workload: "nope"}, `unknown workload "nope"`},
+		{"unknown scale", Scenario{Workload: "mpeg2", Scale: "huge"}, `unknown scale "huge"`},
+		{"unknown partition", Scenario{Workload: "mpeg2", Partition: "sliced"}, "unknown partition policy"},
+		{"unknown solver", Scenario{Workload: "mpeg2", Solver: "sat"}, `unknown solver "sat"`},
+		{"unknown profile engine", Scenario{Workload: "mpeg2", ProfileEngine: "magic"}, "unknown profiling engine"},
+		{"unknown exec engine", Scenario{Workload: "mpeg2", ExecEngine: "warp"}, "unknown execution engine"},
+		{"bad size", Scenario{Workload: "mpeg2", Sizes: []int{3}}, "not a positive power of two"},
+		{"negative runs", Scenario{Workload: "mpeg2", Runs: -1}, "runs -1"},
+		{"future version", Scenario{Workload: "mpeg2", SpecVersion: 99}, "unsupported spec_version"},
+		{"unresolved base", Scenario{Workload: "mpeg2", Base: "app1"}, "unresolved base"},
+		{"alloc workload with wrong policy", Scenario{Workload: "mpeg2", Partition: PartitionShared, AllocWorkload: "mpeg2"}, "alloc_workload"},
+		{"unknown alloc workload", Scenario{Workload: "mpeg2", AllocWorkload: "nope"}, `unknown alloc_workload "nope"`},
+		{"bad platform", Scenario{Workload: "mpeg2", Platform: &PlatformSpec{L2: CacheSpec{Sets: 3}}}, "not a positive power of two"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := c.spec.Normalize()
+			if err == nil {
+				t.Fatalf("expected error containing %q, got nil", c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+// TestContentKey checks the content-addressing contract: names don't
+// matter, defaults are canonical, every semantic field matters.
+func TestContentKey(t *testing.T) {
+	base := Scenario{Workload: "mpeg2", Scale: "small"}
+	k0, err := base.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	named := base
+	named.Name = "anything"
+	if k, _ := named.Key(); k != k0 {
+		t.Errorf("Name must not affect the content key")
+	}
+
+	explicit := base
+	explicit.Runs = 2
+	explicit.Solver = "mckp"
+	explicit.Partition = PartitionOptimized
+	explicit.Platform = &PlatformSpec{}
+	if k, _ := explicit.Key(); k != k0 {
+		t.Errorf("explicitly spelling the defaults must not change the key")
+	}
+
+	for name, mutate := range map[string]func(*Scenario){
+		"seed":     func(s *Scenario) { s.Seed = 1 },
+		"scale":    func(s *Scenario) { s.Scale = "paper" },
+		"workload": func(s *Scenario) { s.Workload = "jpeg1-only" },
+		"solver":   func(s *Scenario) { s.Solver = "ilp" },
+		"exec":     func(s *Scenario) { s.ExecEngine = "word" },
+		"platform": func(s *Scenario) { s.Platform = &PlatformSpec{NumCPUs: 8} },
+		"runs":     func(s *Scenario) { s.Runs = 5 },
+		"policy":   func(s *Scenario) { s.Partition = PartitionShared },
+	} {
+		m := base
+		mutate(&m)
+		k, err := m.Key()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if k == k0 {
+			t.Errorf("changing %s must change the content key", name)
+		}
+	}
+}
+
+// TestResolveOverlay checks base-overlay semantics: present fields
+// override, omitted fields inherit.
+func TestResolveOverlay(t *testing.T) {
+	base := Scenario{
+		Name:     "app1",
+		Workload: "2jpeg+canny",
+		Scale:    "paper",
+		Runs:     2,
+		Solver:   "mckp",
+		Platform: &PlatformSpec{NumCPUs: 4},
+	}
+	lookup := func(name string) (Scenario, bool) {
+		if name == "app1" {
+			return base, true
+		}
+		return Scenario{}, false
+	}
+
+	got, err := Resolve([]byte(`{"base":"app1","scale":"small","platform":{"num_cpus":8},"solver":"ilp"}`), lookup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Workload != "2jpeg+canny" || got.Runs != 2 {
+		t.Errorf("omitted fields must inherit the base: %+v", got)
+	}
+	if got.Scale != "small" || got.Solver != "ilp" || got.Platform.NumCPUs != 8 {
+		t.Errorf("present fields must override the base: %+v", got)
+	}
+	if got.Base != "" {
+		t.Errorf("resolved spec must clear Base, got %q", got.Base)
+	}
+
+	if _, err := Resolve([]byte(`{"base":"missing"}`), lookup); err == nil || !strings.Contains(err.Error(), "unknown base") {
+		t.Errorf("unknown base must error, got %v", err)
+	}
+	if _, err := Resolve([]byte(`{"workload":`), lookup); err == nil {
+		t.Error("malformed JSON must error")
+	}
+	if _, err := Resolve([]byte(`{"base":"app1"}`), nil); err == nil {
+		t.Error("base without a lookup must error")
+	}
+
+	// Without a base, Resolve is a plain parse.
+	got, err = Resolve([]byte(`{"workload":"mpeg2"}`), nil)
+	if err != nil || got.Workload != "mpeg2" {
+		t.Errorf("plain parse failed: %+v, %v", got, err)
+	}
+}
+
+// TestPlatformSpecRoundTrip checks PlatformSpecOf ∘ Config is the
+// identity on the default-reachable configurations the specs use.
+func TestPlatformSpecRoundTrip(t *testing.T) {
+	spec := PlatformSpec{NumCPUs: 8, L2: CacheSpec{Sets: 4096}, Sched: SchedSpec{Quantum: 10_000}}
+	pc := spec.Config()
+	if pc.NumCPUs != 8 || pc.L2.Sets != 4096 || pc.Sched.Quantum != 10_000 {
+		t.Fatalf("overrides not applied: %+v", pc)
+	}
+	if pc.L1.Sets != 64 || pc.L2.Ways != 4 || pc.Bus.Banks != 4 {
+		t.Fatalf("defaults not kept: %+v", pc)
+	}
+	back := PlatformSpecOf(pc)
+	if back.Config() != pc {
+		t.Errorf("PlatformSpecOf round trip drifted:\n got %+v\nwant %+v", back.Config(), pc)
+	}
+}

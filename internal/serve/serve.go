@@ -1,0 +1,170 @@
+// Package serve exposes the scenario API over HTTP/JSON — the
+// `compmem serve` service mode and the first step toward the serving
+// north star. Clients submit scenario batches and receive structured,
+// versioned result documents as an NDJSON stream, in submission order,
+// each written as soon as it (and its predecessors) complete.
+//
+// Endpoints:
+//
+//	GET  /healthz       liveness
+//	GET  /v1/workloads  registered workload names
+//	GET  /v1/scenarios  built-in scenario specs (usable as "base")
+//	POST /v1/batch      {"scenarios":[spec,...]} → NDJSON result stream
+//
+// One Runner is shared across requests, so its content-addressed memo
+// acts as a result cache: resubmitting a spec (or submitting a spec
+// sharing pipeline stages with an earlier one) is served without
+// re-simulation, and results are deterministic under any concurrency.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/experiments"
+	"repro/internal/parallel"
+	"repro/internal/report"
+	"repro/internal/scenario"
+	"repro/internal/workloads"
+)
+
+// Server handles the scenario-service endpoints.
+type Server struct {
+	cfg experiments.Config
+	rn  *scenario.Runner
+	mux *http.ServeMux
+	// maxBatch bounds one submission; 0 means DefaultMaxBatch.
+	maxBatch int
+}
+
+// DefaultMaxBatch bounds the scenarios of one submission.
+const DefaultMaxBatch = 256
+
+// New builds a Server over a shared runner. cfg supplies the defaults
+// built-in base scenarios are materialized with (scale, engines,
+// solver), exactly like the CLI flags do for commands.
+func New(cfg experiments.Config, rn *scenario.Runner) *Server {
+	s := &Server{cfg: cfg, rn: rn, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/healthz", s.health)
+	s.mux.HandleFunc("/v1/workloads", s.workloads)
+	s.mux.HandleFunc("/v1/scenarios", s.scenarios)
+	s.mux.HandleFunc("/v1/batch", s.batch)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) health(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, report.NewEnvelope("health", map[string]string{"status": "ok"}))
+}
+
+func (s *Server) workloads(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, report.NewEnvelope("workloads", workloads.Names()))
+}
+
+func (s *Server) scenarios(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, report.NewEnvelope("scenarios", experiments.BuiltinScenarios(s.cfg)))
+}
+
+func (s *Server) batch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST a scenario batch to this endpoint"))
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 16<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("reading batch: %v", err))
+		return
+	}
+	raws, err := scenario.SplitSpecs(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	limit := s.maxBatch
+	if limit == 0 {
+		limit = DefaultMaxBatch
+	}
+	if len(raws) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("empty batch"))
+		return
+	}
+	if len(raws) > limit {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("batch of %d scenarios exceeds the limit of %d", len(raws), limit))
+		return
+	}
+
+	// Resolve specs (built-in bases allowed) before any simulation, so
+	// malformed submissions fail atomically with a 400.
+	specs := make([]scenario.Scenario, len(raws))
+	for i, raw := range raws {
+		spec, err := scenario.Resolve(raw, func(name string) (scenario.Scenario, bool) {
+			return experiments.BuiltinScenario(s.cfg, name)
+		})
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("scenario %d: %v", i, err))
+			return
+		}
+		specs[i] = spec
+	}
+
+	// Bound the long-lived memo before taking on new work; the cap is
+	// generous (results are summaries), and trimming never changes
+	// results — simulations are deterministic.
+	s.rn.TrimMemo(maxMemoEntries)
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+
+	// Fan the batch out over the runner's pool and stream each result in
+	// submission order the moment it and its predecessors are done. A
+	// client disconnect cancels the request context; scenarios not yet
+	// started are then skipped (an in-flight simulation still finishes —
+	// its stages are memoized and shared, so the work is not wasted).
+	ctx := r.Context()
+	results := make([]*scenario.Result, len(specs))
+	ready := make([]chan struct{}, len(specs))
+	for i := range ready {
+		ready[i] = make(chan struct{})
+	}
+	go parallel.Do(parallel.Workers(s.rn.Workers()), len(specs), func(i int) error {
+		defer close(ready[i])
+		if ctx.Err() != nil {
+			return nil
+		}
+		results[i], _ = s.rn.Run(specs[i])
+		return nil
+	})
+	for i := range specs {
+		<-ready[i]
+		if results[i] == nil { // canceled before it started
+			return
+		}
+		if err := enc.Encode(results[i].Envelope()); err != nil {
+			return // client went away
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// maxMemoEntries caps the shared runner's memo between batches.
+const maxMemoEntries = 4096
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, report.NewEnvelope("error", map[string]string{"error": err.Error()}))
+}

@@ -1,0 +1,213 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+	"repro/internal/scenario"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	cfg := experiments.Small()
+	cfg.ProfileRuns = 1
+	srv := httptest.NewServer(New(cfg, scenario.NewRunner(2)))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestHealthAndListings(t *testing.T) {
+	srv := testServer(t)
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	var env struct {
+		SchemaVersion int      `json:"schema_version"`
+		Kind          string   `json:"kind"`
+		Payload       []string `json:"payload"`
+	}
+	resp, err = http.Get(srv.URL + "/v1/workloads")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	if env.SchemaVersion != report.SchemaVersion || env.Kind != "workloads" {
+		t.Errorf("bad envelope: %+v", env)
+	}
+	found := false
+	for _, w := range env.Payload {
+		if w == "mpeg2" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("mpeg2 missing from workloads: %v", env.Payload)
+	}
+
+	resp, err = http.Get(srv.URL + "/v1/scenarios")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var scen struct {
+		Payload map[string]scenario.Scenario `json:"payload"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&scen); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := scen.Payload[experiments.ScenarioApp1]; !ok {
+		t.Errorf("built-in %q missing from /v1/scenarios", experiments.ScenarioApp1)
+	}
+}
+
+// postBatch submits a batch and returns the raw NDJSON body.
+func postBatch(t *testing.T, url, body string) (int, string) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/batch", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, buf.String()
+}
+
+// TestBatchStreamsResultsInOrder submits a mixed batch — a base
+// overlay, an explicit spec, and an invalid spec — and checks the
+// stream: one envelope per scenario, in submission order, failures
+// embedded without failing the batch.
+func TestBatchStreamsResultsInOrder(t *testing.T) {
+	srv := testServer(t)
+	status, body := postBatch(t, srv.URL, `{"scenarios":[
+		{"base":"app1-curves"},
+		{"workload":"jpeg1-only","scale":"small","runs":1,"partition":"profile"},
+		{"workload":"no-such-workload"}
+	]}`)
+	if status != http.StatusOK {
+		t.Fatalf("batch: %d\n%s", status, body)
+	}
+	var results []scenario.Result
+	sc := bufio.NewScanner(strings.NewReader(body))
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for sc.Scan() {
+		var env struct {
+			SchemaVersion int             `json:"schema_version"`
+			Kind          string          `json:"kind"`
+			Payload       scenario.Result `json:"payload"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &env); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		if env.Kind != scenario.ResultKind || env.SchemaVersion != report.SchemaVersion {
+			t.Errorf("bad envelope header: kind %q version %d", env.Kind, env.SchemaVersion)
+		}
+		results = append(results, env.Payload)
+	}
+	if len(results) != 3 {
+		t.Fatalf("want 3 results, got %d", len(results))
+	}
+	if results[0].Scenario.Workload != "2jpeg+canny" || results[0].Error != "" || len(results[0].Curves) == 0 {
+		t.Errorf("base-overlay result wrong: %+v", results[0].Scenario)
+	}
+	if results[1].Scenario.Workload != "jpeg1-only" || results[1].Error != "" {
+		t.Errorf("explicit-spec result wrong: %+v", results[1].Scenario)
+	}
+	if results[2].Error == "" || !strings.Contains(results[2].Error, "unknown workload") {
+		t.Errorf("invalid spec must stream its error, got %q", results[2].Error)
+	}
+}
+
+// TestBatchSingleSpecObject checks a bare spec object is a valid batch
+// of one, like the CLI's -scenario files.
+func TestBatchSingleSpecObject(t *testing.T) {
+	srv := testServer(t)
+	status, body := postBatch(t, srv.URL, `{"workload":"jpeg1-only","scale":"small","runs":1,"partition":"profile"}`)
+	if status != http.StatusOK {
+		t.Fatalf("single-spec batch: %d\n%s", status, body)
+	}
+	if n := strings.Count(body, `"kind":"scenario.result"`); n != 1 {
+		t.Errorf("want 1 result envelope, got %d:\n%s", n, body)
+	}
+}
+
+// TestBatchRejections covers the atomic-rejection paths.
+func TestBatchRejections(t *testing.T) {
+	srv := testServer(t)
+	for name, c := range map[string]struct {
+		body string
+		want int
+	}{
+		"malformed":    {`{"scenarios":[{]}`, http.StatusBadRequest},
+		"empty":        {`{"scenarios":[]}`, http.StatusBadRequest},
+		"unknown base": {`{"scenarios":[{"base":"nope"}]}`, http.StatusBadRequest},
+	} {
+		if status, body := postBatch(t, srv.URL, c.body); status != c.want {
+			t.Errorf("%s: want %d, got %d (%s)", name, c.want, status, body)
+		}
+	}
+	resp, err := http.Get(srv.URL + "/v1/batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/batch: want 405, got %d", resp.StatusCode)
+	}
+}
+
+// TestConcurrentSubmissionsDeterministic hammers one server with
+// concurrent identical batches: every response must be byte-identical
+// (the shared runner memoizes, and results are deterministic at any
+// concurrency).
+func TestConcurrentSubmissionsDeterministic(t *testing.T) {
+	srv := testServer(t)
+	const body = `{"scenarios":[{"workload":"jpeg1-only","scale":"small","runs":1,"partition":"profile"},{"base":"app1-curves"}]}`
+	const clients = 8
+	bodies := make([]string, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(srv.URL+"/v1/batch", "application/json", strings.NewReader(body))
+			if err != nil {
+				t.Errorf("client %d: %v", i, err)
+				return
+			}
+			defer resp.Body.Close()
+			var buf bytes.Buffer
+			buf.ReadFrom(resp.Body)
+			bodies[i] = buf.String()
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < clients; i++ {
+		if bodies[i] != bodies[0] {
+			t.Fatalf("client %d saw a different stream than client 0:\n%s\nvs\n%s", i, bodies[i], bodies[0])
+		}
+	}
+	if !strings.Contains(bodies[0], `"kind":"scenario.result"`) {
+		t.Errorf("unexpected stream: %s", bodies[0])
+	}
+}

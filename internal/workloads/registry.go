@@ -1,0 +1,120 @@
+package workloads
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// BuildConfig parameterizes a registered workload build.
+type BuildConfig struct {
+	Scale Scale
+	// Seed perturbs the workload's input data (it offsets the per-stage
+	// PRNG seeds of the synthetic inputs). Seed 0 is the canonical
+	// workload of the paper reproduction; two builds with the same
+	// BuildConfig are bit-identical.
+	Seed uint64
+}
+
+// Builder constructs a workload from a BuildConfig. Builders must be
+// pure: the returned Workload's Factory may be called many times,
+// possibly concurrently (each call must yield an independent App).
+type Builder func(BuildConfig) core.Workload
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Builder{}
+)
+
+// Register adds a workload builder under a unique name. Third-party
+// applications register here to become addressable from scenario specs
+// and the serve API. It returns an error when the name is empty or taken.
+func Register(name string, b Builder) error {
+	if name == "" {
+		return fmt.Errorf("workloads: empty workload name")
+	}
+	if b == nil {
+		return fmt.Errorf("workloads: nil builder for %q", name)
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		return fmt.Errorf("workloads: workload %q already registered", name)
+	}
+	registry[name] = b
+	return nil
+}
+
+// MustRegister is Register that panics on error, for init-time use.
+func MustRegister(name string, b Builder) {
+	if err := Register(name, b); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns the builder registered under name.
+func Lookup(name string) (Builder, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	b, ok := registry[name]
+	return b, ok
+}
+
+// Build resolves a name and constructs the workload. Unknown names list
+// the registered alternatives, so a typo in a scenario spec is
+// actionable.
+func Build(name string, bc BuildConfig) (core.Workload, error) {
+	b, ok := Lookup(name)
+	if !ok {
+		return core.Workload{}, fmt.Errorf("workloads: unknown workload %q (registered: %v)", name, Names())
+	}
+	return b(bc), nil
+}
+
+// Names lists the registered workload names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SplitID derives the split-instruction/data variant of a workload: the
+// same task graph with every task's code and data profiled and
+// partitioned as separate entities (the section 4.2 organization of
+// experiment X4).
+func SplitID(w core.Workload) core.Workload {
+	base := w.Factory
+	return core.Workload{
+		Name: w.Name + "(split i/d)",
+		Factory: func() (*core.App, error) {
+			app, err := base()
+			if err != nil {
+				return nil, err
+			}
+			app.SplitTaskSections = true
+			return app, nil
+		},
+	}
+}
+
+func init() {
+	MustRegister("2jpeg+canny", func(bc BuildConfig) core.Workload {
+		return jpegCanny(bc.Scale, bc.Seed, nil)
+	})
+	MustRegister("mpeg2", func(bc BuildConfig) core.Workload {
+		return mpeg2Workload(bc.Scale, bc.Seed, nil)
+	})
+	MustRegister("jpeg1-only", func(bc BuildConfig) core.Workload {
+		return jpeg1Only(bc.Scale, bc.Seed)
+	})
+	MustRegister("2jpeg+canny(split i/d)", func(bc BuildConfig) core.Workload {
+		return SplitID(jpegCanny(bc.Scale, bc.Seed, nil))
+	})
+}

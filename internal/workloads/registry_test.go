@@ -1,0 +1,64 @@
+package workloads
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestRegistryBuiltins(t *testing.T) {
+	names := Names()
+	for _, want := range []string{"2jpeg+canny", "mpeg2", "jpeg1-only", "2jpeg+canny(split i/d)"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("built-in %q not registered (have %v)", want, names)
+		}
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("Names not sorted: %v", names)
+		}
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	if err := Register("", func(BuildConfig) core.Workload { return core.Workload{} }); err == nil {
+		t.Error("empty name must be rejected")
+	}
+	if err := Register("mpeg2", func(BuildConfig) core.Workload { return core.Workload{} }); err == nil {
+		t.Error("duplicate name must be rejected")
+	}
+	if err := Register("x-nil", nil); err == nil {
+		t.Error("nil builder must be rejected")
+	}
+}
+
+func TestBuildUnknownListsAlternatives(t *testing.T) {
+	_, err := Build("nope", BuildConfig{})
+	if err == nil || !strings.Contains(err.Error(), "mpeg2") {
+		t.Errorf("unknown-workload error must list registered names, got %v", err)
+	}
+}
+
+func TestBuildSeedAndSplit(t *testing.T) {
+	w, err := Build("2jpeg+canny(split i/d)", BuildConfig{Scale: Small, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name != "2jpeg+canny(split i/d)" {
+		t.Errorf("unexpected name %q", w.Name)
+	}
+	app, err := w.Factory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !app.SplitTaskSections {
+		t.Error("split variant must set SplitTaskSections")
+	}
+}

@@ -12,13 +12,18 @@ import (
 // when the co-running tasks are removed; under partitioning it barely
 // moves — the paper's definition of a compositional system.
 func JPEG1Only(scale Scale) core.Workload {
+	return jpeg1Only(scale, 0)
+}
+
+// jpeg1Only builds the solo decoder with the input seed offset by seed.
+func jpeg1Only(scale Scale, seed uint64) core.Workload {
 	return core.Workload{
 		Name: "jpeg1-only",
 		Factory: func() (*core.App, error) {
 			b := core.NewBuilder("jpeg1-only")
 			b.Sections(sections.DataSize, sections.BSSSize)
 			cfg := jpeg.Config{Suffix: "1", Width: 512, Height: 384, Frames: 2,
-				Quality: 2, Seed: 101, CPUs: [4]int{0, 1, 2, 3}}
+				Quality: 2, Seed: 101 + seed, CPUs: [4]int{0, 1, 2, 3}}
 			if scale == Small {
 				cfg.Width, cfg.Height = 96, 64
 			}

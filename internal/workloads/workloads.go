@@ -6,6 +6,8 @@
 package workloads
 
 import (
+	"fmt"
+
 	"repro/internal/apps/canny"
 	"repro/internal/apps/jpeg"
 	"repro/internal/apps/mpeg2"
@@ -26,6 +28,25 @@ const (
 	Paper
 )
 
+// String implements fmt.Stringer.
+func (s Scale) String() string {
+	if s == Small {
+		return "small"
+	}
+	return "paper"
+}
+
+// ParseScale resolves the spelled-out scale of a scenario spec or flag.
+func ParseScale(s string) (Scale, error) {
+	switch s {
+	case "small":
+		return Small, nil
+	case "paper", "":
+		return Paper, nil
+	}
+	return 0, fmt.Errorf("workloads: unknown scale %q (want small or paper)", s)
+}
+
 // JPEGCannyHandles exposes the pipelines for functional verification.
 type JPEGCannyHandles struct {
 	JPEG1 *jpeg.Pipeline
@@ -37,6 +58,12 @@ type JPEGCannyHandles struct {
 // If handles is non-nil, it receives the pipeline handles of each built
 // instance (overwritten on every Factory call).
 func JPEGCanny(scale Scale, handles *JPEGCannyHandles) core.Workload {
+	return jpegCanny(scale, 0, handles)
+}
+
+// jpegCanny builds application 1 with the input seeds offset by seed
+// (seed 0 is the canonical paper workload).
+func jpegCanny(scale Scale, seed uint64, handles *JPEGCannyHandles) core.Workload {
 	return core.Workload{
 		Name: "2jpeg+canny",
 		Factory: func() (*core.App, error) {
@@ -44,11 +71,11 @@ func JPEGCanny(scale Scale, handles *JPEGCannyHandles) core.Workload {
 			b.Sections(sections.DataSize, sections.BSSSize)
 
 			cfg1 := jpeg.Config{Suffix: "1", Width: 512, Height: 384, Frames: 2,
-				Quality: 2, Seed: 101, CPUs: [4]int{0, 1, 2, 3}}
+				Quality: 2, Seed: 101 + seed, CPUs: [4]int{0, 1, 2, 3}}
 			cfg2 := jpeg.Config{Suffix: "2", Width: 384, Height: 256, Frames: 3,
-				Quality: 3, Seed: 202, CPUs: [4]int{1, 2, 3, 0}}
+				Quality: 3, Seed: 202 + seed, CPUs: [4]int{1, 2, 3, 0}}
 			ccfg := canny.Config{Width: 512, Height: 384, Frames: 2, Threshold: 60,
-				Seed: 303, CPUs: [7]int{0, 1, 2, 3, 0, 1, 2}}
+				Seed: 303 + seed, CPUs: [7]int{0, 1, 2, 3, 0, 1, 2}}
 			if scale == Small {
 				cfg1.Width, cfg1.Height = 96, 64
 				cfg2.Width, cfg2.Height = 64, 48
@@ -78,13 +105,18 @@ func JPEGCanny(scale Scale, handles *JPEGCannyHandles) core.Workload {
 
 // MPEG2 returns the second application as a reproducible workload.
 func MPEG2(scale Scale, handle **mpeg2.Pipeline) core.Workload {
+	return mpeg2Workload(scale, 0, handle)
+}
+
+// mpeg2Workload builds application 2 with the input seed offset by seed.
+func mpeg2Workload(scale Scale, seed uint64, handle **mpeg2.Pipeline) core.Workload {
 	return core.Workload{
 		Name: "mpeg2",
 		Factory: func() (*core.App, error) {
 			b := core.NewBuilder("mpeg2")
 			b.Sections(sections.DataSize, sections.BSSSize)
 			cfg := mpeg2.Config{Width: 256, Height: 192, Pictures: 10, QScale: 2,
-				Seed: 404, CPUs: [13]int{0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3, 1}}
+				Seed: 404 + seed, CPUs: [13]int{0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3, 1}}
 			if scale == Small {
 				cfg.Width, cfg.Height, cfg.Pictures = 64, 48, 2
 			}
