@@ -25,14 +25,16 @@
 //	bench     time the execution-engine stages (-json for bench.json output)
 //	all       everything above except bench
 //	run       execute scenario specs: run -scenario file.json [-json]
+//	sweep     expand and run a parameter sweep: sweep -spec file.json|paper-grid [-max-points N] [-json]
 //	serve     HTTP scenario service: serve [-addr :8080]
-//	scenarios list built-in scenarios and registered workloads
+//	scenarios list built-in scenarios, sweeps and registered workloads
 //
 // With -json, every evaluation command emits its artifacts as versioned
 // JSON envelopes instead of text.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -44,6 +46,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/scenario"
 	"repro/internal/serve"
+	"repro/internal/sweep"
 	"repro/internal/workloads"
 )
 
@@ -59,7 +62,7 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the command to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile after the command to this file")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: compmem [flags] table1|table2|fig2|fig3|headline|compose|granularity|split|migration|assign|curves|bench|all|run|serve|scenarios\n")
+		fmt.Fprintf(os.Stderr, "usage: compmem [flags] table1|table2|fig2|fig3|headline|compose|granularity|split|migration|assign|curves|bench|all|run|sweep|serve|scenarios\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -102,6 +105,8 @@ func main() {
 		}
 	case "run":
 		err = runScenarios(cfg, rest, *asJSON)
+	case "sweep":
+		err = runSweep(cfg, rest, *asJSON)
 	case "serve":
 		err = runServe(cfg, rest)
 	case "scenarios":
@@ -240,6 +245,80 @@ func loadSpecs(cfg experiments.Config, path string) ([]scenario.Scenario, error)
 	return specs, nil
 }
 
+// runSweep expands and executes a declarative parameter sweep from a
+// JSON spec file or a built-in sweep name.
+func runSweep(cfg experiments.Config, args []string, asJSON bool) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	path := fs.String("spec", "", "sweep spec: a JSON file or a built-in sweep name (see `compmem scenarios`)")
+	maxPoints := fs.Int("max-points", 0, "cap the expansion to the first N points (0 = the spec's own max_points)")
+	subJSON := fs.Bool("json", false, "stream per-point envelopes plus the final aggregate as NDJSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *path == "" {
+		return fmt.Errorf("sweep: -spec file.json (or a built-in name, e.g. %q) is required", experiments.SweepPaperGrid)
+	}
+	lookup := func(name string) (scenario.Scenario, bool) {
+		return experiments.BuiltinScenario(cfg, name)
+	}
+	var sw sweep.Sweep
+	if raw, err := os.ReadFile(*path); err == nil {
+		if sw, err = sweep.Parse(raw, lookup); err != nil {
+			return err // already "sweep:"-prefixed
+		}
+	} else if builtin, ok := experiments.BuiltinSweep(cfg, *path); ok {
+		sw = builtin
+	} else {
+		return fmt.Errorf("sweep: %w (and %q is not a built-in sweep; built-ins: %v)", err, *path, experiments.BuiltinSweepNames())
+	}
+	if *maxPoints > 0 {
+		sw.MaxPoints = *maxPoints
+	}
+
+	rn := scenario.NewRunner(cfg.Workers)
+	var observe func(sweep.PointResult)
+	var encErr error
+	enc := json.NewEncoder(os.Stdout)
+	if asJSON || *subJSON {
+		observe = func(p sweep.PointResult) {
+			if err := enc.Encode(p.Envelope()); err != nil && encErr == nil {
+				encErr = err
+			}
+		}
+	}
+	res, err := sweep.Execute(context.Background(), rn, sw, observe)
+	if err != nil {
+		return err // expansion errors are already "sweep:"-prefixed
+	}
+	if encErr != nil {
+		return fmt.Errorf("sweep: writing point envelopes: %w", encErr)
+	}
+	if asJSON || *subJSON {
+		if err := enc.Encode(res.Envelope()); err != nil {
+			return err
+		}
+	} else {
+		fmt.Print(sweep.Render(res))
+	}
+	// Individual point failures are data (exploratory grids legitimately
+	// contain infeasible corners), but a sweep where nothing succeeded
+	// must not exit 0 — in either output mode.
+	if res.Failed == res.Executed && res.Executed > 0 {
+		return fmt.Errorf("sweep: every point failed (first error: %s)", firstError(res))
+	}
+	return nil
+}
+
+// firstError returns the lowest-index point failure of a sweep.
+func firstError(res *sweep.Result) string {
+	for _, p := range res.Points {
+		if p.Error != "" {
+			return p.Error
+		}
+	}
+	return "none recorded"
+}
+
 // runServe starts the HTTP scenario service.
 func runServe(cfg experiments.Config, args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
@@ -261,6 +340,7 @@ func listScenarios(cfg experiments.Config, asJSON bool) error {
 		enc.SetIndent("", "  ")
 		return enc.Encode(map[string]interface{}{
 			"scenarios": defs,
+			"sweeps":    experiments.BuiltinSweepNames(),
 			"workloads": workloads.Names(),
 		})
 	}
@@ -279,6 +359,7 @@ func listScenarios(cfg experiments.Config, asJSON bool) error {
 		}
 		fmt.Printf("  %-16s %s partition of %s%s\n", n, s.Partition, s.Workload, extra)
 	}
+	fmt.Printf("built-in sweeps (usable as `sweep -spec <name>`): %v\n", experiments.BuiltinSweepNames())
 	fmt.Printf("registered workloads: %v\n", workloads.Names())
 	return nil
 }

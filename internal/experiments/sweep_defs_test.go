@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestPaperGridExpansion checks the built-in candidate-size grid: ≥32
+// valid points covering the L2 capacity ladder crossed with the
+// execution-side knobs, every point a normalizable scenario.
+func TestPaperGridExpansion(t *testing.T) {
+	sw, ok := BuiltinSweep(Small(), SweepPaperGrid)
+	if !ok {
+		t.Fatal("paper-grid not defined")
+	}
+	points, total, err := sw.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total < 32 || len(points) != total {
+		t.Fatalf("paper-grid must expand to ≥32 points uncapped, got %d of %d", len(points), total)
+	}
+	sets := map[int]bool{}
+	for _, p := range points {
+		n, err := p.Scenario.Normalize()
+		if err != nil {
+			t.Fatalf("point %d (%v) does not normalize: %v", p.Index, p.Coords, err)
+		}
+		sets[n.Platform.L2.Sets] = true
+	}
+	// 128..1024 KiB over 4 ways × 64 B lines.
+	for _, want := range []int{512, 1024, 2048, 4096} {
+		if !sets[want] {
+			t.Errorf("capacity ladder misses %d sets (have %v)", want, sets)
+		}
+	}
+	// Distinct profile stages: capacity × exec engine; everything else
+	// (migration, solver) rides the memo. Documented here as the
+	// amplification contract the acceptance run observes via
+	// Runner.Stats (each shared profile stage executes exactly once).
+	if wantProfiles := 4 * 2; total/wantProfiles != 4 {
+		t.Errorf("grid shape changed: %d points / %d profile stages", total, wantProfiles)
+	}
+}

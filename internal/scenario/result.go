@@ -30,6 +30,7 @@ type EntitySummary struct {
 type RunSummary struct {
 	App         string            `json:"app"`
 	Strategy    string            `json:"strategy"`
+	Makespan    uint64            `json:"makespan"`
 	TotalMisses uint64            `json:"total_misses"`
 	L2MissRate  float64           `json:"l2_miss_rate"`
 	CPIMean     float64           `json:"cpi_mean"`
@@ -114,6 +115,7 @@ func summarizeRun(res *core.Result) *RunSummary {
 	s := &RunSummary{
 		App:         res.App,
 		Strategy:    res.Strategy.String(),
+		Makespan:    res.Platform.Makespan,
 		TotalMisses: res.TotalMisses(),
 		L2MissRate:  res.L2MissRate,
 		CPIMean:     res.CPIMean,

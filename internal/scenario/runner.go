@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -33,8 +34,12 @@ type Runner struct {
 	mu   sync.Mutex
 	memo map[string]*memoEntry
 
-	stageRuns uint64 // stages actually executed
-	memoHits  uint64 // stage lookups served from the memo
+	stageRuns    uint64 // stages actually executed
+	memoHits     uint64 // stage lookups served from the memo
+	stageErrors  uint64 // stages that failed (and were evicted for retry)
+	profileRuns  uint64 // profile stages executed
+	optimizeRuns uint64 // optimize stages executed
+	runRuns      uint64 // measured-execution stages executed
 }
 
 // memoEntry is a single-flight memo slot: the first caller computes,
@@ -65,22 +70,53 @@ func (r *Runner) TrimMemo(max int) {
 	r.mu.Unlock()
 }
 
-// Stats reports memoization effectiveness.
+// Stats reports memoization effectiveness. All counters are monotonic,
+// so the delta of two snapshots attributes stage work to the requests
+// issued in between (the sweep aggregate records exactly that).
 type Stats struct {
-	StageRuns uint64 // pipeline stages executed
-	MemoHits  uint64 // stage requests served from the memo
+	StageRuns    uint64 `json:"stage_runs"`             // pipeline stages executed
+	MemoHits     uint64 `json:"memo_hits"`              // stage requests served from the memo
+	StageErrors  uint64 `json:"stage_errors,omitempty"` // failed stages (evicted, so later requests retry)
+	ProfileRuns  uint64 `json:"profile_runs"`           // profile stages executed
+	OptimizeRuns uint64 `json:"optimize_runs"`          // optimize stages executed
+	RunRuns      uint64 `json:"run_runs"`               // measured executions performed
 }
 
 // Stats returns a snapshot of the runner's counters.
 func (r *Runner) Stats() Stats {
 	return Stats{
-		StageRuns: atomic.LoadUint64(&r.stageRuns),
-		MemoHits:  atomic.LoadUint64(&r.memoHits),
+		StageRuns:    atomic.LoadUint64(&r.stageRuns),
+		MemoHits:     atomic.LoadUint64(&r.memoHits),
+		StageErrors:  atomic.LoadUint64(&r.stageErrors),
+		ProfileRuns:  atomic.LoadUint64(&r.profileRuns),
+		OptimizeRuns: atomic.LoadUint64(&r.optimizeRuns),
+		RunRuns:      atomic.LoadUint64(&r.runRuns),
 	}
 }
 
-// stage runs f once per key and memoizes its result.
-func (r *Runner) stage(key string, f func() (interface{}, error)) (interface{}, error) {
+// Stage kinds, also the memo-key prefixes.
+const (
+	stageProfile  = "profile"
+	stageOptimize = "optimize"
+	stageRun      = "run"
+)
+
+// stage runs f once per key (single-flight) and memoizes its result.
+// Errors are NOT memoized: a failed stage evicts its memo entry, so a
+// transient failure (e.g. a workload factory error) cannot poison the
+// key for the lifetime of a long-lived shared runner — the next request
+// retries. Callers that arrived while the failing computation was in
+// flight still all observe its error (they were waiting on it), but any
+// later lookup starts fresh.
+//
+// A canceled ctx fails the lookup before it touches the memo; it never
+// aborts a computation already in flight (simulations are deterministic
+// and their results are shared, so in-flight work is never wasted).
+func (r *Runner) stage(ctx context.Context, kind, key string, f func() (interface{}, error)) (interface{}, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	key = kind + "|" + key
 	r.mu.Lock()
 	e, ok := r.memo[key]
 	if !ok {
@@ -92,8 +128,27 @@ func (r *Runner) stage(key string, f func() (interface{}, error)) (interface{}, 
 	r.mu.Unlock()
 	e.once.Do(func() {
 		atomic.AddUint64(&r.stageRuns, 1)
+		switch kind {
+		case stageProfile:
+			atomic.AddUint64(&r.profileRuns, 1)
+		case stageOptimize:
+			atomic.AddUint64(&r.optimizeRuns, 1)
+		case stageRun:
+			atomic.AddUint64(&r.runRuns, 1)
+		}
 		e.val, e.err = f()
 	})
+	if e.err != nil {
+		// Evict so the next request retries. The pointer comparison keeps
+		// this idempotent across the entry's concurrent waiters and never
+		// deletes a fresh retry entry installed in the meantime.
+		r.mu.Lock()
+		if r.memo[key] == e {
+			delete(r.memo, key)
+			atomic.AddUint64(&r.stageErrors, 1)
+		}
+		r.mu.Unlock()
+	}
 	return e.val, e.err
 }
 
@@ -109,13 +164,13 @@ type profileKey struct {
 	Sizes    []int        `json:"sizes"`
 }
 
-func (r *Runner) profileStage(s Scenario) ([]profile.Curve, error) {
-	key := "profile|" + hashJSON(profileKey{
+func (r *Runner) profileStage(ctx context.Context, s Scenario) ([]profile.Curve, error) {
+	key := hashJSON(profileKey{
 		Workload: s.Workload, Scale: s.Scale, Seed: s.Seed,
 		Platform: *s.Platform, Exec: s.ExecEngine,
 		Runs: s.Runs, Engine: s.ProfileEngine, Sizes: s.Sizes,
 	})
-	v, err := r.stage(key, func() (interface{}, error) {
+	v, err := r.stage(ctx, stageProfile, key, func() (interface{}, error) {
 		w, err := workloads.Build(s.Workload, s.buildConfig())
 		if err != nil {
 			return nil, err
@@ -138,8 +193,8 @@ type optimizeKey struct {
 	Solver string `json:"solver"`
 }
 
-func (r *Runner) optimizeStage(s Scenario) (*core.OptimizeResult, error) {
-	key := "optimize|" + hashJSON(optimizeKey{
+func (r *Runner) optimizeStage(ctx context.Context, s Scenario) (*core.OptimizeResult, error) {
+	key := hashJSON(optimizeKey{
 		profileKey: profileKey{
 			Workload: s.Workload, Scale: s.Scale, Seed: s.Seed,
 			Platform: *s.Platform, Exec: s.ExecEngine,
@@ -147,8 +202,13 @@ func (r *Runner) optimizeStage(s Scenario) (*core.OptimizeResult, error) {
 		},
 		Solver: s.Solver,
 	})
-	v, err := r.stage(key, func() (interface{}, error) {
-		curves, err := r.profileStage(s)
+	v, err := r.stage(ctx, stageOptimize, key, func() (interface{}, error) {
+		// The closure may be computing on behalf of many single-flight
+		// waiters; once started it completes regardless of the first
+		// caller's fate, so the nested profile lookup is detached from
+		// ctx — otherwise one client's disconnect would fail another
+		// client's in-flight optimize with its cancellation error.
+		curves, err := r.profileStage(context.Background(), s)
 		if err != nil {
 			return nil, err
 		}
@@ -186,13 +246,13 @@ type runKey struct {
 	AllocKey  string       `json:"alloc_key,omitempty"`
 }
 
-func (r *Runner) runStage(s Scenario, strat core.Strategy, alloc core.Allocation, allocKey string) (*core.Result, error) {
-	key := "run|" + hashJSON(runKey{
+func (r *Runner) runStage(ctx context.Context, s Scenario, strat core.Strategy, alloc core.Allocation, allocKey string) (*core.Result, error) {
+	key := hashJSON(runKey{
 		Workload: s.Workload, Scale: s.Scale, Seed: s.Seed,
 		Platform: *s.Platform, Exec: s.ExecEngine,
 		Strategy: strat.String(), Migration: s.Migration, AllocKey: allocKey,
 	})
-	v, err := r.stage(key, func() (interface{}, error) {
+	v, err := r.stage(ctx, stageRun, key, func() (interface{}, error) {
 		w, err := workloads.Build(s.Workload, s.buildConfig())
 		if err != nil {
 			return nil, err
@@ -241,6 +301,15 @@ func allocStageKey(s Scenario) string {
 // succeeded; on a pipeline failure the error is returned and also
 // recorded in Result.Error, so batch consumers can use either form.
 func (r *Runner) Run(s Scenario) (*Result, error) {
+	return r.RunContext(context.Background(), s)
+}
+
+// RunContext is Run under a context: a canceled ctx fails pipeline
+// stages not yet started (nothing is memoized for them), so a dropped
+// serve-mode connection stops burning the worker pool. A stage already
+// in flight runs to completion — its result is memoized and shared, so
+// that work is never wasted.
+func (r *Runner) RunContext(ctx context.Context, s Scenario) (*Result, error) {
 	n, err := s.Normalize()
 	if err != nil {
 		return &Result{SchemaVersion: report.SchemaVersion, Scenario: s, Error: err.Error()}, err
@@ -248,7 +317,7 @@ func (r *Runner) Run(s Scenario) (*Result, error) {
 	keyed := n
 	keyed.Name = ""
 	res := &Result{SchemaVersion: report.SchemaVersion, Key: hashJSON(keyed), Scenario: n}
-	if err := r.execute(n, res); err != nil {
+	if err := r.execute(ctx, n, res); err != nil {
 		res.Error = err.Error()
 		res.Shared, res.Partitioned, res.Optimize, res.Compose, res.Curves = nil, nil, nil, nil, nil
 		return res, err
@@ -257,10 +326,10 @@ func (r *Runner) Run(s Scenario) (*Result, error) {
 }
 
 // execute fills the result sections the partition policy calls for.
-func (r *Runner) execute(n Scenario, res *Result) error {
+func (r *Runner) execute(ctx context.Context, n Scenario, res *Result) error {
 	switch n.Partition {
 	case PartitionProfile:
-		curves, err := r.profileStage(n)
+		curves, err := r.profileStage(ctx, n)
 		if err != nil {
 			return err
 		}
@@ -268,7 +337,7 @@ func (r *Runner) execute(n Scenario, res *Result) error {
 		return nil
 
 	case PartitionOptimize:
-		opt, err := r.optimizeStage(n)
+		opt, err := r.optimizeStage(ctx, n)
 		if err != nil {
 			return err
 		}
@@ -276,7 +345,7 @@ func (r *Runner) execute(n Scenario, res *Result) error {
 		return nil
 
 	case PartitionShared:
-		shared, err := r.runStage(n, core.Shared, nil, "")
+		shared, err := r.runStage(ctx, n, core.Shared, nil, "")
 		if err != nil {
 			return err
 		}
@@ -295,7 +364,7 @@ func (r *Runner) execute(n Scenario, res *Result) error {
 		legs := []func() error{
 			func() error {
 				var err error
-				shared, err = r.runStage(n, core.Shared, nil, "")
+				shared, err = r.runStage(ctx, n, core.Shared, nil, "")
 				if err != nil {
 					return fmt.Errorf("scenario: shared run: %w", err)
 				}
@@ -303,7 +372,7 @@ func (r *Runner) execute(n Scenario, res *Result) error {
 			},
 			func() error {
 				var err error
-				opt, err = r.optimizeStage(allocSpec(n))
+				opt, err = r.optimizeStage(ctx, allocSpec(n))
 				if err != nil {
 					return fmt.Errorf("scenario: optimize: %w", err)
 				}
@@ -313,7 +382,7 @@ func (r *Runner) execute(n Scenario, res *Result) error {
 		if err := parallel.Do(parallel.Workers(r.workers), len(legs), func(i int) error { return legs[i]() }); err != nil {
 			return err
 		}
-		part, err := r.runStage(n, core.Partitioned, opt.Allocation, allocStageKey(n))
+		part, err := r.runStage(ctx, n, core.Partitioned, opt.Allocation, allocStageKey(n))
 		if err != nil {
 			return fmt.Errorf("scenario: partitioned run: %w", err)
 		}
@@ -331,10 +400,60 @@ func (r *Runner) execute(n Scenario, res *Result) error {
 // without failing the batch (the returned slice always has len(specs)
 // non-nil entries).
 func (r *Runner) RunBatch(specs []Scenario) []*Result {
-	results := make([]*Result, len(specs))
-	parallel.Do(parallel.Workers(r.workers), len(specs), func(i int) error {
-		results[i], _ = r.Run(specs[i])
-		return nil
-	})
+	return r.RunBatchContext(context.Background(), specs)
+}
+
+// RunBatchContext is RunBatch under a context. Scenarios not yet started
+// when ctx is canceled are skipped and their slots stay nil — a dropped
+// client cancels queued work instead of burning the worker pool.
+// Scenarios already in flight finish normally (and keep their results).
+func (r *Runner) RunBatchContext(ctx context.Context, specs []Scenario) []*Result {
+	results, _, done := r.RunBatchStream(ctx, specs, nil)
+	<-done
 	return results
+}
+
+// RunBatchStream executes a batch over the worker pool, invoking
+// observe for each finished scenario in submission order as soon as it
+// and all its predecessors are done — the shape both the serve
+// endpoints and the sweep executor stream from. observe returning false
+// abandons the in-order walk (useful when the consumer is gone);
+// execution already in flight continues in the background, governed by
+// ctx exactly as in RunBatchContext, with canceled-before-start slots
+// left nil. The walk also ends at the first nil slot (nothing later can
+// be streamed in order past a hole).
+//
+// RunBatchStream returns as soon as the walk ends; the results and
+// errors slices are safe to read in full only after the returned
+// channel is closed (every worker finished). Slots already visited by
+// observe are safe immediately.
+func (r *Runner) RunBatchStream(ctx context.Context, specs []Scenario, observe func(int, *Result) bool) ([]*Result, []error, <-chan struct{}) {
+	results := make([]*Result, len(specs))
+	errs := make([]error, len(specs))
+	ready := make([]chan struct{}, len(specs))
+	for i := range ready {
+		ready[i] = make(chan struct{})
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		parallel.Do(parallel.Workers(r.workers), len(specs), func(i int) error {
+			defer close(ready[i])
+			if ctx.Err() != nil {
+				return nil
+			}
+			results[i], errs[i] = r.RunContext(ctx, specs[i])
+			return nil
+		})
+	}()
+	for i := range specs {
+		<-ready[i]
+		if results[i] == nil {
+			break
+		}
+		if observe != nil && !observe(i, results[i]) {
+			break
+		}
+	}
+	return results, errs, done
 }

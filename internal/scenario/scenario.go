@@ -14,6 +14,7 @@
 package scenario
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -336,24 +337,60 @@ func hashJSON(v interface{}) string {
 	return hex.EncodeToString(sum[:16])
 }
 
+// DecodeStrict unmarshals raw into v, rejecting unknown fields (the
+// error names the offending field) and trailing data. Every spec
+// surface of the harness — scenario specs, batch documents, sweep specs
+// — decodes through this, so a typo like "migartion" or "l2_kb" fails
+// loudly instead of silently running the wrong experiment.
+func DecodeStrict(raw []byte, v interface{}) error {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("unexpected data after the JSON document")
+	}
+	return nil
+}
+
 // SplitSpecs splits a scenario document into its raw specs. Accepted
-// shapes, tried in order: {"scenarios":[spec,...]}, a bare array of
-// specs, or one spec object. Both the CLI's -scenario files and the
-// serve batch endpoint accept exactly these.
+// shapes: {"scenarios":[spec,...]}, a bare array of specs, or one spec
+// object. Both the CLI's -scenario files and the serve batch endpoint
+// accept exactly these. A batch document may carry nothing besides
+// "scenarios"; the specs themselves are validated strictly by Resolve.
 func SplitSpecs(raw []byte) ([]json.RawMessage, error) {
-	var doc struct {
-		Scenarios []json.RawMessage `json:"scenarios"`
-	}
-	if err := json.Unmarshal(raw, &doc); err == nil && doc.Scenarios != nil {
-		return doc.Scenarios, nil
-	}
-	var arr []json.RawMessage
-	if err := json.Unmarshal(raw, &arr); err == nil {
+	trimmed := bytes.TrimLeft(raw, " \t\r\n")
+	if len(trimmed) > 0 && trimmed[0] == '[' {
+		var arr []json.RawMessage
+		if err := json.Unmarshal(raw, &arr); err != nil {
+			return nil, fmt.Errorf("scenario: parsing spec array: %w", err)
+		}
+		if len(arr) == 0 {
+			return nil, fmt.Errorf("scenario: empty spec array")
+		}
 		return arr, nil
 	}
 	var obj map[string]json.RawMessage
 	if err := json.Unmarshal(raw, &obj); err != nil {
 		return nil, fmt.Errorf("scenario: document is neither a spec object, an array of specs, nor {\"scenarios\":[...]}: %w", err)
+	}
+	if scen, ok := obj["scenarios"]; ok {
+		for k := range obj {
+			if k != "scenarios" {
+				return nil, fmt.Errorf("scenario: unknown field %q in batch document (a batch carries only \"scenarios\")", k)
+			}
+		}
+		var arr []json.RawMessage
+		if err := json.Unmarshal(scen, &arr); err != nil {
+			return nil, fmt.Errorf("scenario: parsing \"scenarios\": %w", err)
+		}
+		// null or [] must fail loudly here: `compmem run` on such a
+		// document would otherwise succeed having simulated nothing.
+		if len(arr) == 0 {
+			return nil, fmt.Errorf("scenario: batch document carries no scenarios")
+		}
+		return arr, nil
 	}
 	return []json.RawMessage{raw}, nil
 }
@@ -361,7 +398,9 @@ func SplitSpecs(raw []byte) ([]json.RawMessage, error) {
 // Resolve parses a raw JSON spec, first overlaying it on the built-in
 // base it names (if any): fields present in raw override the base,
 // omitted fields inherit it. lookupBase maps a base name to its spec and
-// may be nil when bases are not supported by the caller.
+// may be nil when bases are not supported by the caller. Unknown fields
+// in the spec are an error (see DecodeStrict): a typo'd field name must
+// not silently decode to a default-valued spec.
 func Resolve(raw []byte, lookupBase func(string) (Scenario, bool)) (Scenario, error) {
 	var peek struct {
 		Base string `json:"base"`
@@ -380,7 +419,7 @@ func Resolve(raw []byte, lookupBase func(string) (Scenario, bool)) (Scenario, er
 		}
 		s = base
 	}
-	if err := json.Unmarshal(raw, &s); err != nil {
+	if err := DecodeStrict(raw, &s); err != nil {
 		return Scenario{}, fmt.Errorf("scenario: parsing spec: %w", err)
 	}
 	s.Base = ""

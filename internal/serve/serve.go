@@ -10,11 +10,16 @@
 //	GET  /v1/workloads  registered workload names
 //	GET  /v1/scenarios  built-in scenario specs (usable as "base")
 //	POST /v1/batch      {"scenarios":[spec,...]} → NDJSON result stream
+//	POST /v1/sweep      sweep spec → NDJSON per-point stream + aggregate
 //
 // One Runner is shared across requests, so its content-addressed memo
 // acts as a result cache: resubmitting a spec (or submitting a spec
 // sharing pipeline stages with an earlier one) is served without
 // re-simulation, and results are deterministic under any concurrency.
+// Both streaming endpoints thread the request context into execution: a
+// dropped connection cancels queued scenarios/points instead of burning
+// the worker pool (work already in flight finishes into the shared
+// memo, so it is never wasted).
 package serve
 
 import (
@@ -24,9 +29,9 @@ import (
 	"net/http"
 
 	"repro/internal/experiments"
-	"repro/internal/parallel"
 	"repro/internal/report"
 	"repro/internal/scenario"
+	"repro/internal/sweep"
 	"repro/internal/workloads"
 )
 
@@ -51,6 +56,7 @@ func New(cfg experiments.Config, rn *scenario.Runner) *Server {
 	s.mux.HandleFunc("/v1/workloads", s.workloads)
 	s.mux.HandleFunc("/v1/scenarios", s.scenarios)
 	s.mux.HandleFunc("/v1/batch", s.batch)
+	s.mux.HandleFunc("/v1/sweep", s.sweep)
 	return s
 }
 
@@ -122,35 +128,81 @@ func (s *Server) batch(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 
 	// Fan the batch out over the runner's pool and stream each result in
-	// submission order the moment it and its predecessors are done. A
-	// client disconnect cancels the request context; scenarios not yet
-	// started are then skipped (an in-flight simulation still finishes —
-	// its stages are memoized and shared, so the work is not wasted).
-	ctx := r.Context()
-	results := make([]*scenario.Result, len(specs))
-	ready := make([]chan struct{}, len(specs))
-	for i := range ready {
-		ready[i] = make(chan struct{})
-	}
-	go parallel.Do(parallel.Workers(s.rn.Workers()), len(specs), func(i int) error {
-		defer close(ready[i])
-		if ctx.Err() != nil {
-			return nil
-		}
-		results[i], _ = s.rn.Run(specs[i])
-		return nil
-	})
-	for i := range specs {
-		<-ready[i]
-		if results[i] == nil { // canceled before it started
-			return
-		}
-		if err := enc.Encode(results[i].Envelope()); err != nil {
-			return // client went away
+	// submission order the moment it and its predecessors are done. The
+	// request context is threaded all the way into the pipeline stages: a
+	// client disconnect skips scenarios not yet started AND fails queued
+	// stages of scenarios mid-pipeline (an in-flight simulation still
+	// finishes — its stages are memoized and shared, so the work is not
+	// wasted).
+	s.rn.RunBatchStream(r.Context(), specs, func(i int, res *scenario.Result) bool {
+		if err := enc.Encode(res.Envelope()); err != nil {
+			return false // client went away
 		}
 		if flusher != nil {
 			flusher.Flush()
 		}
+		return true
+	})
+}
+
+// sweep expands and executes a declarative parameter sweep, streaming
+// one "sweep.point" envelope per completed point (in point order) and a
+// final "sweep.result" aggregate envelope.
+func (s *Server) sweep(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST a sweep spec to this endpoint"))
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 16<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("reading sweep spec: %v", err))
+		return
+	}
+	sw, err := sweep.Parse(body, func(name string) (scenario.Scenario, bool) {
+		return experiments.BuiltinScenario(s.cfg, name)
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Bound one submission exactly like a batch: the spec's own cap
+	// applies when tighter, the server's limit otherwise (truncation is
+	// recorded in the aggregate, never silent).
+	limit := s.maxBatch
+	if limit == 0 {
+		limit = DefaultMaxBatch
+	}
+	if sw.MaxPoints == 0 || sw.MaxPoints > limit {
+		sw.MaxPoints = limit
+	}
+	// Expand pre-flight: with the cap clamped this is cheap
+	// (simulation-free), and it surfaces EVERY expansion error — not
+	// just what the parse-time probes catch, e.g. a range whose later
+	// values break a field constraint — as a proper 400 before the
+	// response header commits.
+	points, total, err := sw.Expand()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	s.rn.TrimMemo(maxMemoEntries)
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	res, _ := sweep.ExecuteExpanded(r.Context(), s.rn, sw, points, total, func(p sweep.PointResult) {
+		if enc.Encode(p.Envelope()) == nil && flusher != nil {
+			flusher.Flush()
+		}
+	})
+	if res == nil || r.Context().Err() != nil {
+		return // client went away; no aggregate to deliver
+	}
+	enc.Encode(res.Envelope())
+	if flusher != nil {
+		flusher.Flush()
 	}
 }
 

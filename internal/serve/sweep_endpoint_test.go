@@ -1,0 +1,196 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+	"repro/internal/scenario"
+	"repro/internal/sweep"
+)
+
+func testConfig() experiments.Config {
+	cfg := experiments.Small()
+	cfg.ProfileRuns = 1
+	return cfg
+}
+
+// newCappedServer builds a test server with a custom per-submission
+// limit (shared by /v1/batch and /v1/sweep).
+func newCappedServer(t *testing.T, cfg experiments.Config, limit int) *httptest.Server {
+	t.Helper()
+	s := New(cfg, scenario.NewRunner(2))
+	s.maxBatch = limit
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// postSweep submits a sweep spec and returns the status and NDJSON body.
+func postSweep(t *testing.T, url, body string) (int, string) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/sweep", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var b strings.Builder
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for sc.Scan() {
+		b.WriteString(sc.Text())
+		b.WriteByte('\n')
+	}
+	return resp.StatusCode, b.String()
+}
+
+// TestSweepEndpointStreamsPointsThenAggregate checks POST /v1/sweep:
+// one "sweep.point" envelope per point in order, then one final
+// "sweep.result" aggregate.
+func TestSweepEndpointStreamsPointsThenAggregate(t *testing.T) {
+	srv := testServer(t)
+	status, body := postSweep(t, srv.URL, `{
+		"name": "srv",
+		"base": {"workload": "jpeg1-only", "scale": "small", "runs": 1, "partition": "profile"},
+		"axes": [{"field": "seed", "range": {"from": 0, "count": 2}}]
+	}`)
+	if status != http.StatusOK {
+		t.Fatalf("sweep: %d\n%s", status, body)
+	}
+	lines := strings.Split(strings.TrimSpace(body), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want 2 point lines + 1 aggregate, got %d:\n%s", len(lines), body)
+	}
+	for i, line := range lines[:2] {
+		var env struct {
+			SchemaVersion int               `json:"schema_version"`
+			Kind          string            `json:"kind"`
+			Payload       sweep.PointResult `json:"payload"`
+		}
+		if err := json.Unmarshal([]byte(line), &env); err != nil {
+			t.Fatalf("bad point line %q: %v", line, err)
+		}
+		if env.Kind != sweep.PointKind || env.SchemaVersion != report.SchemaVersion {
+			t.Errorf("bad point envelope: kind %q version %d", env.Kind, env.SchemaVersion)
+		}
+		if env.Payload.Index != i {
+			t.Errorf("point %d streamed out of order: %+v", i, env.Payload.Index)
+		}
+		if env.Payload.Result == nil || env.Payload.Result.Error != "" {
+			t.Errorf("point %d failed: %+v", i, env.Payload.Result)
+		}
+	}
+	var agg struct {
+		Kind    string       `json:"kind"`
+		Payload sweep.Result `json:"payload"`
+	}
+	if err := json.Unmarshal([]byte(lines[2]), &agg); err != nil {
+		t.Fatal(err)
+	}
+	if agg.Kind != sweep.ResultKind {
+		t.Fatalf("last line must be the aggregate, got %q", agg.Kind)
+	}
+	if agg.Payload.Executed != 2 || agg.Payload.Failed != 0 {
+		t.Errorf("bad aggregate: %+v", agg.Payload)
+	}
+	if agg.Payload.Stats.ProfileRuns != 2 {
+		t.Errorf("aggregate must carry the runner-stat delta: %+v", agg.Payload.Stats)
+	}
+}
+
+// TestSweepEndpointRejections covers the sweep 4xx paths, including the
+// strict-decoding of sweep documents.
+func TestSweepEndpointRejections(t *testing.T) {
+	srv := testServer(t)
+	for name, c := range map[string]struct {
+		body string
+		want int
+	}{
+		"malformed":           {`{"axes":[}`, http.StatusBadRequest},
+		"unknown sweep field": {`{"axez":[{"field":"seed","values":[1]}]}`, http.StatusBadRequest},
+		"typo in base":        {`{"base":{"workload":"mpeg2","migartion":true},"axes":[{"field":"seed","values":[1]}]}`, http.StatusBadRequest},
+		"unknown axis field":  {`{"base":{"workload":"mpeg2"},"axes":[{"field":"l2_kb","values":[1]}]}`, http.StatusBadRequest},
+		"no axes":             {`{"base":{"workload":"mpeg2"}}`, http.StatusBadRequest},
+	} {
+		if status, body := postSweep(t, srv.URL, c.body); status != c.want {
+			t.Errorf("%s: want %d, got %d (%s)", name, c.want, status, body)
+		}
+	}
+	resp, err := http.Get(srv.URL + "/v1/sweep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/sweep: want 405, got %d", resp.StatusCode)
+	}
+}
+
+// TestSweepEndpointServerCap checks the server bounds an uncapped
+// expansion at its batch limit and records the truncation.
+func TestSweepEndpointServerCap(t *testing.T) {
+	cfg := testConfig()
+	srv := newCappedServer(t, cfg, 3)
+	status, body := postSweep(t, srv.URL, `{
+		"base": {"workload": "jpeg1-only", "scale": "small", "runs": 1, "partition": "profile"},
+		"axes": [{"field": "seed", "range": {"from": 0, "count": 8}}]
+	}`)
+	if status != http.StatusOK {
+		t.Fatalf("capped sweep: %d\n%s", status, body)
+	}
+	lines := strings.Split(strings.TrimSpace(body), "\n")
+	if len(lines) != 4 { // 3 points + aggregate
+		t.Fatalf("want 3 point lines + aggregate under the cap, got %d", len(lines))
+	}
+	var agg struct {
+		Payload sweep.Result `json:"payload"`
+	}
+	if err := json.Unmarshal([]byte(lines[3]), &agg); err != nil {
+		t.Fatal(err)
+	}
+	if agg.Payload.TotalPoints != 8 || agg.Payload.Executed != 3 || agg.Payload.Truncated != 5 {
+		t.Errorf("truncation must be recorded, got %+v", agg.Payload)
+	}
+}
+
+// TestSweepExpansionErrorIsA400 checks an expansion failure that slips
+// past the parse-time probes (a range whose later values are invalid)
+// is still caught by the pre-flight expansion and rejected with a
+// proper 400 — never a 200 with a broken stream.
+func TestSweepExpansionErrorIsA400(t *testing.T) {
+	srv := testServer(t)
+	status, body := postSweep(t, srv.URL, `{
+		"base": {"workload": "jpeg1-only", "scale": "small", "runs": 1, "partition": "profile"},
+		"axes": [{"field": "seed", "range": {"from": 0, "count": 3, "step": -1}}]
+	}`)
+	if status != http.StatusBadRequest {
+		t.Fatalf("want 400, got %d:\n%s", status, body)
+	}
+	if !strings.Contains(body, `\"kind\":\"error\"`) && !strings.Contains(body, `"kind": "error"`) {
+		t.Errorf("want an error envelope, got:\n%s", body)
+	}
+}
+
+// TestSweepWithScenarioBase checks a sweep base may name a built-in
+// scenario through the scenario-level "base" overlay.
+func TestSweepWithScenarioBase(t *testing.T) {
+	srv := testServer(t)
+	status, body := postSweep(t, srv.URL, `{
+		"base": {"base": "app1-curves"},
+		"axes": [{"field": "seed", "values": [1]}]
+	}`)
+	if status != http.StatusOK {
+		t.Fatalf("builtin-base sweep: %d\n%s", status, body)
+	}
+	if !strings.Contains(body, `"kind":"sweep.result"`) {
+		t.Errorf("missing aggregate:\n%s", body)
+	}
+	if !strings.Contains(body, `"workload":"2jpeg+canny"`) {
+		t.Errorf("base scenario fields must resolve:\n%s", body)
+	}
+}

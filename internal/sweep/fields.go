@@ -1,0 +1,192 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/scenario"
+)
+
+// fieldDef describes one sweepable scenario field: how to decode an
+// axis value and set it on a spec. rangeable marks integer fields that
+// accept an Axis.Range. target names the scenario path the field
+// writes (defaults to the field name itself); two axes sharing a
+// target would overwrite each other and are rejected by Validate —
+// platform.l2.kb targets platform.l2.sets, so sweeping both at once
+// cannot silently mislabel the geometry.
+type fieldDef struct {
+	rangeable bool
+	target    string
+	apply     func(*scenario.Scenario, json.RawMessage) error
+}
+
+// targetOf resolves the scenario path an axis field writes.
+func targetOf(field string) string {
+	if t := fields[field].target; t != "" {
+		return t
+	}
+	return field
+}
+
+// decodeTo strictly decodes one axis value into the field's Go type.
+func decodeTo(raw json.RawMessage, v interface{}) error {
+	if err := scenario.DecodeStrict(raw, v); err != nil {
+		return fmt.Errorf("decoding value %s: %w", raw, err)
+	}
+	return nil
+}
+
+func stringField(set func(*scenario.Scenario, string)) fieldDef {
+	return fieldDef{apply: func(s *scenario.Scenario, raw json.RawMessage) error {
+		var v string
+		if err := decodeTo(raw, &v); err != nil {
+			return err
+		}
+		set(s, v)
+		return nil
+	}}
+}
+
+func boolField(set func(*scenario.Scenario, bool)) fieldDef {
+	return fieldDef{apply: func(s *scenario.Scenario, raw json.RawMessage) error {
+		var v bool
+		if err := decodeTo(raw, &v); err != nil {
+			return err
+		}
+		set(s, v)
+		return nil
+	}}
+}
+
+func intField(set func(*scenario.Scenario, int)) fieldDef {
+	return fieldDef{rangeable: true, apply: func(s *scenario.Scenario, raw json.RawMessage) error {
+		var v int
+		if err := decodeTo(raw, &v); err != nil {
+			return err
+		}
+		set(s, v)
+		return nil
+	}}
+}
+
+func uintField(set func(*scenario.Scenario, uint64)) fieldDef {
+	return fieldDef{rangeable: true, apply: func(s *scenario.Scenario, raw json.RawMessage) error {
+		var v uint64
+		if err := decodeTo(raw, &v); err != nil {
+			return err
+		}
+		set(s, v)
+		return nil
+	}}
+}
+
+func floatField(set func(*scenario.Scenario, float64)) fieldDef {
+	return fieldDef{apply: func(s *scenario.Scenario, raw json.RawMessage) error {
+		var v float64
+		if err := decodeTo(raw, &v); err != nil {
+			return err
+		}
+		set(s, v)
+		return nil
+	}}
+}
+
+// platformOf gives an axis its own writable platform spec: points share
+// the base scenario by value, but Platform is a pointer — without the
+// copy every point of the sweep would scribble on the same geometry.
+func platformOf(s *scenario.Scenario) *scenario.PlatformSpec {
+	var p scenario.PlatformSpec
+	if s.Platform != nil {
+		p = *s.Platform
+	}
+	s.Platform = &p
+	return s.Platform
+}
+
+func platformIntField(set func(*scenario.PlatformSpec, int)) fieldDef {
+	return fieldDef{rangeable: true, apply: func(s *scenario.Scenario, raw json.RawMessage) error {
+		var v int
+		if err := decodeTo(raw, &v); err != nil {
+			return err
+		}
+		set(platformOf(s), v)
+		return nil
+	}}
+}
+
+// fields is the sweepable-field registry. Keys are the axis "field"
+// spellings; dotted paths mirror the scenario spec's JSON nesting.
+var fields = map[string]fieldDef{
+	"workload":       stringField(func(s *scenario.Scenario, v string) { s.Workload = v }),
+	"scale":          stringField(func(s *scenario.Scenario, v string) { s.Scale = v }),
+	"solver":         stringField(func(s *scenario.Scenario, v string) { s.Solver = v }),
+	"partition":      stringField(func(s *scenario.Scenario, v string) { s.Partition = v }),
+	"profile_engine": stringField(func(s *scenario.Scenario, v string) { s.ProfileEngine = v }),
+	"exec_engine":    stringField(func(s *scenario.Scenario, v string) { s.ExecEngine = v }),
+	"alloc_workload": stringField(func(s *scenario.Scenario, v string) { s.AllocWorkload = v }),
+	"migration":      boolField(func(s *scenario.Scenario, v bool) { s.Migration = v }),
+	"seed":           uintField(func(s *scenario.Scenario, v uint64) { s.Seed = v }),
+	"runs":           intField(func(s *scenario.Scenario, v int) { s.Runs = v }),
+	"sizes": {apply: func(s *scenario.Scenario, raw json.RawMessage) error {
+		var v []int
+		if err := decodeTo(raw, &v); err != nil {
+			return err
+		}
+		s.Sizes = v
+		return nil
+	}},
+
+	"platform.num_cpus":     platformIntField(func(p *scenario.PlatformSpec, v int) { p.NumCPUs = v }),
+	"platform.base_cpi":     floatField(func(s *scenario.Scenario, v float64) { platformOf(s).BaseCPI = v }),
+	"platform.l1.sets":      platformIntField(func(p *scenario.PlatformSpec, v int) { p.L1.Sets = v }),
+	"platform.l1.ways":      platformIntField(func(p *scenario.PlatformSpec, v int) { p.L1.Ways = v }),
+	"platform.l1.line_size": platformIntField(func(p *scenario.PlatformSpec, v int) { p.L1.LineSize = v }),
+	"platform.l2.sets":      platformIntField(func(p *scenario.PlatformSpec, v int) { p.L2.Sets = v }),
+	"platform.l2.ways":      platformIntField(func(p *scenario.PlatformSpec, v int) { p.L2.Ways = v }),
+	"platform.l2.line_size": platformIntField(func(p *scenario.PlatformSpec, v int) { p.L2.LineSize = v }),
+	"platform.l2_hit_latency": {rangeable: true, apply: func(s *scenario.Scenario, raw json.RawMessage) error {
+		var v uint64
+		if err := decodeTo(raw, &v); err != nil {
+			return err
+		}
+		platformOf(s).L2HitLatency = v
+		return nil
+	}},
+
+	// platform.l2.kb sets the total L2 capacity in KiB, deriving the set
+	// count from the spec's effective associativity and line size (the
+	// section 5 defaults unless the base or an earlier axis overrode
+	// them) — the natural spelling of the paper's candidate-size
+	// exploration. Axes apply in declaration order, and Validate rejects
+	// a ways/line_size axis declared after a kb axis, so the derivation
+	// can never silently disagree with the label.
+	"platform.l2.kb": {rangeable: true, target: "platform.l2.sets", apply: func(s *scenario.Scenario, raw json.RawMessage) error {
+		var kb int
+		if err := decodeTo(raw, &kb); err != nil {
+			return err
+		}
+		if kb <= 0 {
+			return fmt.Errorf("l2 capacity %d KiB not positive", kb)
+		}
+		p := platformOf(s)
+		pc := p.Config() // materializes the defaults under the overrides
+		lineBytes := pc.L2.Ways * pc.L2.LineSize
+		bytes := kb << 10
+		if bytes%lineBytes != 0 {
+			return fmt.Errorf("l2 capacity %d KiB not divisible by ways×line_size = %d bytes", kb, lineBytes)
+		}
+		p.L2.Sets = bytes / lineBytes
+		return nil
+	}},
+}
+
+// Fields lists the sweepable field names, sorted.
+func Fields() []string {
+	names := make([]string, 0, len(fields))
+	for n := range fields {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

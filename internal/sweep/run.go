@@ -1,0 +1,397 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/report"
+	"repro/internal/scenario"
+)
+
+// Envelope kinds of the sweep surface.
+const (
+	// PointKind wraps one PointResult on the NDJSON stream.
+	PointKind = "sweep.point"
+	// ResultKind wraps the final aggregate document.
+	ResultKind = "sweep.result"
+)
+
+// Metrics are the per-point outcome numbers the aggregation works on.
+// They come from the point's primary measured run — the partitioned run
+// when the policy produced one, else the shared run; profile/optimize
+// policies yield no metrics. L2Bytes is the point's L2 capacity, the
+// "area" coordinate of the paper's size/performance trade-off.
+type Metrics struct {
+	Makespan   uint64  `json:"makespan"`
+	Misses     uint64  `json:"misses"`
+	Energy     float64 `json:"energy"`
+	L2MissRate float64 `json:"l2_miss_rate"`
+	CPIMean    float64 `json:"cpi_mean"`
+	L2Bytes    int     `json:"l2_bytes"`
+	// MissRatio is shared/partitioned misses when both runs exist.
+	MissRatio float64 `json:"miss_ratio,omitempty"`
+}
+
+// metricNames lists the metrics addressable by Pareto pairs and the
+// extremes tables.
+var metricNames = []string{"makespan", "misses", "energy", "l2_miss_rate", "cpi", "l2_bytes"}
+
+// MetricNames lists the addressable metric names.
+func MetricNames() []string { return append([]string(nil), metricNames...) }
+
+func validMetric(name string) bool {
+	for _, m := range metricNames {
+		if m == name {
+			return true
+		}
+	}
+	return false
+}
+
+// get extracts a metric by name.
+func (m *Metrics) get(name string) float64 {
+	switch name {
+	case "makespan":
+		return float64(m.Makespan)
+	case "misses":
+		return float64(m.Misses)
+	case "energy":
+		return m.Energy
+	case "l2_miss_rate":
+		return m.L2MissRate
+	case "cpi":
+		return m.CPIMean
+	case "l2_bytes":
+		return float64(m.L2Bytes)
+	}
+	return 0
+}
+
+// metricsOf derives a point's metrics from its scenario result.
+func metricsOf(r *scenario.Result) *Metrics {
+	run := r.Partitioned
+	if run == nil {
+		run = r.Shared
+	}
+	if run == nil {
+		return nil
+	}
+	m := &Metrics{
+		Makespan:   run.Makespan,
+		Misses:     run.TotalMisses,
+		Energy:     run.Energy,
+		L2MissRate: run.L2MissRate,
+		CPIMean:    run.CPIMean,
+		MissRatio:  r.MissRatio(),
+	}
+	if p := r.Scenario.Platform; p != nil {
+		m.L2Bytes = p.L2.Sets * p.L2.Ways * p.L2.LineSize
+	}
+	return m
+}
+
+// PointResult is one completed point: its coordinates plus the full
+// scenario result document. The serve mode streams these as
+// "sweep.point" envelopes before the final aggregate.
+type PointResult struct {
+	Index  int              `json:"index"`
+	Coords []Coord          `json:"coords"`
+	Result *scenario.Result `json:"result"`
+}
+
+// Envelope wraps the point for the NDJSON stream.
+func (p PointResult) Envelope() report.Envelope {
+	return report.NewEnvelope(PointKind, p)
+}
+
+// PointSummary is the compact per-point record embedded in the
+// aggregate (the full result documents are streamed separately).
+type PointSummary struct {
+	Index    int      `json:"index"`
+	Coords   []Coord  `json:"coords"`
+	Key      string   `json:"key,omitempty"`
+	Error    string   `json:"error,omitempty"`
+	Canceled bool     `json:"canceled,omitempty"`
+	Metrics  *Metrics `json:"metrics,omitempty"`
+}
+
+// SensitivityRow aggregates all points sharing one value of an axis.
+type SensitivityRow struct {
+	Value        string  `json:"value"`
+	N            int     `json:"n"`
+	MeanMakespan float64 `json:"mean_makespan"`
+	MeanMisses   float64 `json:"mean_misses"`
+	MeanEnergy   float64 `json:"mean_energy"`
+}
+
+// AxisSensitivity is one axis's sensitivity table: how the mean
+// outcomes move as the axis's value changes, marginalized over every
+// other axis.
+type AxisSensitivity struct {
+	Axis string           `json:"axis"`
+	Rows []SensitivityRow `json:"rows"`
+}
+
+// MetricExtremes records the best (minimum) and worst (maximum) point
+// of one metric.
+type MetricExtremes struct {
+	Metric     string  `json:"metric"`
+	BestIndex  int     `json:"best_index"`
+	BestValue  float64 `json:"best_value"`
+	WorstIndex int     `json:"worst_index"`
+	WorstValue float64 `json:"worst_value"`
+}
+
+// ParetoFront is the set of points not dominated under minimization of
+// the (X, Y) metric pair, as indices into Points sorted by ascending X.
+type ParetoFront struct {
+	X       string `json:"x"`
+	Y       string `json:"y"`
+	Indices []int  `json:"indices"`
+}
+
+// Result is the versioned aggregate document of one sweep.
+type Result struct {
+	SchemaVersion int    `json:"schema_version"`
+	Name          string `json:"name,omitempty"`
+	// TotalPoints is the full cross-product size; Executed counts the
+	// points actually submitted (TotalPoints - Truncated).
+	TotalPoints int            `json:"total_points"`
+	Executed    int            `json:"executed"`
+	Truncated   int            `json:"truncated,omitempty"`
+	Failed      int            `json:"failed,omitempty"`
+	Canceled    int            `json:"canceled,omitempty"`
+	Points      []PointSummary `json:"points"`
+
+	Sensitivity []AxisSensitivity `json:"sensitivity,omitempty"`
+	Extremes    []MetricExtremes  `json:"extremes,omitempty"`
+	Pareto      []ParetoFront     `json:"pareto,omitempty"`
+
+	// Stats is the runner-counter delta observed over this sweep's
+	// execution: the memo-amplification evidence (ProfileRuns is the
+	// number of distinct profile stages actually simulated). On a
+	// dedicated runner (the CLI) the delta is exactly this sweep's work;
+	// on the serve mode's shared runner, stage work of requests running
+	// concurrently with the sweep lands in the same window.
+	Stats scenario.Stats `json:"runner_stats"`
+}
+
+// Envelope wraps the aggregate for the machine-readable surface.
+func (r *Result) Envelope() report.Envelope {
+	return report.NewEnvelope(ResultKind, r)
+}
+
+// DefaultPareto is the front pair set used when a spec names none: the
+// paper's size/performance trade-off and the energy criterion.
+func DefaultPareto() []ParetoPair {
+	return []ParetoPair{{X: "l2_bytes", Y: "makespan"}, {X: "energy", Y: "makespan"}}
+}
+
+// Execute expands the sweep and runs every point through rn, sharing
+// the runner's content-addressed stage memo across the whole batch.
+// observe (optional) is called once per executed point, in index order,
+// as soon as the point and all its predecessors are done — the serve
+// mode streams from exactly this callback. A canceled ctx skips points
+// not yet started (they are marked Canceled and not observed) and fails
+// the pending stages of points mid-pipeline (also counted Canceled);
+// stages already simulating finish into the shared memo.
+func Execute(ctx context.Context, rn *scenario.Runner, sw Sweep, observe func(PointResult)) (*Result, error) {
+	points, total, err := sw.Expand()
+	if err != nil {
+		return nil, err
+	}
+	return ExecuteExpanded(ctx, rn, sw, points, total, observe)
+}
+
+// ExecuteExpanded is Execute over an already-expanded point list (from
+// sw.Expand) — the serve mode expands once pre-flight, so every
+// expansion error is a proper 400 before the response header commits,
+// and the points are not materialized twice. The only error it returns
+// is ctx's.
+func ExecuteExpanded(ctx context.Context, rn *scenario.Runner, sw Sweep, points []Point, total int, observe func(PointResult)) (*Result, error) {
+	before := rn.Stats()
+
+	specs := make([]scenario.Scenario, len(points))
+	for i, p := range points {
+		specs[i] = p.Scenario
+	}
+	results, errs, done := rn.RunBatchStream(ctx, specs, func(i int, r *scenario.Result) bool {
+		if observe != nil {
+			observe(PointResult{Index: i, Coords: points[i].Coords, Result: r})
+		}
+		return true
+	})
+	<-done
+
+	res := &Result{
+		SchemaVersion: report.SchemaVersion,
+		Name:          sw.Name,
+		TotalPoints:   total,
+		Executed:      len(points),
+		Truncated:     total - len(points),
+		Points:        make([]PointSummary, len(points)),
+	}
+	after := rn.Stats()
+	res.Stats = scenario.Stats{
+		StageRuns:    after.StageRuns - before.StageRuns,
+		MemoHits:     after.MemoHits - before.MemoHits,
+		StageErrors:  after.StageErrors - before.StageErrors,
+		ProfileRuns:  after.ProfileRuns - before.ProfileRuns,
+		OptimizeRuns: after.OptimizeRuns - before.OptimizeRuns,
+		RunRuns:      after.RunRuns - before.RunRuns,
+	}
+	for i, p := range points {
+		ps := PointSummary{Index: i, Coords: p.Coords}
+		switch r := results[i]; {
+		case r == nil:
+			ps.Canceled = true
+			res.Canceled++
+		case r.Error != "" && (errors.Is(errs[i], context.Canceled) || errors.Is(errs[i], context.DeadlineExceeded)):
+			// The point started but ctx expired before its remaining
+			// stages: a cancellation, not an experiment failure.
+			ps.Key, ps.Error, ps.Canceled = r.Key, r.Error, true
+			res.Canceled++
+		case r.Error != "":
+			ps.Key, ps.Error = r.Key, r.Error
+			res.Failed++
+		default:
+			ps.Key = r.Key
+			ps.Metrics = metricsOf(r)
+		}
+		res.Points[i] = ps
+	}
+	res.Sensitivity = sensitivity(sw, res.Points)
+	res.Extremes = extremes(res.Points)
+	pairs := sw.Pareto
+	if len(pairs) == 0 {
+		pairs = DefaultPareto()
+	}
+	for _, pr := range pairs {
+		res.Pareto = append(res.Pareto, paretoFront(res.Points, pr))
+	}
+	return res, ctx.Err()
+}
+
+// sensitivity builds one marginal table per axis over the executed
+// points (one pass per axis — never over the axis's declared value
+// domain, which a range axis can make astronomically larger than the
+// capped point set). Rows appear in first-appearance order, which for
+// the dimension-major expansion is exactly the axis's value order.
+func sensitivity(sw Sweep, points []PointSummary) []AxisSensitivity {
+	var out []AxisSensitivity
+	for _, ax := range sw.Axes {
+		label := ax.label()
+		var order []string
+		rows := map[string]*SensitivityRow{}
+		for _, p := range points {
+			v, ok := coordValue(p.Coords, label)
+			if !ok {
+				continue
+			}
+			r := rows[v]
+			if r == nil {
+				r = &SensitivityRow{Value: v}
+				rows[v] = r
+				order = append(order, v)
+			}
+			if p.Metrics == nil {
+				continue
+			}
+			r.N++
+			r.MeanMakespan += float64(p.Metrics.Makespan)
+			r.MeanMisses += float64(p.Metrics.Misses)
+			r.MeanEnergy += p.Metrics.Energy
+		}
+		table := AxisSensitivity{Axis: label, Rows: make([]SensitivityRow, 0, len(order))}
+		for _, v := range order {
+			r := rows[v]
+			if r.N > 0 {
+				r.MeanMakespan /= float64(r.N)
+				r.MeanMisses /= float64(r.N)
+				r.MeanEnergy /= float64(r.N)
+			}
+			table.Rows = append(table.Rows, *r)
+		}
+		out = append(out, table)
+	}
+	return out
+}
+
+func coordValue(coords []Coord, axis string) (string, bool) {
+	for _, c := range coords {
+		if c.Axis == axis {
+			return c.Value, true
+		}
+	}
+	return "", false
+}
+
+// extremes finds the best/worst point per headline metric.
+func extremes(points []PointSummary) []MetricExtremes {
+	var out []MetricExtremes
+	for _, m := range []string{"makespan", "misses", "energy"} {
+		e := MetricExtremes{Metric: m, BestIndex: -1, WorstIndex: -1}
+		for _, p := range points {
+			if p.Metrics == nil {
+				continue
+			}
+			v := p.Metrics.get(m)
+			if e.BestIndex < 0 || v < e.BestValue {
+				e.BestIndex, e.BestValue = p.Index, v
+			}
+			if e.WorstIndex < 0 || v > e.WorstValue {
+				e.WorstIndex, e.WorstValue = p.Index, v
+			}
+		}
+		if e.BestIndex >= 0 {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// paretoFront computes the non-dominated set under minimization of the
+// metric pair, stably ordered by ascending (x, y, index).
+func paretoFront(points []PointSummary, pair ParetoPair) ParetoFront {
+	front := ParetoFront{X: pair.X, Y: pair.Y}
+	type cand struct {
+		idx  int
+		x, y float64
+	}
+	var cs []cand
+	for _, p := range points {
+		if p.Metrics == nil {
+			continue
+		}
+		cs = append(cs, cand{idx: p.Index, x: p.Metrics.get(pair.X), y: p.Metrics.get(pair.Y)})
+	}
+	sort.Slice(cs, func(a, b int) bool {
+		if cs[a].x != cs[b].x {
+			return cs[a].x < cs[b].x
+		}
+		if cs[a].y != cs[b].y {
+			return cs[a].y < cs[b].y
+		}
+		return cs[a].idx < cs[b].idx
+	})
+	// Walk in (x, y) order: a point joins the front when it strictly
+	// improves y, or exactly ties the last admitted point on both
+	// coordinates (neither dominates the other, e.g. two solvers landing
+	// on the same allocation).
+	bestX, bestY := 0.0, 0.0
+	for i, c := range cs {
+		if i == 0 || c.y < bestY || (c.y == bestY && c.x == bestX) {
+			front.Indices = append(front.Indices, c.idx)
+			bestX, bestY = c.x, c.y
+		}
+	}
+	return front
+}
+
+// RunnerStatsLine renders the memo-amplification line of a sweep.
+func (r *Result) RunnerStatsLine() string {
+	return fmt.Sprintf("runner: %d stage runs (%d profile, %d optimize, %d measured), %d memo hits",
+		r.Stats.StageRuns, r.Stats.ProfileRuns, r.Stats.OptimizeRuns, r.Stats.RunRuns, r.Stats.MemoHits)
+}

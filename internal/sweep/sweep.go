@@ -1,0 +1,405 @@
+// Package sweep is the declarative parameter-exploration layer on top
+// of the scenario API: a Sweep is a JSON-(de)serializable spec that
+// expands one base Scenario over named axes — cache geometry, CPU
+// count, workload, scale, seed ranges, solver, partition policy,
+// engines, migration — into a deterministic cross-product of scenario
+// points (with optional axis zips and a point cap), executes the batch
+// through the memoizing scenario.Runner (points that only vary
+// execution-side fields share their profile stages, so an N-point
+// geometry/policy grid simulates far less than N pipelines), and
+// aggregates the outcomes into a versioned Result: per-axis sensitivity
+// tables, best/worst points per metric, and Pareto fronts such as L2
+// area vs. makespan.
+//
+// Sweeps are data, exactly like scenarios: the CLI runs them from JSON
+// files (`compmem sweep -spec file.json`), the serve mode exposes them
+// at POST /v1/sweep, and the built-in "paper-grid" sweep reproduces the
+// paper's candidate-size exploration as one command.
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/scenario"
+)
+
+// SpecVersion is the current sweep spec version.
+const SpecVersion = 1
+
+// DefaultMaxPoints bounds an expansion that sets no explicit cap. A
+// cross-product larger than this is almost always a spec mistake; the
+// expansion fails with an error telling the author to set max_points
+// (which truncates deterministically and records how much was dropped —
+// never silently).
+const DefaultMaxPoints = 4096
+
+// Spec is the wire form of a sweep. Base is a scenario spec object and
+// may itself name a built-in scenario through its "base" field; it is
+// resolved by Parse. Unknown fields anywhere in the document are an
+// error (scenario.DecodeStrict).
+type Spec struct {
+	SpecVersion int             `json:"spec_version,omitempty"`
+	Name        string          `json:"name,omitempty"`
+	Base        json.RawMessage `json:"base,omitempty"`
+	Axes        []Axis          `json:"axes"`
+	// MaxPoints caps the expansion: the first MaxPoints points of the
+	// cross-product run, and the aggregate records the truncation. 0
+	// means uncapped, in which case an expansion beyond DefaultMaxPoints
+	// is an error.
+	MaxPoints int `json:"max_points,omitempty"`
+	// Pareto selects the Pareto fronts to compute; empty means the
+	// default fronts (l2_bytes/makespan and energy/makespan).
+	Pareto []ParetoPair `json:"pareto,omitempty"`
+}
+
+// Axis is one swept dimension: a scenario field and the values it takes.
+// Axes sharing a non-empty Zip group advance in lockstep (they must have
+// equal lengths) and together form one dimension of the cross-product.
+type Axis struct {
+	// Name labels the axis in coordinates and sensitivity tables;
+	// defaults to Field.
+	Name string `json:"name,omitempty"`
+	// Field names the swept scenario field; see Fields().
+	Field string `json:"field"`
+	// Values are the field's values, decoded per the field's type.
+	Values []json.RawMessage `json:"values,omitempty"`
+	// Range generates integer values From, From+Step, ... (Count of
+	// them); integer-valued fields only. Exactly one of Values and Range
+	// must be set.
+	Range *Range `json:"range,omitempty"`
+	// Zip names the axis's zip group; empty means a standalone axis.
+	Zip string `json:"zip,omitempty"`
+}
+
+// Range generates an arithmetic progression of integer axis values.
+type Range struct {
+	From  int64 `json:"from"`
+	Count int   `json:"count"`
+	Step  int64 `json:"step,omitempty"` // default 1
+}
+
+// ParetoPair names two point metrics; the front contains the points not
+// dominated under minimization of both.
+type ParetoPair struct {
+	X string `json:"x"`
+	Y string `json:"y"`
+}
+
+// Sweep is the parsed, base-resolved form ready to expand and execute.
+// Construct it via Parse (from JSON) or literally (built-in sweeps),
+// then Validate.
+type Sweep struct {
+	Name      string
+	Base      scenario.Scenario
+	Axes      []Axis
+	MaxPoints int
+	Pareto    []ParetoPair
+}
+
+// Parse decodes a sweep spec strictly and resolves its base scenario
+// (lookupBase resolves the scenario-level "base" name, exactly as in
+// scenario.Resolve; it may be nil).
+func Parse(raw []byte, lookupBase func(string) (scenario.Scenario, bool)) (Sweep, error) {
+	var spec Spec
+	if err := scenario.DecodeStrict(raw, &spec); err != nil {
+		return Sweep{}, fmt.Errorf("sweep: parsing spec: %w", err)
+	}
+	if spec.SpecVersion != 0 && spec.SpecVersion != SpecVersion {
+		return Sweep{}, fmt.Errorf("sweep: unsupported spec_version %d (current %d)", spec.SpecVersion, SpecVersion)
+	}
+	sw := Sweep{
+		Name:      spec.Name,
+		Axes:      spec.Axes,
+		MaxPoints: spec.MaxPoints,
+		Pareto:    spec.Pareto,
+	}
+	if len(spec.Base) > 0 {
+		base, err := scenario.Resolve(spec.Base, lookupBase)
+		if err != nil {
+			return Sweep{}, fmt.Errorf("sweep: base: %w", err)
+		}
+		sw.Base = base
+	}
+	if err := sw.Validate(); err != nil {
+		return Sweep{}, err
+	}
+	return sw, nil
+}
+
+// Validate checks the axes against the field registry, the zip-group
+// lengths, and the Pareto metric names. Expansion size is checked by
+// Expand (it depends on the cap).
+func (sw Sweep) Validate() error {
+	if len(sw.Axes) == 0 {
+		return fmt.Errorf("sweep: no axes (a sweep needs at least one)")
+	}
+	sweepsWorkload := false
+	zipLen := map[string]int{}
+	labels := map[string]bool{}
+	targetAxis := map[string]string{}
+	kbSeen := false
+	for i, ax := range sw.Axes {
+		if labels[ax.label()] {
+			return fmt.Errorf("sweep: duplicate axis %q (give one a distinct name)", ax.label())
+		}
+		labels[ax.label()] = true
+		fd, ok := fields[ax.Field]
+		if !ok {
+			return fmt.Errorf("sweep: axis %d: unknown field %q (sweepable: %v)", i, ax.Field, Fields())
+		}
+		// Two axes writing the same scenario path would overwrite each
+		// other in declaration order, leaving the earlier axis's
+		// coordinate labels lying about the simulated spec — this also
+		// catches platform.l2.kb vs platform.l2.sets, which both set the
+		// set count.
+		if prev, clash := targetAxis[targetOf(ax.Field)]; clash {
+			return fmt.Errorf("sweep: axes %q and %q both set %s", prev, ax.label(), targetOf(ax.Field))
+		}
+		targetAxis[targetOf(ax.Field)] = ax.label()
+		// platform.l2.kb derives its set count from the associativity and
+		// line size in effect when it applies (declaration order), so a
+		// later ways/line_size axis would silently change the capacity a
+		// point is labeled with — reject the ordering outright.
+		if kbSeen && (ax.Field == "platform.l2.ways" || ax.Field == "platform.l2.line_size") {
+			return fmt.Errorf("sweep: axis %d (%s): list ways/line_size axes before platform.l2.kb (the capacity derives its set count from them)", i, ax.label())
+		}
+		if ax.Field == "platform.l2.kb" {
+			kbSeen = true
+		}
+		if ax.Field == "workload" {
+			sweepsWorkload = true
+		}
+		n, err := ax.len()
+		if err != nil {
+			return fmt.Errorf("sweep: axis %d (%s): %w", i, ax.label(), err)
+		}
+		if ax.Range != nil && !fd.rangeable {
+			return fmt.Errorf("sweep: axis %d (%s): field %q takes explicit values, not a range", i, ax.label(), ax.Field)
+		}
+		// Decode every explicit value now against the base scenario, so a
+		// bad value fails the whole sweep before any simulation (and
+		// regardless of the point cap). Range axes generate uniform
+		// integers: probe only the first — probing all of them would let
+		// a single huge count burn unbounded CPU here, before Expand's
+		// size checks ever run. Later range values (and interactions with
+		// earlier axes, e.g. a ways axis ahead of an l2.kb axis) are
+		// re-validated per point at expansion, under the cap.
+		probes := n
+		if ax.Range != nil {
+			probes = 1
+		}
+		for k := 0; k < probes; k++ {
+			probe := sw.Base // apply clones Platform before writing
+			if err := ax.apply(&probe, k); err != nil {
+				return fmt.Errorf("sweep: axis %d (%s) value %d: %w", i, ax.label(), k, err)
+			}
+		}
+		if ax.Zip != "" {
+			if prev, ok := zipLen[ax.Zip]; ok && prev != n {
+				return fmt.Errorf("sweep: zip group %q has axes of different lengths (%d vs %d)", ax.Zip, prev, n)
+			}
+			zipLen[ax.Zip] = n
+		}
+	}
+	if sw.Base.Workload == "" && sw.Base.Base == "" && !sweepsWorkload {
+		return fmt.Errorf("sweep: base names no workload and no axis sweeps \"workload\"")
+	}
+	for _, p := range sw.Pareto {
+		for _, m := range []string{p.X, p.Y} {
+			if !validMetric(m) {
+				return fmt.Errorf("sweep: unknown pareto metric %q (metrics: %v)", m, MetricNames())
+			}
+		}
+	}
+	if sw.MaxPoints < 0 {
+		return fmt.Errorf("sweep: negative max_points %d", sw.MaxPoints)
+	}
+	return nil
+}
+
+// label returns the axis's display name.
+func (ax Axis) label() string {
+	if ax.Name != "" {
+		return ax.Name
+	}
+	return ax.Field
+}
+
+// len returns the axis's value count.
+func (ax Axis) len() (int, error) {
+	switch {
+	case ax.Range != nil && len(ax.Values) > 0:
+		return 0, fmt.Errorf("both values and a range given (want exactly one)")
+	case ax.Range != nil:
+		if ax.Range.Count <= 0 {
+			return 0, fmt.Errorf("range count %d not positive", ax.Range.Count)
+		}
+		return ax.Range.Count, nil
+	case len(ax.Values) > 0:
+		return len(ax.Values), nil
+	}
+	return 0, fmt.Errorf("no values and no range")
+}
+
+// value returns the k-th raw value of the axis (ranges materialize to
+// decimal JSON numbers).
+func (ax Axis) value(k int) json.RawMessage {
+	if ax.Range != nil {
+		step := ax.Range.Step
+		if step == 0 {
+			step = 1
+		}
+		return json.RawMessage(strconv.FormatInt(ax.Range.From+int64(k)*step, 10))
+	}
+	return ax.Values[k]
+}
+
+// valueLabel renders the k-th value for coordinates and tables: strings
+// unquoted, everything else as its compact JSON text.
+func (ax Axis) valueLabel(k int) string {
+	raw := ax.value(k)
+	var s string
+	if err := json.Unmarshal(raw, &s); err == nil {
+		return s
+	}
+	return string(raw)
+}
+
+// apply sets the axis's k-th value on the scenario.
+func (ax Axis) apply(s *scenario.Scenario, k int) error {
+	return fields[ax.Field].apply(s, ax.value(k))
+}
+
+// Coord is one axis coordinate of a point.
+type Coord struct {
+	Axis  string `json:"axis"`
+	Value string `json:"value"`
+}
+
+// Point is one expanded scenario of the sweep.
+type Point struct {
+	Index    int
+	Coords   []Coord
+	Scenario scenario.Scenario
+}
+
+// coordString renders "axis=value,axis=value" for point names.
+func coordString(coords []Coord) string {
+	parts := make([]string, len(coords))
+	for i, c := range coords {
+		parts[i] = c.Axis + "=" + c.Value
+	}
+	return strings.Join(parts, ",")
+}
+
+// dim is one dimension of the cross-product: a standalone axis or a
+// whole zip group advancing in lockstep.
+type dim struct {
+	axes []int
+	n    int
+}
+
+// plan validates the sweep and computes its dimensions, full product
+// size and capped point count — everything Expand needs short of
+// materializing the points.
+func (sw Sweep) plan() ([]dim, int, int, error) {
+	if err := sw.Validate(); err != nil {
+		return nil, 0, 0, err
+	}
+	// Group axes into dimensions: a zip group is one dimension, ordered
+	// by its first appearance.
+	var dims []dim
+	zipDim := map[string]int{}
+	for i, ax := range sw.Axes {
+		n, _ := ax.len()
+		if ax.Zip == "" {
+			dims = append(dims, dim{axes: []int{i}, n: n})
+			continue
+		}
+		if d, ok := zipDim[ax.Zip]; ok {
+			dims[d].axes = append(dims[d].axes, i)
+			continue
+		}
+		zipDim[ax.Zip] = len(dims)
+		dims = append(dims, dim{axes: []int{i}, n: n})
+	}
+	// hardMax bounds the computable product outright (overflow guard and
+	// sanity limit — even a capped sweep reports the true product size).
+	const hardMax = 1 << 30
+	total := 1
+	for _, d := range dims {
+		if d.n > hardMax/total {
+			return nil, 0, 0, fmt.Errorf("sweep: cross-product exceeds %d points", hardMax)
+		}
+		total *= d.n
+	}
+	limit := total
+	if sw.MaxPoints > 0 && limit > sw.MaxPoints {
+		limit = sw.MaxPoints
+	}
+	if sw.MaxPoints == 0 && total > DefaultMaxPoints {
+		return nil, 0, 0, fmt.Errorf("sweep: expansion has %d points (over the %d default cap); set max_points to run a truncated prefix deliberately", total, DefaultMaxPoints)
+	}
+	return dims, total, limit, nil
+}
+
+// Size reports the capped point count and the full cross-product size
+// without materializing any point — the cheap pre-flight check the
+// serve mode runs before committing to a 200 response.
+func (sw Sweep) Size() (executed, total int, err error) {
+	_, total, limit, err := sw.plan()
+	return limit, total, err
+}
+
+// Expand materializes the cross-product (zip groups count as one
+// dimension; within a dimension-major, last-dimension-fastest order,
+// so the first axis varies slowest). It returns the points actually to
+// run — the first MaxPoints of the product when capped — and the full
+// product size. The order is a function of the spec alone, so sweep
+// results are stable across runs, platforms and worker counts.
+func (sw Sweep) Expand() ([]Point, int, error) {
+	dims, total, limit, err := sw.plan()
+	if err != nil {
+		return nil, 0, err
+	}
+
+	name := sw.Name
+	if name == "" {
+		name = "sweep"
+	}
+	// Map each axis to its dimension, so values apply in declaration
+	// order (zip grouping affects indexing only, never apply order —
+	// platform.l2.kb's derivation depends on what applied before it).
+	axisDim := make([]int, len(sw.Axes))
+	for d, dm := range dims {
+		for _, ai := range dm.axes {
+			axisDim[ai] = d
+		}
+	}
+	points := make([]Point, limit)
+	for p := 0; p < limit; p++ {
+		// Per-dimension indices, last dimension fastest.
+		idx := make([]int, len(dims))
+		rem := p
+		for d := len(dims) - 1; d >= 0; d-- {
+			idx[d] = rem % dims[d].n
+			rem /= dims[d].n
+		}
+		s := sw.Base
+		s.Base = ""
+		coords := make([]Coord, 0, len(sw.Axes))
+		for i, ax := range sw.Axes {
+			k := idx[axisDim[i]]
+			if err := ax.apply(&s, k); err != nil {
+				return nil, 0, fmt.Errorf("sweep: point %d, axis %s: %w", p, ax.label(), err)
+			}
+			coords = append(coords, Coord{Axis: ax.label(), Value: ax.valueLabel(k)})
+		}
+		s.Name = fmt.Sprintf("%s[%s]", name, coordString(coords))
+		points[p] = Point{Index: p, Coords: coords, Scenario: s}
+	}
+	return points, total, nil
+}
