@@ -16,6 +16,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/mem"
@@ -212,8 +213,8 @@ func benchProfilingStage(b *testing.B, cap *l2Capture, maxRelDiff float64) {
 			pcfg := profile.Config{
 				Sizes:    []int{1, 2, 4, 8, 16, 32, 64, 128},
 				UnitSets: rtos.AllocUnit,
-				Ways:     benchCfg.Platform.L2.Ways,
-				LineSize: benchCfg.Platform.L2.LineSize,
+				Ways:     benchCfg.Platform.PartitionGeom().Ways,
+				LineSize: benchCfg.Platform.PartitionGeom().LineSize,
 				Engine:   engine,
 			}
 			b.ResetTimer()
@@ -340,7 +341,7 @@ func BenchmarkHeadlineMpeg2(b *testing.B) {
 func BenchmarkHeadlineMpeg2OneMB(b *testing.B) {
 	w := workloads.MPEG2(workloads.Paper, nil)
 	pc := benchCfg.Platform
-	pc.L2.Sets *= 2
+	pc.Topology = pc.Topology.WithLevel("l2", func(l *cache.LevelSpec) { l.Sets *= 2 })
 	b.ResetTimer()
 	var res *core.Result
 	for i := 0; i < b.N; i++ {
@@ -393,7 +394,8 @@ func BenchmarkCompositionality(b *testing.B) {
 func BenchmarkGranularityAblation(b *testing.B) {
 	s := app1(b)
 	w := workloads.JPEGCanny(workloads.Paper, nil)
-	wayUnits := benchCfg.Platform.L2.Sets / 8 / benchCfg.Platform.L2.Ways
+	geom := benchCfg.Platform.PartitionGeom()
+	wayUnits := geom.Sets / 8 / geom.Ways
 	b.ResetTimer()
 	feasible := 0
 	for i := 0; i < b.N; i++ {
@@ -465,6 +467,31 @@ func benchRunStage(b *testing.B, s *experiments.Study, w core.Workload, strategy
 // application 1 per execution engine.
 func BenchmarkRunSharedJpegCanny(b *testing.B) {
 	benchRunStage(b, nil, workloads.JPEGCanny(workloads.Paper, nil), core.Shared)
+}
+
+// BenchmarkRunSharedJpegCannyL3 measures the shared-cache run of
+// application 1 on the built-in 3-level l3-shared tree (private L1 + L2
+// under a shared 1 MB L3), per execution engine — the per-level walk
+// cost next to BenchmarkRunSharedJpegCanny's 2-level tile.
+func BenchmarkRunSharedJpegCannyL3(b *testing.B) {
+	w := workloads.JPEGCanny(workloads.Paper, nil)
+	for _, eng := range []platform.Engine{platform.EngineLineMerged, platform.EngineWordExact} {
+		b.Run(eng.String(), func(b *testing.B) {
+			rc := core.RunConfig{Platform: benchCfg.Platform}
+			rc.Platform.Topology = experiments.L3SharedTopology()
+			rc.Platform.Engine = eng
+			var res *core.Result
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = core.Run(w, rc)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.Platform.Makespan)/float64(b.Elapsed().Nanoseconds())*float64(b.N), "simcycles/ns")
+		})
+	}
 }
 
 // BenchmarkRunSharedMpeg2 measures the shared-cache functional run of the

@@ -112,6 +112,21 @@ func runBench(cfg experiments.Config, iters int, asJSON bool) error {
 		}
 	}
 
+	// The 3-level l3-shared tree next to the 2-level runs, so the
+	// per-level walk cost shows up in the BENCH_* trajectory.
+	l3w := workloads.JPEGCanny(cfg.Scale, nil)
+	for _, eng := range engines {
+		pc := cfg.Platform
+		pc.Topology = experiments.L3SharedTopology()
+		pc.Engine = eng
+		if err := measure(fmt.Sprintf("run-shared-l3-2jpeg+canny/%s", eng), func() error {
+			_, err := core.Run(l3w, core.RunConfig{Platform: pc})
+			return err
+		}); err != nil {
+			return err
+		}
+	}
+
 	if asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")

@@ -10,6 +10,7 @@ import (
 	"log"
 
 	"repro/internal/apps/mpeg2"
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/workloads"
@@ -54,7 +55,7 @@ func main() {
 		study.Shared.TotalMisses(), study.Part.TotalMisses(), study.MissRatio())
 
 	big := cfg.Platform
-	big.L2.Sets *= 2
+	big.Topology = big.Topology.WithLevel("l2", func(l *cache.LevelSpec) { l.Sets *= 2 })
 	bigRes, err := core.Run(workloads.MPEG2(scale, nil), core.RunConfig{Platform: big})
 	if err != nil {
 		log.Fatal(err)

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"log"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/kpn"
 	"repro/internal/platform"
@@ -61,7 +62,7 @@ func main() {
 	pc.NumCPUs = 2
 	// The toy working set is tiny next to the CAKE tile's 512 KB L2, so
 	// scale the cache down to 128 KB to make the phenomenon visible.
-	pc.L2.Sets = 512
+	pc.Topology = pc.Topology.WithLevel("l2", func(l *cache.LevelSpec) { l.Sets = 512 })
 
 	// 1. Baseline: conventional shared L2.
 	shared, err := core.Run(workload, core.RunConfig{Platform: pc})

@@ -11,7 +11,7 @@ func newHier() (*Hierarchy, *Cache, *Cache, *FixedMem) {
 	l1 := New(Config{Name: "l1", Sets: 8, Ways: 2, LineSize: 64})
 	l2 := New(Config{Name: "l2", Sets: 64, Ways: 4, LineSize: 64})
 	m := &FixedMem{Latency: 50}
-	h := &Hierarchy{L1: l1, L2: l2, L1HitLat: 1, L2HitLat: 8, Mem: m}
+	h := NewTwoLevel(l1, l2, 1, 8, m)
 	return h, l1, l2, m
 }
 
@@ -72,7 +72,7 @@ func TestHierarchyL1WritebackGoesToL2(t *testing.T) {
 func TestHierarchyL2WritebackPostsToMemory(t *testing.T) {
 	l2 := New(Config{Name: "l2", Sets: 1, Ways: 1, LineSize: 64})
 	m := &FixedMem{Latency: 50}
-	h := &Hierarchy{L2: l2, L2HitLat: 8, Mem: m} // no L1
+	h := NewTwoLevel(nil, l2, 0, 8, m) // no L1
 	h.AccessAt(trace.Access{Addr: 0, Size: 4, Op: trace.Write}, 0)
 	h.AccessAt(trace.Access{Addr: 64, Size: 4, Op: trace.Read}, 0) // evicts dirty 0
 	if h.WritebacksToMem != 1 {
@@ -86,7 +86,7 @@ func TestHierarchyL2WritebackPostsToMemory(t *testing.T) {
 func TestHierarchyBypassSharedRegions(t *testing.T) {
 	h, l1, l2, _ := newHier()
 	const fifoRegion = mem.RegionID(4)
-	h.L1Cacheable = func(r mem.RegionID) bool { return r != fifoRegion }
+	h.PrivCacheable = func(r mem.RegionID) bool { return r != fifoRegion }
 
 	a := trace.Access{Addr: 0x2000, Size: 4, Op: trace.Write, Region: fifoRegion}
 	lat := h.AccessAt(a, 0)
@@ -117,7 +117,7 @@ func TestHierarchyBypassSharedRegions(t *testing.T) {
 
 func TestHierarchyWithoutL1(t *testing.T) {
 	l2 := New(Config{Name: "l2", Sets: 64, Ways: 4, LineSize: 64})
-	h := &Hierarchy{L2: l2, L2HitLat: 8, Mem: &FixedMem{Latency: 50}}
+	h := NewTwoLevel(nil, l2, 0, 8, &FixedMem{Latency: 50})
 	if lat := h.AccessAt(trace.Access{Addr: 0, Size: 4}, 0); lat != 8+50 {
 		t.Errorf("no-L1 cold latency = %d, want 58", lat)
 	}
@@ -145,7 +145,7 @@ func TestHierarchySharedL2BetweenCores(t *testing.T) {
 	l2 := New(Config{Name: "l2", Sets: 64, Ways: 4, LineSize: 64})
 	mk := func() *Hierarchy {
 		l1 := New(Config{Name: "l1", Sets: 8, Ways: 2, LineSize: 64})
-		return &Hierarchy{L1: l1, L2: l2, L1HitLat: 1, L2HitLat: 8, Mem: &FixedMem{Latency: 50}}
+		return NewTwoLevel(l1, l2, 1, 8, &FixedMem{Latency: 50})
 	}
 	h0, h1 := mk(), mk()
 	h0.AccessAt(trace.Access{Addr: 0x4000, Size: 4}, 0)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/cache"
 	"repro/internal/ilp"
 	"repro/internal/mckp"
 	"repro/internal/mem"
@@ -58,6 +59,28 @@ type OptimizeConfig struct {
 	// Workers bounds the concurrency of the profiling repetitions;
 	// 0 = GOMAXPROCS, 1 = sequential.
 	Workers int
+	// ProfileLevel names the shared topology level whose miss curves are
+	// profiled; the empty string selects the partition level. The
+	// allocation budget always comes from the partition level — this
+	// knob only moves the measurement tap.
+	ProfileLevel string
+}
+
+// profileGeom resolves the geometry of the profiled shared level.
+func (oc OptimizeConfig) profileGeom() (cache.Config, error) {
+	t := oc.Platform.Topology
+	if oc.ProfileLevel == "" {
+		return oc.Platform.PartitionGeom(), nil
+	}
+	i := t.Index(oc.ProfileLevel)
+	if i < 0 {
+		return cache.Config{}, fmt.Errorf("core: profile level %q not in topology (levels: %v)", oc.ProfileLevel, t.LevelNames())
+	}
+	l := t.Levels[i]
+	if l.Scope != cache.ScopeShared {
+		return cache.Config{}, fmt.Errorf("core: profile level %q is %s, not shared", oc.ProfileLevel, l.Scope)
+	}
+	return l.Config(), nil
 }
 
 func (oc *OptimizeConfig) fillDefaults() {
@@ -110,11 +133,15 @@ func Profile(w Workload, oc OptimizeConfig) ([]profile.Curve, error) {
 			regionOf[r] = i
 		}
 	}
+	geom, err := oc.profileGeom()
+	if err != nil {
+		return nil, err
+	}
 	pcfg := profile.Config{
 		Sizes:    oc.Sizes,
 		UnitSets: rtos.AllocUnit,
-		Ways:     oc.Platform.L2.Ways,
-		LineSize: oc.Platform.L2.LineSize,
+		Ways:     geom.Ways,
+		LineSize: geom.LineSize,
 		Engine:   oc.Engine,
 	}
 	// Apps are built serially: a workload factory may publish handles to
@@ -135,10 +162,11 @@ func Profile(w Workload, oc OptimizeConfig) ([]profile.Curve, error) {
 			return err
 		}
 		rc := RunConfig{
-			Platform:   oc.Platform,
-			Strategy:   Shared,
-			MaxCycles:  oc.MaxCycles,
-			L2Observer: prof.Observe,
+			Platform:     oc.Platform,
+			Strategy:     Shared,
+			MaxCycles:    oc.MaxCycles,
+			L2Observer:   prof.Observe,
+			ObserveLevel: oc.ProfileLevel,
 		}
 		rc.Platform.Sched.Quantum = int64(float64(oc.Platform.Sched.Quantum) * jitter[r%len(jitter)])
 		if _, err := RunApp(apps[r], rc); err != nil {
@@ -175,7 +203,7 @@ func Optimize(w Workload, oc OptimizeConfig) (*OptimizeResult, error) {
 func OptimizeFromCurves(app *App, curves []profile.Curve, oc OptimizeConfig) (*OptimizeResult, error) {
 	oc.fillDefaults()
 	entities := app.Entities()
-	totalUnits := oc.Platform.L2.Sets / rtos.AllocUnit
+	totalUnits := oc.Platform.PartitionGeom().Sets / rtos.AllocUnit
 	budget := totalUnits - oc.RTUnits
 
 	alloc := make(Allocation)

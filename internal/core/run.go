@@ -34,9 +34,12 @@ type RunConfig struct {
 	MaxCycles uint64     // runaway guard; 0 = 20 G cycles
 	Power     PowerModel // zero value = DefaultPowerModel
 
-	// L2Observer, when non-nil, taps the L2-bound access stream (the
-	// profiler attaches here).
+	// L2Observer, when non-nil, taps the access stream bound for the
+	// observed shared level (the profiler attaches here).
 	L2Observer func(lineAddr uint64, write bool, region mem.RegionID)
+	// ObserveLevel names the shared topology level L2Observer taps; the
+	// empty string selects the partition level (the classic L2).
+	ObserveLevel string
 }
 
 // Result is the outcome of one application execution.
@@ -136,14 +139,18 @@ func RunApp(app *App, rc RunConfig) (*Result, error) {
 			return nil, fmt.Errorf("core: partitioned run of %q without allocation", app.Name)
 		}
 		al = rc.Alloc
-		ca, err := app.BuildCacheAllocation(rc.Platform.L2.Sets, rc.RTUnits, al)
+		ca, err := app.BuildCacheAllocation(rc.Platform.PartitionGeom().Sets, rc.RTUnits, al)
 		if err != nil {
 			return nil, err
 		}
 		pl.InstallAllocation(ca)
 	}
 	if rc.L2Observer != nil {
-		pl.L2().Observer = rc.L2Observer
+		obs, err := pl.SharedCache(rc.ObserveLevel)
+		if err != nil {
+			return nil, fmt.Errorf("core: observing %q: %w", rc.ObserveLevel, err)
+		}
+		obs.Observer = rc.L2Observer
 	}
 	pres, err := pl.Run(rc.MaxCycles)
 	if err != nil {

@@ -15,7 +15,7 @@ func smallPlatform() platform.Config {
 	pc.NumCPUs = 2
 	// A deliberately small L2 (128 KB) so cache effects appear even on
 	// tiny test workloads.
-	pc.L2 = cache.Config{Name: "l2", Sets: 512, Ways: 4, LineSize: 64}
+	pc.Topology = pc.Topology.WithLevel("l2", func(l *cache.LevelSpec) { l.Sets = 512 })
 	return pc
 }
 

@@ -106,8 +106,9 @@ func Composition(cfg Config) (*CompositionResult, *report.Table, error) {
 // fine-grained set partitioning.
 func Granularity(cfg Config) (*report.Table, error) {
 	w := workloads.JPEGCanny(cfg.Scale, nil)
-	totalUnits := cfg.Platform.L2.Sets / 8
-	wayUnits := totalUnits / cfg.Platform.L2.Ways
+	geom := cfg.Platform.PartitionGeom()
+	totalUnits := geom.Sets / 8
+	wayUnits := totalUnits / geom.Ways
 
 	fine, err := core.Optimize(w, cfg.OptimizeConfig())
 	if err != nil {

@@ -173,8 +173,9 @@ func sumExpected(o *scenario.OptimizeSummary) float64 {
 // optimize leg and the column-caching leg (whose failure is the
 // infeasibility the paper points out).
 func GranularityFromResults(cfg Config, fine, coarse *scenario.Result) *report.Table {
-	totalUnits := cfg.Platform.L2.Sets / rtos.AllocUnit
-	wayUnits := totalUnits / cfg.Platform.L2.Ways
+	geom := cfg.Platform.PartitionGeom()
+	totalUnits := geom.Sets / rtos.AllocUnit
+	wayUnits := totalUnits / geom.Ways
 	if coarse.Error != "" {
 		t := &report.Table{
 			Title:   "X2: allocation granularity (set partitioning vs column caching)",

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/parallel"
 	"repro/internal/platform"
@@ -249,7 +250,8 @@ func Headline(cfg Config) (*report.Table, []HeadlineRow, error) {
 		func() error {
 			// MPEG-2 on a 1 MB shared L2.
 			big := cfg.Platform
-			big.L2.Sets *= 2
+			big.Topology = big.Topology.WithLevel(big.Topology.Partition().Name,
+				func(l *cache.LevelSpec) { l.Sets *= 2 })
 			var err error
 			bigRes, err = core.Run(workloads.MPEG2(cfg.Scale, nil), core.RunConfig{Platform: big})
 			return err

@@ -3,6 +3,7 @@ package experiments
 import (
 	"sort"
 
+	"repro/internal/cache"
 	"repro/internal/rtos"
 	"repro/internal/scenario"
 )
@@ -21,6 +22,8 @@ const (
 	ScenarioApp1Migration = "app1-migration"  // X5: study under task migration
 	ScenarioApp1Optimize  = "app1-optimize"   // X2: fine-grained optimize leg (no measured runs)
 	ScenarioApp1Column    = "app1-column"     // X2: column-caching optimize leg (one whole way each)
+	ScenarioL3Shared      = "l3-shared"       // 3-level tree: private L1+L2 under a shared partitioned L3
+	ScenarioClusteredL2   = "clustered-l2"    // 3-level tree: cluster-of-2 L2s under a shared partitioned L3
 )
 
 // baseSpec maps the harness configuration onto the scenario fields every
@@ -61,7 +64,8 @@ func BuiltinScenarios(cfg Config) map[string]scenario.Scenario {
 		s.Workload = "mpeg2"
 		s.Partition = scenario.PartitionShared
 		big := cfg.Platform
-		big.L2.Sets *= 2
+		big.Topology = big.Topology.WithLevel(big.Topology.Partition().Name,
+			func(l *cache.LevelSpec) { l.Sets *= 2 })
 		ps := scenario.PlatformSpecOf(big)
 		s.Platform = &ps
 	})
@@ -93,10 +97,46 @@ func BuiltinScenarios(cfg Config) map[string]scenario.Scenario {
 		s.Partition = scenario.PartitionOptimize
 		// One candidate size: a whole cache way (column caching, the
 		// related-work granularity of experiment X2).
-		totalUnits := cfg.Platform.L2.Sets / rtos.AllocUnit
-		s.Sizes = []int{totalUnits / cfg.Platform.L2.Ways}
+		geom := cfg.Platform.PartitionGeom()
+		totalUnits := geom.Sets / rtos.AllocUnit
+		s.Sizes = []int{totalUnits / geom.Ways}
+	})
+	add(ScenarioL3Shared, func(s *scenario.Scenario) {
+		s.Workload = "2jpeg+canny"
+		pc := cfg.Platform
+		pc.Topology = L3SharedTopology()
+		ps := scenario.PlatformSpecOf(pc)
+		s.Platform = &ps
+	})
+	add(ScenarioClusteredL2, func(s *scenario.Scenario) {
+		s.Workload = "2jpeg+canny"
+		pc := cfg.Platform
+		pc.Topology = ClusteredL2Topology()
+		ps := scenario.PlatformSpecOf(pc)
+		s.Platform = &ps
 	})
 	return defs
+}
+
+// L3SharedTopology is the built-in 3-level tree: the section 5 private
+// L1s, a private 128 KB L2 per CPU, and a shared 1 MB L3 that carries
+// the partition tables and the profiler tap.
+func L3SharedTopology() cache.Topology {
+	return cache.Topology{Levels: []cache.LevelSpec{
+		{Name: "l1", Scope: cache.ScopePrivate, Sets: 64, Ways: 4, LineSize: 64, HitLat: 0},
+		{Name: "l2", Scope: cache.ScopePrivate, Sets: 512, Ways: 4, LineSize: 64, HitLat: 8},
+		{Name: "l3", Scope: cache.ScopeShared, Sets: 4096, Ways: 4, LineSize: 64, HitLat: 24, Partition: true},
+	}}
+}
+
+// ClusteredL2Topology is the built-in clustered tree: private L1s, one
+// 512 KB L2 per cluster of two CPUs, and a shared partitioned 1 MB L3.
+func ClusteredL2Topology() cache.Topology {
+	return cache.Topology{Levels: []cache.LevelSpec{
+		{Name: "l1", Scope: cache.ScopePrivate, Sets: 64, Ways: 4, LineSize: 64, HitLat: 0},
+		{Name: "l2", Scope: cache.ClusterScope(2), Sets: 2048, Ways: 4, LineSize: 64, HitLat: 11},
+		{Name: "l3", Scope: cache.ScopeShared, Sets: 4096, Ways: 4, LineSize: 64, HitLat: 24, Partition: true},
+	}}
 }
 
 // BuiltinScenario resolves one built-in by name.

@@ -25,7 +25,11 @@ func TestPaperGridExpansion(t *testing.T) {
 		if err != nil {
 			t.Fatalf("point %d (%v) does not normalize: %v", p.Index, p.Coords, err)
 		}
-		sets[n.Platform.L2.Sets] = true
+		pc, err := n.Platform.Config()
+		if err != nil {
+			t.Fatalf("point %d: %v", p.Index, err)
+		}
+		sets[pc.PartitionGeom().Sets] = true
 	}
 	// 128..1024 KiB over 4 ways × 64 B lines.
 	for _, want := range []int{512, 1024, 2048, 4096} {

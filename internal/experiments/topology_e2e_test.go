@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/scenario"
+	"repro/internal/sweep"
+)
+
+// studyPhysics strips a result to its engine observables (the spec echo
+// differs by construction across engines).
+func studyPhysics(t *testing.T, r *scenario.Result) string {
+	t.Helper()
+	b, err := json.Marshal(struct {
+		Shared      *scenario.RunSummary      `json:"shared"`
+		Partitioned *scenario.RunSummary      `json:"partitioned"`
+		Optimize    *scenario.OptimizeSummary `json:"optimize"`
+		Compose     *scenario.ComposeSummary  `json:"compose"`
+	}{r.Shared, r.Partitioned, r.Optimize, r.Compose})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestDeepTopologiesEndToEnd runs the new built-in 3-level scenarios —
+// l3-shared (private L1+L2 under a shared partitioned L3) and
+// clustered-l2 (cluster-of-2 L2s) — through the full scenario pipeline,
+// and proves the line-merged engine bit-identical to the word-exact
+// oracle on both trees: the FastSpec/ChargeLine/CommitRepeats contract
+// holds against any leaf, not just the classic private L1.
+func TestDeepTopologiesEndToEnd(t *testing.T) {
+	for _, name := range []string{ScenarioL3Shared, ScenarioClusteredL2} {
+		t.Run(name, func(t *testing.T) {
+			var physics [2]string
+			for i, eng := range []platform.Engine{platform.EngineLineMerged, platform.EngineWordExact} {
+				cfg := Small()
+				cfg.Platform.Engine = eng
+				spec, ok := BuiltinScenario(cfg, name)
+				if !ok {
+					t.Fatalf("no built-in %q", name)
+				}
+				rn := scenario.NewRunner(0)
+				res, err := rn.Run(spec)
+				if err != nil {
+					t.Fatalf("%s (%v): %v", name, eng, err)
+				}
+				if res.Shared == nil || res.Partitioned == nil || res.Optimize == nil || res.Compose == nil {
+					t.Fatalf("%s (%v): incomplete study: %+v", name, eng, res)
+				}
+				if res.Shared.Makespan == 0 || res.Shared.TotalMisses == 0 {
+					t.Fatalf("%s (%v): empty run summary %+v", name, eng, res.Shared)
+				}
+				if res.Partitioned.TotalMisses >= res.Shared.TotalMisses {
+					t.Errorf("%s (%v): partitioning did not reduce misses (%d -> %d)",
+						name, eng, res.Shared.TotalMisses, res.Partitioned.TotalMisses)
+				}
+				physics[i] = studyPhysics(t, res)
+			}
+			if physics[0] != physics[1] {
+				t.Errorf("%s: merged and word engines diverge on the 3-level tree:\n%s\nvs\n%s",
+					name, physics[0], physics[1])
+			}
+		})
+	}
+}
+
+// TestL3LevelPathSweepAxis drives a sweep axis over a level path of the
+// 3-level tree (platform.hierarchy.l3.kb), the end-to-end check of the
+// dynamic axis registry: expansion labels match the simulated geometry
+// and the L2Bytes metric tracks the partition level's capacity.
+func TestL3LevelPathSweepAxis(t *testing.T) {
+	cfg := Small()
+	lookup := func(name string) (scenario.Scenario, bool) { return BuiltinScenario(cfg, name) }
+	sw, err := sweep.Parse([]byte(`{
+		"name": "l3kb",
+		"base": {"base": "l3-shared", "partition": "shared"},
+		"axes": [{"field": "platform.hierarchy.l3.kb", "values": [512, 1024]}]
+	}`), lookup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, total, err := sw.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 2 {
+		t.Fatalf("want 2 points, got %d", total)
+	}
+	for i, wantSets := range []int{2048, 4096} {
+		pc, err := points[i].Scenario.Platform.Config()
+		if err != nil {
+			t.Fatal(err)
+		}
+		j := pc.Topology.Index("l3")
+		if j < 0 || pc.Topology.Levels[j].Sets != wantSets {
+			t.Errorf("point %d: l3 sets = %+v, want %d", i, pc.Topology.Levels, wantSets)
+		}
+		// The leaf levels are untouched by the axis.
+		if pc.Topology.Levels[0].Sets != 64 || pc.Topology.Levels[1].Sets != 512 {
+			t.Errorf("point %d: leaf levels disturbed: %+v", i, pc.Topology.Levels)
+		}
+	}
+	res, err := sweep.Execute(context.Background(), scenario.NewRunner(0), sw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 0 || res.Executed != 2 {
+		t.Fatalf("sweep failed: %+v", res.Points)
+	}
+	for i, wantBytes := range []int{512 << 10, 1024 << 10} {
+		if res.Points[i].Metrics == nil || res.Points[i].Metrics.L2Bytes != wantBytes {
+			t.Errorf("point %d: L2Bytes metric = %+v, want %d", i, res.Points[i].Metrics, wantBytes)
+		}
+	}
+	// An axis naming a level the base topology lacks fails loudly.
+	if _, err := sweep.Parse([]byte(`{
+		"base": {"workload": "mpeg2"},
+		"axes": [{"field": "platform.hierarchy.l9.kb", "values": [512]}]
+	}`), lookup); err == nil || !strings.Contains(err.Error(), `no level "l9"`) {
+		t.Errorf("unknown level axis must fail naming the level, got %v", err)
+	}
+}
+
+// TestProfileLevelSelectsNamedSharedLevel checks the profiler tap moves
+// to any named shared level: profiling the l3-shared tree at "l3" (its
+// partition level, explicitly named) matches the default tap, and the
+// memo keys distinguish the level.
+func TestProfileLevelSelectsNamedSharedLevel(t *testing.T) {
+	cfg := Small()
+	spec, _ := BuiltinScenario(cfg, ScenarioL3Shared)
+	spec.Partition = scenario.PartitionProfile
+
+	named := spec
+	named.ProfileLevel = "l3"
+
+	rn := scenario.NewRunner(0)
+	def, err := rn.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nm, err := rn.Run(named)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(def.Curves)
+	b, _ := json.Marshal(nm.Curves)
+	if string(a) != string(b) {
+		t.Error("explicitly naming the partition level must profile identical curves")
+	}
+	if len(def.Curves) == 0 {
+		t.Fatal("no curves profiled")
+	}
+}

@@ -607,7 +607,7 @@ func TestBulkEnginesBitIdentical(t *testing.T) {
 		as := mem.NewAddressSpace()
 		l1 := cache.New(cache.Config{Name: "l1", Sets: 8, Ways: 2, LineSize: 64})
 		l2 := cache.New(cache.Config{Name: "l2", Sets: 64, Ways: 4, LineSize: 64})
-		h := &cache.Hierarchy{L1: l1, L2: l2, L1HitLat: 1, L2HitLat: 8, Mem: &cache.FixedMem{Latency: 40}}
+		h := cache.NewTwoLevel(l1, l2, 1, 8, &cache.FixedMem{Latency: 40})
 		core := cpu.New(cpu.Config{Name: "p0", BaseCPI: 1.0})
 		p := &Process{
 			Name:      "w",

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/cache"
 	"repro/internal/kpn"
 	"repro/internal/mem"
 	"repro/internal/rtos"
@@ -112,7 +113,7 @@ func snapshot(pl *Platform, res *RunResult) string {
 		s += fmt.Sprintf("core%d: now=%d instr=%d stall=%d switch=%d idle=%d\n",
 			i, core.Now(), core.Instructions(), core.StallCycles(), core.SwitchCycles(), core.IdleCycles())
 	}
-	for i := 0; i < len(pl.l1s); i++ {
+	for i := 0; i < pl.cfg.NumCPUs; i++ {
 		s += fmt.Sprintf("l1.%d=%+v\n", i, pl.L1(i).Stats())
 	}
 	for i, h := range pl.hiers {
@@ -122,7 +123,7 @@ func snapshot(pl *Platform, res *RunResult) string {
 	for id := mem.RegionID(0); int(id) < pl.AddressSpace().NumRegions(); id++ {
 		r := pl.AddressSpace().Region(id)
 		s += fmt.Sprintf("region %s: l2=%+v", r.Name, pl.L2().RegionStats(id))
-		for i := 0; i < len(pl.l1s); i++ {
+		for i := 0; i < pl.cfg.NumCPUs; i++ {
 			s += fmt.Sprintf(" l1.%d=%+v", i, pl.L1(i).RegionStats(id))
 		}
 		s += "\n"
@@ -156,7 +157,7 @@ func runStress(t *testing.T, cfg Config, partitioned bool) string {
 		}
 	}
 	if partitioned {
-		alloc, err := rtos.BuildAllocation(cfg.L2.Sets, 2, entities)
+		alloc, err := rtos.BuildAllocation(cfg.PartitionGeom().Sets, 2, entities)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -193,7 +194,7 @@ func TestEngineDifferentialStress(t *testing.T) {
 			cfg := Default()
 			cfg.NumCPUs = tc.cpus
 			cfg.Sched.Quantum = tc.quantum
-			cfg.L1HitLat = tc.l1HitLat
+			cfg.Topology = cfg.Topology.WithLevel("l1", func(l *cache.LevelSpec) { l.HitLat = tc.l1HitLat })
 			cfg.SwitchTouches = 8
 
 			cfg.Engine = EngineLineMerged

@@ -63,14 +63,18 @@ func ParseEngine(s string) (Engine, error) {
 	return 0, fmt.Errorf("platform: unknown execution engine %q (want merged or word)", s)
 }
 
-// Config describes a tile.
+// Config describes a tile. The memory system is a declarative
+// cache.Topology — a validated tree of cache levels from the CPU-side
+// leaves to the shared root — instead of a hard-wired L1+L2 pair; the
+// classic two-level tile is cache.TwoLevel, which Default uses.
 type Config struct {
-	NumCPUs  int
-	BaseCPI  float64
-	L1       cache.Config
-	L2       cache.Config
-	L1HitLat uint64 // charged on every access (hidden by the pipeline when 0)
-	L2HitLat uint64 // additional stall of an L2 hit
+	NumCPUs int
+	BaseCPI float64
+	// Topology is the memory-hierarchy tree (leaf to root). Its resolved
+	// partition level is where OS partition tables install, where the
+	// profiler taps by default, and whose statistics RunResult.L2
+	// reports.
+	Topology cache.Topology
 	Bus      bus.Config
 	Sched    rtos.SchedConfig
 
@@ -86,20 +90,27 @@ type Config struct {
 
 // Default returns the experimental platform of section 5: four
 // TriMedia-class processors, 512 KB 4-way L2 with 64 B lines, and private
-// 16 KB 4-way L1s.
+// 16 KB 4-way L1s — the compatibility two-level topology.
 func Default() Config {
 	return Config{
-		NumCPUs:  4,
-		BaseCPI:  1.0,
-		L1:       cache.Config{Name: "l1", Sets: 64, Ways: 4, LineSize: 64},
-		L2:       cache.Config{Name: "l2", Sets: 2048, Ways: 4, LineSize: 64},
-		L1HitLat: 0,
-		L2HitLat: 11,
-		Bus:      bus.DefaultConfig(),
-		Sched:    rtos.DefaultSchedConfig(),
+		NumCPUs: 4,
+		BaseCPI: 1.0,
+		Topology: cache.TwoLevel(
+			cache.Config{Name: "l1", Sets: 64, Ways: 4, LineSize: 64},
+			cache.Config{Name: "l2", Sets: 2048, Ways: 4, LineSize: 64},
+			0, 11),
+		Bus:   bus.DefaultConfig(),
+		Sched: rtos.DefaultSchedConfig(),
 
 		SwitchTouches: 32,
 	}
+}
+
+// PartitionGeom returns the geometry of the topology's partition level —
+// the shared cache the allocator budgets, the profiler taps and the
+// partition tables install at.
+func (c Config) PartitionGeom() cache.Config {
+	return c.Topology.Partition().Config()
 }
 
 // Validate checks the configuration.
@@ -110,10 +121,7 @@ func (c Config) Validate() error {
 	if c.BaseCPI <= 0 {
 		return fmt.Errorf("platform: base CPI %v", c.BaseCPI)
 	}
-	if err := c.L1.Validate(); err != nil {
-		return err
-	}
-	if err := c.L2.Validate(); err != nil {
+	if err := c.Topology.Validate(c.NumCPUs); err != nil {
 		return err
 	}
 	if err := c.Bus.Validate(); err != nil {
@@ -130,8 +138,7 @@ type Platform struct {
 	cfg   Config
 	as    *mem.AddressSpace
 	cores []*cpu.Core
-	l1s   []*cache.Cache
-	l2    *cache.Cache
+	tree  *cache.Tree
 	bus   *bus.Bus
 	hiers []*cache.Hierarchy
 	sched *rtos.Scheduler
@@ -150,37 +157,31 @@ func New(cfg Config, as *mem.AddressSpace, rtData, rtBSS *mem.Region) (*Platform
 	}
 	p := &Platform{cfg: cfg, as: as, rtData: rtData, rtBSS: rtBSS}
 	p.bus = bus.New(cfg.Bus)
-	p.l2 = cache.New(cfg.L2)
-	// Precompute L1-cacheability per region: the hierarchy consults it
-	// on every single access, and resolving region + kind through the
-	// address space there is measurable on the hot path. Regions are
-	// all allocated before the platform is assembled, so a dense table
-	// indexed by region id suffices (ids past the table are conservative
-	// bypass, matching the nil-region behavior of the closure it
-	// replaces).
-	l1ok := make([]bool, as.NumRegions())
-	for _, r := range as.Regions() {
-		l1ok[r.ID] = !r.Kind.Shared()
+	tree, err := cfg.Topology.Build(cfg.NumCPUs)
+	if err != nil {
+		return nil, err
 	}
-	l1Cacheable := func(id mem.RegionID) bool {
-		return id >= 0 && int(id) < len(l1ok) && l1ok[id]
+	p.tree = tree
+	// Precompute private-level cacheability per region: the hierarchy
+	// consults it on every single access, and resolving region + kind
+	// through the address space there is measurable on the hot path.
+	// Regions are all allocated before the platform is assembled, so a
+	// dense table indexed by region id suffices (ids past the table are
+	// conservative bypass, matching the nil-region behavior of the
+	// closure it replaces).
+	privOK := make([]bool, as.NumRegions())
+	for _, r := range as.Regions() {
+		privOK[r.ID] = !r.Kind.Shared()
+	}
+	privCacheable := func(id mem.RegionID) bool {
+		return id >= 0 && int(id) < len(privOK) && privOK[id]
 	}
 	for i := 0; i < cfg.NumCPUs; i++ {
 		core := cpu.New(cpu.Config{ID: i, Name: fmt.Sprintf("cpu%d", i), BaseCPI: cfg.BaseCPI})
-		l1cfg := cfg.L1
-		l1cfg.Name = fmt.Sprintf("l1.%d", i)
-		l1 := cache.New(l1cfg)
-		h := &cache.Hierarchy{
-			L1:          l1,
-			L2:          p.l2,
-			L1HitLat:    cfg.L1HitLat,
-			L2HitLat:    cfg.L2HitLat,
-			Mem:         p.bus,
-			L1Cacheable: l1Cacheable,
-			RegionOf:    as.FindID,
-		}
+		h := tree.Hierarchy(i, p.bus)
+		h.PrivCacheable = privCacheable
+		h.RegionOf = as.FindID
 		p.cores = append(p.cores, core)
-		p.l1s = append(p.l1s, l1)
 		p.hiers = append(p.hiers, h)
 	}
 	sched, err := rtos.NewScheduler(cfg.Sched, p.cores)
@@ -194,11 +195,23 @@ func New(cfg Config, as *mem.AddressSpace, rtData, rtBSS *mem.Region) (*Platform
 // Cores returns the tile's processors.
 func (p *Platform) Cores() []*cpu.Core { return p.cores }
 
-// L2 returns the shared cache.
-func (p *Platform) L2() *cache.Cache { return p.l2 }
+// Tree returns the instantiated cache topology.
+func (p *Platform) Tree() *cache.Tree { return p.tree }
 
-// L1 returns processor i's private cache.
-func (p *Platform) L1(i int) *cache.Cache { return p.l1s[i] }
+// L2 returns the partition level's shared cache — the cache the OS
+// partitions, the profiler taps by default and RunResult.L2 reports
+// (named for the classic two-level tile, where it is the L2).
+func (p *Platform) L2() *cache.Cache { return p.tree.PartitionCache() }
+
+// L1 returns processor i's leaf cache when the topology's leaf level is
+// below the first shared level (private or cluster scope), else nil.
+func (p *Platform) L1(i int) *cache.Cache { return p.hiers[i].Leaf() }
+
+// SharedCache resolves a named shared-scope level's cache; the empty
+// name selects the partition level.
+func (p *Platform) SharedCache(name string) (*cache.Cache, error) {
+	return p.tree.SharedCache(name)
+}
 
 // Bus returns the interconnect.
 func (p *Platform) Bus() *bus.Bus { return p.bus }
@@ -217,14 +230,16 @@ func (p *Platform) AddTask(proc *kpn.Process, cpuIdx int) error {
 	return p.sched.Add(proc, cpuIdx)
 }
 
-// InstallAllocation installs an L2 partition table (flushing the L2), or
-// reverts to the conventional shared cache when a is nil.
+// InstallAllocation installs a partition table at the topology's
+// partition level (flushing that cache), or reverts to the conventional
+// shared cache when a is nil.
 func (p *Platform) InstallAllocation(a *rtos.CacheAllocation) {
+	pc := p.tree.PartitionCache()
 	if a == nil {
-		p.l2.SetPartitionTable(nil)
+		pc.SetPartitionTable(nil)
 		return
 	}
-	p.l2.SetPartitionTable(a.Table)
+	pc.SetPartitionTable(a.Table)
 }
 
 // RunResult summarizes one application execution.
@@ -350,7 +365,7 @@ func rtOffset(cursor, size uint64) (uint64, bool) {
 
 func (p *Platform) result() *RunResult {
 	r := &RunResult{
-		L2:       p.l2.Stats(),
+		L2:       p.tree.PartitionCache().Stats(),
 		BusStats: p.bus.Stats(),
 		Switches: p.sched.Switches(),
 	}

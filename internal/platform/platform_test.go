@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/cache"
 	"repro/internal/kpn"
 	"repro/internal/mem"
 	"repro/internal/rtos"
@@ -41,7 +42,7 @@ func TestConfigValidate(t *testing.T) {
 		t.Error("zero CPI accepted")
 	}
 	bad = Default()
-	bad.L2.Sets = 3
+	bad.Topology = bad.Topology.WithLevel("l2", func(l *cache.LevelSpec) { l.Sets = 3 })
 	if err := bad.Validate(); err == nil {
 		t.Error("bad L2 accepted")
 	}

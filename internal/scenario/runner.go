@@ -161,6 +161,7 @@ type profileKey struct {
 	Exec     string       `json:"exec"`
 	Runs     int          `json:"runs"`
 	Engine   string       `json:"engine"`
+	Level    string       `json:"level,omitempty"`
 	Sizes    []int        `json:"sizes"`
 }
 
@@ -168,7 +169,7 @@ func (r *Runner) profileStage(ctx context.Context, s Scenario) ([]profile.Curve,
 	key := hashJSON(profileKey{
 		Workload: s.Workload, Scale: s.Scale, Seed: s.Seed,
 		Platform: *s.Platform, Exec: s.ExecEngine,
-		Runs: s.Runs, Engine: s.ProfileEngine, Sizes: s.Sizes,
+		Runs: s.Runs, Engine: s.ProfileEngine, Level: s.ProfileLevel, Sizes: s.Sizes,
 	})
 	v, err := r.stage(ctx, stageProfile, key, func() (interface{}, error) {
 		w, err := workloads.Build(s.Workload, s.buildConfig())
@@ -198,7 +199,7 @@ func (r *Runner) optimizeStage(ctx context.Context, s Scenario) (*core.OptimizeR
 		profileKey: profileKey{
 			Workload: s.Workload, Scale: s.Scale, Seed: s.Seed,
 			Platform: *s.Platform, Exec: s.ExecEngine,
-			Runs: s.Runs, Engine: s.ProfileEngine, Sizes: s.Sizes,
+			Runs: s.Runs, Engine: s.ProfileEngine, Level: s.ProfileLevel, Sizes: s.Sizes,
 		},
 		Solver: s.Solver,
 	})
@@ -290,7 +291,7 @@ func allocStageKey(s Scenario) string {
 		profileKey: profileKey{
 			Workload: a.Workload, Scale: a.Scale, Seed: a.Seed,
 			Platform: *a.Platform, Exec: a.ExecEngine,
-			Runs: a.Runs, Engine: a.ProfileEngine, Sizes: a.Sizes,
+			Runs: a.Runs, Engine: a.ProfileEngine, Level: a.ProfileLevel, Sizes: a.Sizes,
 		},
 		Solver: a.Solver,
 	})

@@ -20,6 +20,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"strconv"
 
 	"repro/internal/bus"
 	"repro/internal/cache"
@@ -85,6 +86,10 @@ type Scenario struct {
 	Solver string `json:"solver,omitempty"`
 	// ProfileEngine is "stackdist" (default) or "bank".
 	ProfileEngine string `json:"profile_engine,omitempty"`
+	// ProfileLevel names the shared hierarchy level whose miss curves
+	// the profiler measures; empty means the partition level. The
+	// allocation budget always comes from the partition level.
+	ProfileLevel string `json:"profile_level,omitempty"`
 	// ExecEngine is "merged" (default) or "word".
 	ExecEngine string `json:"exec_engine,omitempty"`
 	// Sizes restricts the candidate partition sizes (allocation units,
@@ -101,116 +106,327 @@ type Scenario struct {
 	AllocWorkload string `json:"alloc_workload,omitempty"`
 }
 
-// CacheSpec overrides a cache geometry; zero fields keep the default.
+// CacheSpec overrides a cache geometry. Fields are pointers so that an
+// explicit zero is distinguishable from "field absent": absent (nil)
+// keeps the default, while a deliberate `"ways": 0` is applied verbatim
+// and fails validation naming the field — it no longer silently means
+// "default".
 type CacheSpec struct {
-	Sets     int `json:"sets,omitempty"`
-	Ways     int `json:"ways,omitempty"`
-	LineSize int `json:"line_size,omitempty"`
+	Sets     *int `json:"sets,omitempty"`
+	Ways     *int `json:"ways,omitempty"`
+	LineSize *int `json:"line_size,omitempty"`
 }
 
+func (c CacheSpec) empty() bool { return c.Sets == nil && c.Ways == nil && c.LineSize == nil }
+
 func (c CacheSpec) apply(base cache.Config) cache.Config {
-	if c.Sets != 0 {
-		base.Sets = c.Sets
+	if c.Sets != nil {
+		base.Sets = *c.Sets
 	}
-	if c.Ways != 0 {
-		base.Ways = c.Ways
+	if c.Ways != nil {
+		base.Ways = *c.Ways
 	}
-	if c.LineSize != 0 {
-		base.LineSize = c.LineSize
+	if c.LineSize != nil {
+		base.LineSize = *c.LineSize
 	}
 	return base
 }
 
-// BusSpec overrides the interconnect; zero fields keep the default.
+// BusSpec overrides the interconnect; absent (nil) fields keep the
+// default.
 type BusSpec struct {
-	TransferCycles uint64 `json:"transfer_cycles,omitempty"`
-	MemLatency     uint64 `json:"mem_latency,omitempty"`
-	Banks          int    `json:"banks,omitempty"`
-	LineSize       int    `json:"line_size,omitempty"`
+	TransferCycles *uint64 `json:"transfer_cycles,omitempty"`
+	MemLatency     *uint64 `json:"mem_latency,omitempty"`
+	Banks          *int    `json:"banks,omitempty"`
+	LineSize       *int    `json:"line_size,omitempty"`
 }
 
 func (b BusSpec) apply(base bus.Config) bus.Config {
-	if b.TransferCycles != 0 {
-		base.TransferCycles = b.TransferCycles
+	if b.TransferCycles != nil {
+		base.TransferCycles = *b.TransferCycles
 	}
-	if b.MemLatency != 0 {
-		base.MemLatency = b.MemLatency
+	if b.MemLatency != nil {
+		base.MemLatency = *b.MemLatency
 	}
-	if b.Banks != 0 {
-		base.Banks = b.Banks
+	if b.Banks != nil {
+		base.Banks = *b.Banks
 	}
-	if b.LineSize != 0 {
-		base.LineSize = b.LineSize
+	if b.LineSize != nil {
+		base.LineSize = *b.LineSize
 	}
 	return base
 }
 
-// SchedSpec overrides the scheduler; zero fields keep the default.
+// SchedSpec overrides the scheduler; absent (nil) fields keep the
+// default (an explicit 0 switch_cost is a real zero-cost switch).
 type SchedSpec struct {
-	Quantum    int64  `json:"quantum,omitempty"`
-	SwitchCost uint64 `json:"switch_cost,omitempty"`
+	Quantum    *int64  `json:"quantum,omitempty"`
+	SwitchCost *uint64 `json:"switch_cost,omitempty"`
 }
 
-// PlatformSpec is the serializable platform geometry. Zero-valued fields
+// HierarchyVersion is the current version of the hierarchy block.
+const HierarchyVersion = 1
+
+// LevelSpec is one level of a declarative memory-hierarchy block, leaf
+// to root. Absent fields inherit a seed: a level named "l1" or "l2"
+// seeds from the section 5 default of that name; any other level seeds
+// from the default L1 (private scope) or L2 (shared/cluster scope)
+// geometry. The legacy top-level "l1"/"l2" alias specs overlay the
+// equally-named levels before the level's own fields apply.
+type LevelSpec struct {
+	Name string `json:"name"`
+	// Scope is "private", "shared" or "cluster:N"; it defaults to
+	// "shared" for the last (root) level and "private" otherwise.
+	Scope      string  `json:"scope,omitempty"`
+	Sets       *int    `json:"sets,omitempty"`
+	Ways       *int    `json:"ways,omitempty"`
+	LineSize   *int    `json:"line_size,omitempty"`
+	HitLatency *uint64 `json:"hit_latency,omitempty"`
+	// Partition marks the level partition tables install at and the
+	// profiler taps by default (at most one; default: the root).
+	Partition *bool `json:"partition,omitempty"`
+	// PerCPU overrides individual CPUs' instance geometries on
+	// private-scope levels; keys are decimal CPU indices.
+	PerCPU map[string]CacheSpec `json:"per_cpu,omitempty"`
+}
+
+// HierarchySpec is the versioned memory-hierarchy block of a platform
+// spec: an N-level, topology-aware cache tree replacing the hard-coded
+// L1+L2 pair. When absent, the platform keeps the default two-level
+// tree (overlaid by the legacy l1/l2 alias fields).
+type HierarchySpec struct {
+	Version int         `json:"version,omitempty"`
+	Levels  []LevelSpec `json:"levels"`
+}
+
+// PlatformSpec is the serializable platform geometry. Absent fields
 // keep the section 5 default (platform.Default()), so a custom geometry
-// only names what it changes — e.g. {"num_cpus": 8}.
+// only names what it changes — e.g. {"num_cpus": 8}; explicit zeros are
+// applied verbatim and rejected by validation naming the field.
 type PlatformSpec struct {
-	NumCPUs       int       `json:"num_cpus,omitempty"`
-	BaseCPI       float64   `json:"base_cpi,omitempty"`
-	L1            CacheSpec `json:"l1,omitempty"`
-	L2            CacheSpec `json:"l2,omitempty"`
-	L1HitLatency  uint64    `json:"l1_hit_latency,omitempty"`
-	L2HitLatency  uint64    `json:"l2_hit_latency,omitempty"`
-	Bus           BusSpec   `json:"bus,omitempty"`
-	Sched         SchedSpec `json:"sched,omitempty"`
-	SwitchTouches int       `json:"switch_touches,omitempty"`
+	NumCPUs *int     `json:"num_cpus,omitempty"`
+	BaseCPI *float64 `json:"base_cpi,omitempty"`
+	// Hierarchy declares an arbitrary cache topology; nil keeps the
+	// default private-L1 + shared-L2 pair.
+	Hierarchy *HierarchySpec `json:"hierarchy,omitempty"`
+	// L1/L2 and the hit latencies are the legacy two-level spelling,
+	// kept as aliases: they overlay the hierarchy levels named "l1" and
+	// "l2" (whether from the default tree or a hierarchy block).
+	L1            CacheSpec `json:"l1,omitzero"`
+	L2            CacheSpec `json:"l2,omitzero"`
+	L1HitLatency  *uint64   `json:"l1_hit_latency,omitempty"`
+	L2HitLatency  *uint64   `json:"l2_hit_latency,omitempty"`
+	Bus           BusSpec   `json:"bus,omitzero"`
+	Sched         SchedSpec `json:"sched,omitzero"`
+	SwitchTouches *int      `json:"switch_touches,omitempty"`
+}
+
+// applyAlias overlays the legacy l1/l2 alias fields onto the levels of
+// the same name.
+func (p PlatformSpec) applyAlias(l *cache.LevelSpec) {
+	switch l.Name {
+	case "l1":
+		g := p.L1.apply(l.Config())
+		l.Sets, l.Ways, l.LineSize = g.Sets, g.Ways, g.LineSize
+		if p.L1HitLatency != nil {
+			l.HitLat = *p.L1HitLatency
+		}
+	case "l2":
+		g := p.L2.apply(l.Config())
+		l.Sets, l.Ways, l.LineSize = g.Sets, g.Ways, g.LineSize
+		if p.L2HitLatency != nil {
+			l.HitLat = *p.L2HitLatency
+		}
+	}
+}
+
+// materializeLevel resolves one hierarchy-block level: seed defaults,
+// the level's own fields, then the legacy alias overlay (the aliases
+// are the outermost override, so a spec overlaying a base's canonical —
+// fully explicit — hierarchy block through the l1/l2 shorthand still
+// takes effect).
+func (p PlatformSpec) materializeLevel(ls LevelSpec, last bool, def cache.Topology) (cache.LevelSpec, error) {
+	if ls.Name == "" {
+		return cache.LevelSpec{}, fmt.Errorf("scenario: hierarchy level without a name")
+	}
+	scope := ls.Scope
+	if scope == "" {
+		scope = cache.ScopePrivate
+		if last {
+			scope = cache.ScopeShared
+		}
+	}
+	var seed cache.LevelSpec
+	if i := def.Index(ls.Name); i >= 0 {
+		seed = def.Levels[i]
+	} else if scope == cache.ScopePrivate {
+		seed = def.Levels[0]
+	} else {
+		seed = def.Levels[len(def.Levels)-1]
+	}
+	lvl := cache.LevelSpec{
+		Name: ls.Name, Scope: scope,
+		Sets: seed.Sets, Ways: seed.Ways, LineSize: seed.LineSize, HitLat: seed.HitLat,
+	}
+	if ls.Sets != nil {
+		lvl.Sets = *ls.Sets
+	}
+	if ls.Ways != nil {
+		lvl.Ways = *ls.Ways
+	}
+	if ls.LineSize != nil {
+		lvl.LineSize = *ls.LineSize
+	}
+	if ls.HitLatency != nil {
+		lvl.HitLat = *ls.HitLatency
+	}
+	if ls.Partition != nil {
+		lvl.Partition = *ls.Partition
+	}
+	p.applyAlias(&lvl)
+	if len(ls.PerCPU) > 0 {
+		lvl.PerCPU = make(map[int]cache.Geometry, len(ls.PerCPU))
+		for key, cs := range ls.PerCPU {
+			cpu, err := strconv.Atoi(key)
+			if err != nil || cpu < 0 {
+				return lvl, fmt.Errorf("scenario: level %q: per_cpu key %q is not a CPU index", ls.Name, key)
+			}
+			var g cache.Geometry
+			for _, f := range []struct {
+				name string
+				src  *int
+				dst  *int
+			}{{"sets", cs.Sets, &g.Sets}, {"ways", cs.Ways, &g.Ways}, {"line_size", cs.LineSize, &g.LineSize}} {
+				if f.src == nil {
+					continue
+				}
+				if *f.src <= 0 {
+					return lvl, fmt.Errorf("scenario: level %q per_cpu %d: %s %d not positive", ls.Name, cpu, f.name, *f.src)
+				}
+				*f.dst = *f.src
+			}
+			lvl.PerCPU[cpu] = g
+		}
+	}
+	return lvl, nil
+}
+
+// topology materializes the spec's memory hierarchy.
+func (p PlatformSpec) topology() (cache.Topology, error) {
+	def := platform.Default().Topology
+	if p.Hierarchy == nil {
+		t := def.Clone()
+		for i := range t.Levels {
+			p.applyAlias(&t.Levels[i])
+		}
+		return t, nil
+	}
+	hs := p.Hierarchy
+	if hs.Version != 0 && hs.Version != HierarchyVersion {
+		return cache.Topology{}, fmt.Errorf("scenario: unsupported hierarchy version %d (current %d)", hs.Version, HierarchyVersion)
+	}
+	if len(hs.Levels) == 0 {
+		return cache.Topology{}, fmt.Errorf("scenario: hierarchy block declares no levels")
+	}
+	var t cache.Topology
+	for i, ls := range hs.Levels {
+		lvl, err := p.materializeLevel(ls, i == len(hs.Levels)-1, def)
+		if err != nil {
+			return t, err
+		}
+		t.Levels = append(t.Levels, lvl)
+	}
+	// A legacy alias that names no level of the block would silently
+	// vanish — and sweep axes built on the aliases would label points
+	// with geometry that never ran. Fail loudly instead.
+	if (!p.L1.empty() || p.L1HitLatency != nil) && t.Index("l1") < 0 {
+		return t, fmt.Errorf("scenario: l1 alias override set, but the hierarchy block has no level named \"l1\" (levels: %v)", t.LevelNames())
+	}
+	if (!p.L2.empty() || p.L2HitLatency != nil) && t.Index("l2") < 0 {
+		return t, fmt.Errorf("scenario: l2 alias override set, but the hierarchy block has no level named \"l2\" (levels: %v)", t.LevelNames())
+	}
+	return t, nil
 }
 
 // Config materializes the spec over the default tile.
-func (p PlatformSpec) Config() platform.Config {
+func (p PlatformSpec) Config() (platform.Config, error) {
 	pc := platform.Default()
-	if p.NumCPUs != 0 {
-		pc.NumCPUs = p.NumCPUs
+	if p.NumCPUs != nil {
+		pc.NumCPUs = *p.NumCPUs
 	}
-	if p.BaseCPI != 0 {
-		pc.BaseCPI = p.BaseCPI
+	if p.BaseCPI != nil {
+		pc.BaseCPI = *p.BaseCPI
 	}
-	pc.L1 = p.L1.apply(pc.L1)
-	pc.L2 = p.L2.apply(pc.L2)
-	if p.L1HitLatency != 0 {
-		pc.L1HitLat = p.L1HitLatency
+	topo, err := p.topology()
+	if err != nil {
+		return pc, err
 	}
-	if p.L2HitLatency != 0 {
-		pc.L2HitLat = p.L2HitLatency
-	}
+	pc.Topology = topo
 	pc.Bus = p.Bus.apply(pc.Bus)
-	if p.Sched.Quantum != 0 {
-		pc.Sched.Quantum = p.Sched.Quantum
+	if p.Sched.Quantum != nil {
+		pc.Sched.Quantum = *p.Sched.Quantum
 	}
-	if p.Sched.SwitchCost != 0 {
-		pc.Sched.SwitchCost = p.Sched.SwitchCost
+	if p.Sched.SwitchCost != nil {
+		pc.Sched.SwitchCost = *p.Sched.SwitchCost
 	}
-	if p.SwitchTouches != 0 {
-		pc.SwitchTouches = p.SwitchTouches
+	if p.SwitchTouches != nil {
+		pc.SwitchTouches = *p.SwitchTouches
 	}
-	return pc
+	return pc, nil
 }
 
+func iptr(v int) *int          { return &v }
+func u64ptr(v uint64) *uint64  { return &v }
+func f64ptr(v float64) *float64 { return &v }
+func bptr(v bool) *bool        { return &v }
+
 // PlatformSpecOf captures an assembled platform.Config as a spec — the
-// inverse of PlatformSpec.Config for configurations reachable from the
-// default (every field is written explicitly, so the round trip is
-// exact whenever no meaningful field is zero while its default is not).
+// inverse of PlatformSpec.Config. Every field is written explicitly
+// (the topology as a fully-resolved hierarchy block), so the round trip
+// is exact for any valid configuration; this is the canonical form
+// Normalize stores and the content addresses hash.
 func PlatformSpecOf(pc platform.Config) PlatformSpec {
+	hs := &HierarchySpec{Version: HierarchyVersion}
+	for _, l := range pc.Topology.Levels {
+		ls := LevelSpec{
+			Name:       l.Name,
+			Scope:      l.Scope,
+			Sets:       iptr(l.Sets),
+			Ways:       iptr(l.Ways),
+			LineSize:   iptr(l.LineSize),
+			HitLatency: u64ptr(l.HitLat),
+			Partition:  bptr(l.Partition),
+		}
+		if len(l.PerCPU) > 0 {
+			ls.PerCPU = make(map[string]CacheSpec, len(l.PerCPU))
+			for cpu, g := range l.PerCPU {
+				var cs CacheSpec
+				if g.Sets != 0 {
+					cs.Sets = iptr(g.Sets)
+				}
+				if g.Ways != 0 {
+					cs.Ways = iptr(g.Ways)
+				}
+				if g.LineSize != 0 {
+					cs.LineSize = iptr(g.LineSize)
+				}
+				ls.PerCPU[strconv.Itoa(cpu)] = cs
+			}
+		}
+		hs.Levels = append(hs.Levels, ls)
+	}
 	return PlatformSpec{
-		NumCPUs:       pc.NumCPUs,
-		BaseCPI:       pc.BaseCPI,
-		L1:            CacheSpec{Sets: pc.L1.Sets, Ways: pc.L1.Ways, LineSize: pc.L1.LineSize},
-		L2:            CacheSpec{Sets: pc.L2.Sets, Ways: pc.L2.Ways, LineSize: pc.L2.LineSize},
-		L1HitLatency:  pc.L1HitLat,
-		L2HitLatency:  pc.L2HitLat,
-		Bus:           BusSpec{TransferCycles: pc.Bus.TransferCycles, MemLatency: pc.Bus.MemLatency, Banks: pc.Bus.Banks, LineSize: pc.Bus.LineSize},
-		Sched:         SchedSpec{Quantum: pc.Sched.Quantum, SwitchCost: pc.Sched.SwitchCost},
-		SwitchTouches: pc.SwitchTouches,
+		NumCPUs:   iptr(pc.NumCPUs),
+		BaseCPI:   f64ptr(pc.BaseCPI),
+		Hierarchy: hs,
+		Bus: BusSpec{
+			TransferCycles: u64ptr(pc.Bus.TransferCycles),
+			MemLatency:     u64ptr(pc.Bus.MemLatency),
+			Banks:          iptr(pc.Bus.Banks),
+			LineSize:       iptr(pc.Bus.LineSize),
+		},
+		Sched:         SchedSpec{Quantum: &pc.Sched.Quantum, SwitchCost: &pc.Sched.SwitchCost},
+		SwitchTouches: iptr(pc.SwitchTouches),
 	}
 }
 
@@ -301,7 +517,11 @@ func (s Scenario) Normalize() (Scenario, error) {
 	if n.Platform == nil {
 		n.Platform = &PlatformSpec{}
 	}
-	full := PlatformSpecOf(n.Platform.Config())
+	base, err := n.Platform.Config()
+	if err != nil {
+		return n, err
+	}
+	full := PlatformSpecOf(base)
 	n.Platform = &full
 	pc, err := n.platformConfig()
 	if err != nil {
@@ -309,6 +529,15 @@ func (s Scenario) Normalize() (Scenario, error) {
 	}
 	if err := pc.Validate(); err != nil {
 		return n, err
+	}
+	if n.ProfileLevel != "" {
+		i := pc.Topology.Index(n.ProfileLevel)
+		if i < 0 {
+			return n, fmt.Errorf("scenario: profile_level %q not in the hierarchy (levels: %v)", n.ProfileLevel, pc.Topology.LevelNames())
+		}
+		if pc.Topology.Levels[i].Scope != cache.ScopeShared {
+			return n, fmt.Errorf("scenario: profile_level %q is %s, not shared", n.ProfileLevel, pc.Topology.Levels[i].Scope)
+		}
 	}
 	return n, nil
 }
@@ -439,7 +668,10 @@ func (s Scenario) buildConfig() workloads.BuildConfig {
 
 // platformConfig materializes the platform with the exec engine set.
 func (s Scenario) platformConfig() (platform.Config, error) {
-	pc := s.Platform.Config()
+	pc, err := s.Platform.Config()
+	if err != nil {
+		return pc, err
+	}
 	ee, err := platform.ParseEngine(s.ExecEngine)
 	if err != nil {
 		return pc, err
@@ -464,11 +696,12 @@ func (s Scenario) optimizeConfig(workers int) (core.OptimizeConfig, error) {
 		return core.OptimizeConfig{}, err
 	}
 	return core.OptimizeConfig{
-		Platform: pc,
-		Sizes:    s.Sizes,
-		Runs:     s.Runs,
-		Solver:   solver,
-		Engine:   pe,
-		Workers:  workers,
+		Platform:     pc,
+		Sizes:        s.Sizes,
+		Runs:         s.Runs,
+		Solver:       solver,
+		Engine:       pe,
+		Workers:      workers,
+		ProfileLevel: s.ProfileLevel,
 	}, nil
 }

@@ -19,9 +19,9 @@ func TestScenarioJSONGolden(t *testing.T) {
 		Runs:      3,
 		Solver:    "ilp",
 		Sizes:     []int{1, 2, 4},
-		Platform:  &PlatformSpec{NumCPUs: 8, L2: CacheSpec{Sets: 4096}},
+		Platform:  &PlatformSpec{NumCPUs: iptr(8), L2: CacheSpec{Sets: iptr(4096)}},
 	}
-	const golden = `{"name":"custom-8cpu","workload":"mpeg2","scale":"small","seed":7,"platform":{"num_cpus":8,"l1":{},"l2":{"sets":4096},"bus":{},"sched":{}},"partition":"optimized","runs":3,"solver":"ilp","sizes":[1,2,4]}`
+	const golden = `{"name":"custom-8cpu","workload":"mpeg2","scale":"small","seed":7,"platform":{"num_cpus":8,"l2":{"sets":4096}},"partition":"optimized","runs":3,"solver":"ilp","sizes":[1,2,4]}`
 	raw, err := json.Marshal(spec)
 	if err != nil {
 		t.Fatal(err)
@@ -52,8 +52,17 @@ func TestMinimalSpecNormalizes(t *testing.T) {
 	if len(n.Sizes) != 8 || n.Sizes[0] != 1 || n.Sizes[7] != 128 {
 		t.Errorf("unexpected default sizes: %v", n.Sizes)
 	}
-	if n.Platform == nil || n.Platform.NumCPUs != 4 || n.Platform.L2.Sets != 2048 {
+	if n.Platform == nil || n.Platform.NumCPUs == nil || *n.Platform.NumCPUs != 4 {
 		t.Errorf("unexpected default platform: %+v", n.Platform)
+	}
+	// The canonical form carries a fully explicit hierarchy block: the
+	// default two-level tree with a 2048-set shared partitioned l2.
+	h := n.Platform.Hierarchy
+	if h == nil || len(h.Levels) != 2 || h.Levels[0].Name != "l1" || h.Levels[1].Name != "l2" {
+		t.Fatalf("unexpected canonical hierarchy: %+v", h)
+	}
+	if *h.Levels[1].Sets != 2048 || h.Levels[1].Scope != "shared" || !*h.Levels[1].Partition {
+		t.Errorf("unexpected canonical l2 level: %+v", h.Levels[1])
 	}
 }
 
@@ -78,7 +87,10 @@ func TestInvalidSpecs(t *testing.T) {
 		{"unresolved base", Scenario{Workload: "mpeg2", Base: "app1"}, "unresolved base"},
 		{"alloc workload with wrong policy", Scenario{Workload: "mpeg2", Partition: PartitionShared, AllocWorkload: "mpeg2"}, "alloc_workload"},
 		{"unknown alloc workload", Scenario{Workload: "mpeg2", AllocWorkload: "nope"}, `unknown alloc_workload "nope"`},
-		{"bad platform", Scenario{Workload: "mpeg2", Platform: &PlatformSpec{L2: CacheSpec{Sets: 3}}}, "not a positive power of two"},
+		{"bad platform", Scenario{Workload: "mpeg2", Platform: &PlatformSpec{L2: CacheSpec{Sets: iptr(3)}}}, "not a positive power of two"},
+		{"explicit zero ways", Scenario{Workload: "mpeg2", Platform: &PlatformSpec{L2: CacheSpec{Ways: iptr(0)}}}, "ways 0"},
+		{"bad profile level", Scenario{Workload: "mpeg2", ProfileLevel: "l9"}, `profile_level "l9"`},
+		{"non-shared profile level", Scenario{Workload: "mpeg2", ProfileLevel: "l1"}, "not shared"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -123,7 +135,7 @@ func TestContentKey(t *testing.T) {
 		"workload": func(s *Scenario) { s.Workload = "jpeg1-only" },
 		"solver":   func(s *Scenario) { s.Solver = "ilp" },
 		"exec":     func(s *Scenario) { s.ExecEngine = "word" },
-		"platform": func(s *Scenario) { s.Platform = &PlatformSpec{NumCPUs: 8} },
+		"platform": func(s *Scenario) { s.Platform = &PlatformSpec{NumCPUs: iptr(8)} },
 		"runs":     func(s *Scenario) { s.Runs = 5 },
 		"policy":   func(s *Scenario) { s.Partition = PartitionShared },
 	} {
@@ -148,7 +160,7 @@ func TestResolveOverlay(t *testing.T) {
 		Scale:    "paper",
 		Runs:     2,
 		Solver:   "mckp",
-		Platform: &PlatformSpec{NumCPUs: 4},
+		Platform: &PlatformSpec{NumCPUs: iptr(4)},
 	}
 	lookup := func(name string) (Scenario, bool) {
 		if name == "app1" {
@@ -164,7 +176,7 @@ func TestResolveOverlay(t *testing.T) {
 	if got.Workload != "2jpeg+canny" || got.Runs != 2 {
 		t.Errorf("omitted fields must inherit the base: %+v", got)
 	}
-	if got.Scale != "small" || got.Solver != "ilp" || got.Platform.NumCPUs != 8 {
+	if got.Scale != "small" || got.Solver != "ilp" || *got.Platform.NumCPUs != 8 {
 		t.Errorf("present fields must override the base: %+v", got)
 	}
 	if got.Base != "" {
@@ -191,16 +203,25 @@ func TestResolveOverlay(t *testing.T) {
 // TestPlatformSpecRoundTrip checks PlatformSpecOf ∘ Config is the
 // identity on the default-reachable configurations the specs use.
 func TestPlatformSpecRoundTrip(t *testing.T) {
-	spec := PlatformSpec{NumCPUs: 8, L2: CacheSpec{Sets: 4096}, Sched: SchedSpec{Quantum: 10_000}}
-	pc := spec.Config()
-	if pc.NumCPUs != 8 || pc.L2.Sets != 4096 || pc.Sched.Quantum != 10_000 {
+	q := int64(10_000)
+	spec := PlatformSpec{NumCPUs: iptr(8), L2: CacheSpec{Sets: iptr(4096)}, Sched: SchedSpec{Quantum: &q}}
+	pc, err := spec.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	geom := pc.PartitionGeom()
+	if pc.NumCPUs != 8 || geom.Sets != 4096 || pc.Sched.Quantum != 10_000 {
 		t.Fatalf("overrides not applied: %+v", pc)
 	}
-	if pc.L1.Sets != 64 || pc.L2.Ways != 4 || pc.Bus.Banks != 4 {
+	if pc.Topology.Levels[0].Sets != 64 || geom.Ways != 4 || pc.Bus.Banks != 4 {
 		t.Fatalf("defaults not kept: %+v", pc)
 	}
 	back := PlatformSpecOf(pc)
-	if back.Config() != pc {
-		t.Errorf("PlatformSpecOf round trip drifted:\n got %+v\nwant %+v", back.Config(), pc)
+	pc2, err := back.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(pc2, pc) {
+		t.Errorf("PlatformSpecOf round trip drifted:\n got %+v\nwant %+v", pc2, pc)
 	}
 }

@@ -1,0 +1,142 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/scenario"
+)
+
+// TestBatchRunsDeepTopologyBuiltins checks the new hierarchy shapes are
+// servable: a batch overlaying the l3-shared and clustered-l2 built-ins
+// streams complete result envelopes with no errors.
+func TestBatchRunsDeepTopologyBuiltins(t *testing.T) {
+	srv := testServer(t)
+	body := `{"scenarios":[{"base":"l3-shared","partition":"shared"},{"base":"clustered-l2","partition":"shared"}]}`
+	resp, err := http.Post(srv.URL+"/v1/batch", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	n := 0
+	for sc.Scan() {
+		var env struct {
+			Kind    string          `json:"kind"`
+			Payload scenario.Result `json:"payload"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &env); err != nil {
+			t.Fatalf("line %d: %v", n, err)
+		}
+		if env.Kind != scenario.ResultKind {
+			t.Fatalf("line %d: kind %q", n, env.Kind)
+		}
+		if env.Payload.Error != "" {
+			t.Fatalf("scenario %d failed: %s", n, env.Payload.Error)
+		}
+		if env.Payload.Shared == nil || env.Payload.Shared.TotalMisses == 0 {
+			t.Fatalf("scenario %d: empty shared summary", n)
+		}
+		h := env.Payload.Scenario.Platform.Hierarchy
+		if h == nil || len(h.Levels) != 3 || h.Levels[2].Name != "l3" {
+			t.Fatalf("scenario %d: result does not echo the 3-level hierarchy: %+v", n, h)
+		}
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("want 2 envelopes, got %d", n)
+	}
+}
+
+// TestSweepOverLevelPath checks POST /v1/sweep accepts an axis over a
+// hierarchy level path of a 3-level base.
+func TestSweepOverLevelPath(t *testing.T) {
+	srv := testServer(t)
+	body := `{
+		"name": "l3kb",
+		"base": {"base": "l3-shared", "partition": "shared"},
+		"axes": [{"field": "platform.hierarchy.l3.kb", "values": [512, 1024]}]
+	}`
+	resp, err := http.Post(srv.URL+"/v1/sweep", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep: %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var kinds []string
+	var aggregate json.RawMessage
+	for sc.Scan() {
+		var env struct {
+			Kind    string          `json:"kind"`
+			Payload json.RawMessage `json:"payload"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &env); err != nil {
+			t.Fatal(err)
+		}
+		kinds = append(kinds, env.Kind)
+		if env.Kind == "sweep.result" {
+			aggregate = env.Payload
+		}
+	}
+	if len(kinds) != 3 || kinds[0] != "sweep.point" || kinds[1] != "sweep.point" || kinds[2] != "sweep.result" {
+		t.Fatalf("stream shape: %v", kinds)
+	}
+	var res struct {
+		Executed int `json:"executed"`
+		Failed   int `json:"failed"`
+		Points   []struct {
+			Metrics *struct {
+				L2Bytes int `json:"l2_bytes"`
+			} `json:"metrics"`
+		} `json:"points"`
+	}
+	if err := json.Unmarshal(aggregate, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Executed != 2 || res.Failed != 0 {
+		t.Fatalf("aggregate: %+v", res)
+	}
+	for i, want := range []int{512 << 10, 1024 << 10} {
+		if res.Points[i].Metrics == nil || res.Points[i].Metrics.L2Bytes != want {
+			t.Errorf("point %d capacity metric: %+v, want %d", i, res.Points[i].Metrics, want)
+		}
+	}
+}
+
+// TestScenariosEndpointListsDeepShapes checks the listing surface
+// carries the new built-ins.
+func TestScenariosEndpointListsDeepShapes(t *testing.T) {
+	srv := testServer(t)
+	resp, err := http.Get(srv.URL + "/v1/scenarios")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var env struct {
+		Payload map[string]scenario.Scenario `json:"payload"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{experiments.ScenarioL3Shared, experiments.ScenarioClusteredL2} {
+		s, ok := env.Payload[name]
+		if !ok {
+			t.Fatalf("listing misses %q", name)
+		}
+		if s.Platform == nil || s.Platform.Hierarchy == nil || len(s.Platform.Hierarchy.Levels) != 3 {
+			t.Errorf("%q does not carry its hierarchy block: %+v", name, s.Platform)
+		}
+	}
+}

@@ -87,7 +87,10 @@ func metricsOf(r *scenario.Result) *Metrics {
 		MissRatio:  r.MissRatio(),
 	}
 	if p := r.Scenario.Platform; p != nil {
-		m.L2Bytes = p.L2.Sets * p.L2.Ways * p.L2.LineSize
+		if pc, err := p.Config(); err == nil {
+			geom := pc.PartitionGeom()
+			m.L2Bytes = geom.SizeBytes()
+		}
 	}
 	return m
 }

@@ -140,34 +140,37 @@ func (sw Sweep) Validate() error {
 	zipLen := map[string]int{}
 	labels := map[string]bool{}
 	targetAxis := map[string]string{}
-	kbSeen := false
+	kbSeen := map[string]bool{} // per hierarchy level
 	for i, ax := range sw.Axes {
 		if labels[ax.label()] {
 			return fmt.Errorf("sweep: duplicate axis %q (give one a distinct name)", ax.label())
 		}
 		labels[ax.label()] = true
-		fd, ok := fields[ax.Field]
+		fd, ok := lookupField(ax.Field)
 		if !ok {
 			return fmt.Errorf("sweep: axis %d: unknown field %q (sweepable: %v)", i, ax.Field, Fields())
 		}
 		// Two axes writing the same scenario path would overwrite each
 		// other in declaration order, leaving the earlier axis's
 		// coordinate labels lying about the simulated spec — this also
-		// catches platform.l2.kb vs platform.l2.sets, which both set the
-		// set count.
+		// catches a level's kb vs sets axes (both set the set count) and
+		// the legacy platform.l2.* spellings vs platform.hierarchy.l2.*.
 		if prev, clash := targetAxis[targetOf(ax.Field)]; clash {
 			return fmt.Errorf("sweep: axes %q and %q both set %s", prev, ax.label(), targetOf(ax.Field))
 		}
 		targetAxis[targetOf(ax.Field)] = ax.label()
-		// platform.l2.kb derives its set count from the associativity and
-		// line size in effect when it applies (declaration order), so a
-		// later ways/line_size axis would silently change the capacity a
-		// point is labeled with — reject the ordering outright.
-		if kbSeen && (ax.Field == "platform.l2.ways" || ax.Field == "platform.l2.line_size") {
-			return fmt.Errorf("sweep: axis %d (%s): list ways/line_size axes before platform.l2.kb (the capacity derives its set count from them)", i, ax.label())
-		}
-		if ax.Field == "platform.l2.kb" {
-			kbSeen = true
+		// A kb axis derives its level's set count from the associativity
+		// and line size in effect when it applies (declaration order), so
+		// a later ways/line_size axis on the same level would silently
+		// change the capacity a point is labeled with — reject the
+		// ordering outright.
+		if level, prop, ok := levelProp(ax.Field); ok {
+			if kbSeen[level] && (prop == "ways" || prop == "line_size") {
+				return fmt.Errorf("sweep: axis %d (%s): list ways/line_size axes before the %s.kb axis (the capacity derives its set count from them)", i, ax.label(), level)
+			}
+			if prop == "kb" {
+				kbSeen[level] = true
+			}
 		}
 		if ax.Field == "workload" {
 			sweepsWorkload = true
@@ -270,7 +273,11 @@ func (ax Axis) valueLabel(k int) string {
 
 // apply sets the axis's k-th value on the scenario.
 func (ax Axis) apply(s *scenario.Scenario, k int) error {
-	return fields[ax.Field].apply(s, ax.value(k))
+	fd, ok := lookupField(ax.Field)
+	if !ok {
+		return fmt.Errorf("unknown field %q", ax.Field)
+	}
+	return fd.apply(s, ax.value(k))
 }
 
 // Coord is one axis coordinate of a point.

@@ -9,6 +9,14 @@ import (
 	"repro/internal/scenario"
 )
 
+// deref unwraps an optional int spec field (nil → 0).
+func deref(p *int) int {
+	if p == nil {
+		return 0
+	}
+	return *p
+}
+
 // mustParse parses a spec with no base lookup.
 func mustParse(t *testing.T, raw string) Sweep {
 	t.Helper()
@@ -55,10 +63,10 @@ func TestExpandGolden(t *testing.T) {
 	}
 	// The axis values actually landed on the scenarios.
 	p3 := points[3].Scenario
-	if p3.Platform == nil || p3.Platform.L2.Sets != 2048 || p3.Seed != 1 || !p3.Migration {
+	if p3.Platform == nil || deref(p3.Platform.L2.Sets) != 2048 || p3.Seed != 1 || !p3.Migration {
 		t.Errorf("point 3 scenario wrong: %+v", p3)
 	}
-	if points[0].Scenario.Platform.L2.Sets != 1024 {
+	if deref(points[0].Scenario.Platform.L2.Sets) != 1024 {
 		t.Errorf("point 0 scenario wrong: %+v", points[0].Scenario)
 	}
 	if p3.Workload != "mpeg2" || p3.Scale != "small" {
@@ -74,7 +82,8 @@ func TestExpandGolden(t *testing.T) {
 // scenario's Platform is a pointer, so every point must get its own
 // copy before a geometry axis writes through it.
 func TestExpandDoesNotAliasPlatform(t *testing.T) {
-	base := scenario.Scenario{Workload: "mpeg2", Platform: &scenario.PlatformSpec{NumCPUs: 8}}
+	eight := 8
+	base := scenario.Scenario{Workload: "mpeg2", Platform: &scenario.PlatformSpec{NumCPUs: &eight}}
 	sw := Sweep{
 		Name: "alias",
 		Base: base,
@@ -87,14 +96,14 @@ func TestExpandDoesNotAliasPlatform(t *testing.T) {
 	if points[0].Scenario.Platform == points[1].Scenario.Platform {
 		t.Fatal("points share one PlatformSpec")
 	}
-	if points[0].Scenario.Platform.L2.Sets != 1024 || points[1].Scenario.Platform.L2.Sets != 2048 {
+	if deref(points[0].Scenario.Platform.L2.Sets) != 1024 || deref(points[1].Scenario.Platform.L2.Sets) != 2048 {
 		t.Errorf("geometry values clobbered each other: %+v vs %+v",
 			points[0].Scenario.Platform, points[1].Scenario.Platform)
 	}
-	if base.Platform.L2.Sets != 0 {
+	if base.Platform.L2.Sets != nil {
 		t.Errorf("expansion mutated the base platform: %+v", base.Platform)
 	}
-	if points[0].Scenario.Platform.NumCPUs != 8 {
+	if deref(points[0].Scenario.Platform.NumCPUs) != 8 {
 		t.Error("base platform overrides must carry into points")
 	}
 }
@@ -112,6 +121,17 @@ func rawVals(t *testing.T, vs ...interface{}) []json.RawMessage {
 	return out
 }
 
+// kbSets reads the effective partition-level set count of a point's
+// scenario (the kb axis writes the hierarchy block).
+func kbSets(t *testing.T, s scenario.Scenario) int {
+	t.Helper()
+	pc, err := s.Platform.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pc.PartitionGeom().Sets
+}
+
 // TestL2KBAxis checks the capacity convenience derives the set count
 // from the effective associativity and line size.
 func TestL2KBAxis(t *testing.T) {
@@ -124,9 +144,9 @@ func TestL2KBAxis(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Section 5 defaults: 4 ways × 64 B lines → 256 B per set of ways.
-	if points[0].Scenario.Platform.L2.Sets != 1024 || points[1].Scenario.Platform.L2.Sets != 4096 {
+	if kbSets(t, points[0].Scenario) != 1024 || kbSets(t, points[1].Scenario) != 4096 {
 		t.Errorf("kb→sets derivation wrong: %d, %d",
-			points[0].Scenario.Platform.L2.Sets, points[1].Scenario.Platform.L2.Sets)
+			kbSets(t, points[0].Scenario), kbSets(t, points[1].Scenario))
 	}
 
 	// A ways axis declared BEFORE kb participates in the derivation: the
@@ -140,9 +160,9 @@ func TestL2KBAxis(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if points[0].Scenario.Platform.L2.Sets != 2048 || points[1].Scenario.Platform.L2.Sets != 1024 {
+	if kbSets(t, points[0].Scenario) != 2048 || kbSets(t, points[1].Scenario) != 1024 {
 		t.Errorf("kb must derive from the swept ways: %d, %d",
-			points[0].Scenario.Platform.L2.Sets, points[1].Scenario.Platform.L2.Sets)
+			kbSets(t, points[0].Scenario), kbSets(t, points[1].Scenario))
 	}
 
 	// Declared AFTER kb, a geometry axis would silently change the
@@ -151,7 +171,7 @@ func TestL2KBAxis(t *testing.T) {
 		"base": {"workload": "mpeg2"},
 		"axes": [{"field": "platform.l2.kb", "values": [256]},
 		         {"field": "platform.l2.ways", "values": [2, 4]}]
-	}`), nil); err == nil || !strings.Contains(err.Error(), "before platform.l2.kb") {
+	}`), nil); err == nil || !strings.Contains(err.Error(), "before the l2.kb axis") {
 		t.Errorf("ways-after-kb must be rejected, got %v", err)
 	}
 }
@@ -214,8 +234,8 @@ func TestParseRejections(t *testing.T) {
 		{"zip length mismatch", `{"base":{"workload":"mpeg2"},"axes":[{"field":"seed","values":[1,2],"zip":"z"},{"field":"migration","values":[true],"zip":"z"}]}`, "different lengths"},
 		{"duplicate axis", `{"base":{"workload":"mpeg2"},"axes":[{"field":"seed","values":[1]},{"field":"seed","values":[2]}]}`, "duplicate axis"},
 		{"same field twice under different names", `{"base":{"workload":"mpeg2"},"axes":[{"name":"a","field":"seed","values":[1]},{"name":"b","field":"seed","values":[2]}]}`, `both set seed`},
-		{"kb then sets", `{"base":{"workload":"mpeg2"},"axes":[{"field":"platform.l2.kb","values":[512]},{"name":"sets","field":"platform.l2.sets","values":[256,2048]}]}`, "both set platform.l2.sets"},
-		{"sets then kb", `{"base":{"workload":"mpeg2"},"axes":[{"name":"sets","field":"platform.l2.sets","values":[256]},{"field":"platform.l2.kb","values":[512]}]}`, "both set platform.l2.sets"},
+		{"kb then sets", `{"base":{"workload":"mpeg2"},"axes":[{"field":"platform.l2.kb","values":[512]},{"name":"sets","field":"platform.l2.sets","values":[256,2048]}]}`, "both set platform.hierarchy.l2.sets"},
+		{"sets then kb", `{"base":{"workload":"mpeg2"},"axes":[{"name":"sets","field":"platform.l2.sets","values":[256]},{"field":"platform.l2.kb","values":[512]}]}`, "both set platform.hierarchy.l2.sets"},
 		{"no workload anywhere", `{"axes":[{"field":"seed","values":[1]}]}`, "names no workload"},
 		{"bad pareto metric", `{"base":{"workload":"mpeg2"},"axes":[{"field":"seed","values":[1]}],"pareto":[{"x":"latency","y":"makespan"}]}`, `unknown pareto metric "latency"`},
 		{"future version", `{"spec_version":9,"base":{"workload":"mpeg2"},"axes":[{"field":"seed","values":[1]}]}`, "unsupported spec_version"},

@@ -3,6 +3,7 @@ package repro
 import (
 	"testing"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/workloads"
@@ -73,7 +74,7 @@ func TestPaperShape(t *testing.T) {
 	// The 1 MB shared L2 approaches the partitioned 512 KB system for
 	// MPEG-2 (paper: 0.6% vs 0.8% miss rate).
 	big := cfg.Platform
-	big.L2.Sets *= 2
+	big.Topology = big.Topology.WithLevel("l2", func(l *cache.LevelSpec) { l.Sets *= 2 })
 	bigRes, err := core.Run(workloads.MPEG2(cfg.Scale, nil), core.RunConfig{Platform: big})
 	if err != nil {
 		t.Fatal(err)
