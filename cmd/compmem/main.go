@@ -26,7 +26,7 @@
 //	all       everything above except bench
 //	run       execute scenario specs: run -scenario file.json [-json]
 //	sweep     expand and run a parameter sweep: sweep -spec file.json|paper-grid [-max-points N] [-json]
-//	serve     HTTP scenario service: serve [-addr :8080]
+//	serve     HTTP scenario service: serve [-addr :8080] [-max-inflight N] [-queue N] [-request-timeout D] [-drain D]
 //	scenarios list built-in scenarios, sweeps and registered workloads
 //
 // With -json, every evaluation command emits its artifacts as versioned
@@ -38,10 +38,14 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"net/http"
+	"log"
+	"net"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/scenario"
@@ -319,16 +323,35 @@ func firstError(res *sweep.Result) string {
 	return "none recorded"
 }
 
-// runServe starts the HTTP scenario service.
+// runServe starts the HTTP scenario service with admission control and
+// a signal-driven graceful drain: SIGINT/SIGTERM stops accepting new
+// work and lets in-flight streams finish within the -drain budget.
 func runServe(cfg experiments.Config, args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address")
+	maxInflight := fs.Int("max-inflight", serve.DefaultMaxInflight, "max concurrently admitted simulation requests")
+	queue := fs.Int("queue", serve.DefaultQueue, "wait-queue slots beyond -max-inflight before shedding with 429 (negative disables queueing)")
+	requestTimeout := fs.Duration("request-timeout", 0, "per-request simulation deadline (0 = none)")
+	drain := fs.Duration("drain", 30*time.Second, "graceful-drain budget for in-flight streams on SIGINT/SIGTERM (0 = wait indefinitely)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	rn := scenario.NewRunner(cfg.Workers)
-	fmt.Fprintf(os.Stderr, "compmem: serving scenario API on %s (workloads: %v)\n", *addr, workloads.Names())
-	return http.ListenAndServe(*addr, serve.New(cfg, rn))
+	logger := log.New(os.Stderr, "compmem: ", log.LstdFlags)
+	s := serve.NewWithOptions(cfg, rn, serve.Options{
+		MaxInflight:    *maxInflight,
+		Queue:          *queue,
+		RequestTimeout: *requestTimeout,
+		Logf:           logger.Printf,
+	})
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	logger.Printf("serving scenario API on %s (workloads: %v)", l.Addr(), workloads.Names())
+	return s.Serve(ctx, l, *drain)
 }
 
 // listScenarios prints the built-in scenario names and registered

@@ -1,0 +1,164 @@
+package faults
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestPointWithoutPlanIsNoOp: production fast path — no plan, no fault.
+func TestPointWithoutPlanIsNoOp(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		if err := Point(SiteWorker); err != nil {
+			t.Fatalf("no active plan must mean no fault, got %v", err)
+		}
+	}
+}
+
+// TestOrdinalFiring checks rules fire at exactly their armed ordinals
+// and the hit counter advances on every Point call.
+func TestOrdinalFiring(t *testing.T) {
+	p := New(7).ErrorAt(SiteWorker, 1, 3)
+	defer Activate(p)()
+	for i := uint64(0); i < 5; i++ {
+		err := Point(SiteWorker)
+		if want := i == 1 || i == 3; (err != nil) != want {
+			t.Errorf("hit %d: err=%v, want fault=%v", i, err, want)
+		}
+		if err != nil {
+			var ie *InjectedError
+			if !errors.As(err, &ie) || ie.Site != SiteWorker || ie.Ordinal != i {
+				t.Errorf("hit %d: wrong injected error %v", i, err)
+			}
+		}
+	}
+	if got := p.Hits(SiteWorker); got != 5 {
+		t.Errorf("hits: want 5, got %d", got)
+	}
+	if got := p.Fired(SiteWorker, Error); got != 2 {
+		t.Errorf("fired errors: want 2, got %d", got)
+	}
+}
+
+// TestPanicCarriesValue checks injected panics carry a recognizable
+// PanicValue naming site, ordinal and seed.
+func TestPanicCarriesValue(t *testing.T) {
+	p := New(42).PanicAt("stage.profile", 0)
+	defer Activate(p)()
+	defer func() {
+		v, ok := recover().(PanicValue)
+		if !ok {
+			t.Fatalf("want a PanicValue, got %v", v)
+		}
+		if v.Site != "stage.profile" || v.Ordinal != 0 || v.Seed != 42 {
+			t.Errorf("bad panic value: %+v", v)
+		}
+	}()
+	Point("stage.profile")
+	t.Fatal("armed panic did not fire")
+}
+
+// TestDelayAt checks a delay rule sleeps and then proceeds normally.
+func TestDelayAt(t *testing.T) {
+	p := New(1).DelayAt(SiteWorker, 20*time.Millisecond, 0)
+	defer Activate(p)()
+	start := time.Now()
+	if err := Point(SiteWorker); err != nil {
+		t.Fatalf("delay must not error: %v", err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Errorf("delay rule returned after %v", d)
+	}
+}
+
+// TestPickDeterministic checks ordinal selection is a pure function of
+// the seed: same seed same ordinals, distinct, sorted, in range.
+func TestPickDeterministic(t *testing.T) {
+	a := New(99).Pick(20, 5)
+	b := New(99).Pick(20, 5)
+	if len(a) != 5 {
+		t.Fatalf("want 5 ordinals, got %v", a)
+	}
+	seen := map[uint64]bool{}
+	for i, v := range a {
+		if v != b[i] {
+			t.Fatalf("same seed must pick the same ordinals: %v vs %v", a, b)
+		}
+		if v >= 20 || seen[v] {
+			t.Fatalf("ordinals must be distinct and in range: %v", a)
+		}
+		seen[v] = true
+		if i > 0 && a[i-1] >= v {
+			t.Fatalf("ordinals must be sorted: %v", a)
+		}
+	}
+	if c := New(100).Pick(20, 5); equalU64(a, c) {
+		t.Errorf("different seeds should (generically) differ: %v vs %v", a, c)
+	}
+}
+
+func equalU64(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestActivateExclusive checks double activation panics and restore
+// reopens the slot.
+func TestActivateExclusive(t *testing.T) {
+	restore := Activate(New(1))
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("activating over an active plan must panic")
+			}
+		}()
+		Activate(New(2))
+	}()
+	restore()
+	Activate(New(3))()
+}
+
+// TestConcurrentHitsAreCounted hammers one site from many goroutines:
+// every hit is counted exactly once and exactly the armed ordinals fire.
+func TestConcurrentHitsAreCounted(t *testing.T) {
+	p := New(5).ErrorAt(SiteWorker, p5(t)...)
+	restore := Activate(p)
+	defer restore()
+	const hits = 200
+	var wg sync.WaitGroup
+	var faults int64
+	errCh := make(chan error, hits)
+	for i := 0; i < hits; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errCh <- Point(SiteWorker)
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			faults++
+		}
+	}
+	if p.Hits(SiteWorker) != hits {
+		t.Errorf("want %d hits, got %d", hits, p.Hits(SiteWorker))
+	}
+	if faults != 5 || p.Fired(SiteWorker, Error) != 5 {
+		t.Errorf("want exactly 5 fired faults, got %d (plan says %d)", faults, p.Fired(SiteWorker, Error))
+	}
+}
+
+func p5(t *testing.T) []uint64 {
+	t.Helper()
+	return New(5).Pick(200, 5)
+}

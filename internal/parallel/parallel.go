@@ -3,13 +3,36 @@
 // independent legs (profiling repetitions, shared vs profiled runs, the
 // per-application studies of the headline table) are safe to run
 // concurrently by construction; this package only supplies the bounded
-// worker pool and deterministic error selection.
+// worker pool, deterministic error selection, and panic containment —
+// a crashing task is reported as that task's error, never as a process
+// abort from a worker goroutine.
 package parallel
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+
+	"repro/internal/faults"
 )
+
+// PanicError reports a panic recovered from a pool task: the task's
+// index, the recovered value and the stack captured at recovery. Do
+// converts every task panic into one of these so that a single failing
+// simulation stage cannot take down the process (and, in serve mode,
+// every concurrent request) — the serving north star's first
+// crash-containment boundary.
+type PanicError struct {
+	Index int
+	Value interface{}
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parallel: task %d panicked: %v", e.Index, e.Value)
+}
 
 // Workers resolves a worker-count knob: n itself when positive, otherwise
 // GOMAXPROCS. A knob of 1 forces sequential execution.
@@ -20,10 +43,26 @@ func Workers(n int) int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// call dispatches one task with panic containment. The fault-injection
+// point fires once per dispatch (a no-op outside the fault suite); an
+// injected panic exercises exactly the recovery path a real one takes.
+func call(fn func(i int) error, i int) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Index: i, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	if err := faults.Point(faults.SiteWorker); err != nil {
+		return err
+	}
+	return fn(i)
+}
+
 // Do runs fn(0), ..., fn(n-1) on at most workers goroutines and waits for
 // all of them. Every index runs even if an earlier one fails; the
 // returned error is the lowest-index failure, so the caller sees the same
-// error regardless of scheduling. With workers <= 1 the calls run
+// error regardless of scheduling. A panicking fn is recovered and
+// reported as that index's *PanicError. With workers <= 1 the calls run
 // sequentially on the calling goroutine.
 func Do(workers, n int, fn func(i int) error) error {
 	if n <= 0 {
@@ -35,7 +74,7 @@ func Do(workers, n int, fn func(i int) error) error {
 	if workers <= 1 {
 		var first error
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil && first == nil {
+			if err := call(fn, i); err != nil && first == nil {
 				first = err
 			}
 		}
@@ -49,7 +88,7 @@ func Do(workers, n int, fn func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				errs[i] = fn(i)
+				errs[i] = call(fn, i)
 			}
 		}()
 	}

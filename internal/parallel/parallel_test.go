@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync/atomic"
 	"testing"
+
+	"repro/internal/faults"
 )
 
 func TestDoRunsEveryIndex(t *testing.T) {
@@ -81,5 +83,79 @@ func TestWorkers(t *testing.T) {
 	}
 	if Workers(-1) != runtime.GOMAXPROCS(0) {
 		t.Error("negative not defaulted")
+	}
+}
+
+// TestDoContainsPanics checks a panicking task is recovered into a
+// *PanicError carrying the index, value and stack — sequentially and
+// concurrently — while every other index still runs.
+func TestDoContainsPanics(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var ran int32
+		err := Do(workers, 8, func(i int) error {
+			if i == 3 {
+				panic("boom 3")
+			}
+			atomic.AddInt32(&ran, 1)
+			return nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: want *PanicError, got %v", workers, err)
+		}
+		if pe.Index != 3 || pe.Value != "boom 3" {
+			t.Errorf("workers=%d: bad panic error %+v", workers, pe)
+		}
+		if len(pe.Stack) == 0 {
+			t.Errorf("workers=%d: panic error must carry the stack", workers)
+		}
+		if ran != 7 {
+			t.Errorf("workers=%d: panic must not stop other tasks, ran %d of 7", workers, ran)
+		}
+	}
+}
+
+// TestDoLowestIndexPanicWins checks deterministic error selection also
+// holds for panics: the lowest failing index is reported regardless of
+// scheduling.
+func TestDoLowestIndexPanicWins(t *testing.T) {
+	err := Do(4, 20, func(i int) error {
+		if i == 5 || i == 11 {
+			panic(i)
+		}
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Index != 5 {
+		t.Fatalf("want the lowest-index panic (5), got %v", err)
+	}
+}
+
+// TestDoWorkerFaultInjection checks the dispatch-level injection point:
+// an armed worker fault fails exactly that dispatch (the task never
+// runs) and surfaces as the task's error.
+func TestDoWorkerFaultInjection(t *testing.T) {
+	plan := faults.New(3).ErrorAt(faults.SiteWorker, 2).PanicAt(faults.SiteWorker, 4)
+	defer faults.Activate(plan)()
+	var ran [6]int32
+	err := Do(1, len(ran), func(i int) error { // sequential: ordinal == index
+		atomic.AddInt32(&ran[i], 1)
+		return nil
+	})
+	var ie *faults.InjectedError
+	if !errors.As(err, &ie) || ie.Ordinal != 2 {
+		t.Fatalf("want the injected error at ordinal 2 (lowest failing index), got %v", err)
+	}
+	for i, n := range ran {
+		want := int32(1)
+		if i == 2 || i == 4 {
+			want = 0 // faulted dispatches never reach the task
+		}
+		if n != want {
+			t.Errorf("task %d ran %d times, want %d", i, n, want)
+		}
+	}
+	if plan.Fired(faults.SiteWorker, faults.Panic) != 1 {
+		t.Error("armed worker panic did not fire")
 	}
 }

@@ -1,0 +1,238 @@
+package scenario
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/mem"
+	"repro/internal/workloads"
+)
+
+// registerPanicking registers a workload whose factory panics the first
+// `panics` times it is built, then behaves like jpeg1-only — the
+// build-panic vector of the fault suite.
+func registerPanicking(t *testing.T, name string, panics int) {
+	t.Helper()
+	base, ok := workloads.Lookup("jpeg1-only")
+	if !ok {
+		t.Fatal("jpeg1-only not registered")
+	}
+	remaining := panics
+	err := workloads.Register(name, func(bc workloads.BuildConfig) core.Workload {
+		w := base(bc)
+		inner := w.Factory
+		w.Factory = func() (*core.App, error) {
+			if remaining > 0 {
+				remaining--
+				panic("workload build exploded")
+			}
+			return inner()
+		}
+		return w
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// registerBadPlatform registers a workload whose factory trips a
+// platform-construction panic that no spec-level validation can catch:
+// a non-power-of-two address-space alignment, exactly the class of
+// config error that panics by design deep inside the memory model.
+func registerBadPlatform(t *testing.T, name string) {
+	t.Helper()
+	base, ok := workloads.Lookup("jpeg1-only")
+	if !ok {
+		t.Fatal("jpeg1-only not registered")
+	}
+	err := workloads.Register(name, func(bc workloads.BuildConfig) core.Workload {
+		w := base(bc)
+		w.Factory = func() (*core.App, error) {
+			as := mem.NewAddressSpace()
+			as.SetAlign(3) // panics: not a power of two
+			return nil, nil
+		}
+		return w
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStagePanicIsContainedAndEvicted is the heart of the panic
+// containment contract: a stage that panics surfaces as a structured
+// *StagePanicError (never an unwound goroutine), the memo entry is
+// evicted (a retry re-runs and succeeds), and the panic is counted.
+func TestStagePanicIsContainedAndEvicted(t *testing.T) {
+	registerPanicking(t, "panic-once", 1)
+	rn := NewRunner(1)
+	spec := Scenario{Workload: "panic-once", Scale: "small", Runs: 1, Partition: PartitionProfile}
+
+	res, err := rn.Run(spec)
+	var pe *StagePanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *StagePanicError, got %v", err)
+	}
+	if pe.Stage != "profile" || pe.Value != "workload build exploded" {
+		t.Errorf("bad panic error: %+v", pe)
+	}
+	if pe.Stack == "" {
+		t.Error("panic error must carry the stack")
+	}
+	if res == nil || res.Error == "" || !strings.Contains(res.Error, "panic in profile stage") {
+		t.Errorf("panic must be embedded in the result document, got %+v", res)
+	}
+
+	// The panicked stage must not be memoized: the retry re-runs and
+	// succeeds.
+	res, err = rn.Run(spec)
+	if err != nil {
+		t.Fatalf("retry after a contained panic must succeed, got %v", err)
+	}
+	if len(res.Curves) == 0 {
+		t.Error("retried run produced no curves")
+	}
+	st := rn.Stats()
+	if st.StagePanics != 1 {
+		t.Errorf("want 1 counted stage panic, got %+v", st)
+	}
+	if st.StageErrors != 1 {
+		t.Errorf("a panicked stage must be evicted like an errored one, got %+v", st)
+	}
+}
+
+// TestPlatformPanicPastSpecChecks checks a platform-construction panic
+// that spec validation cannot catch (it fires inside the workload
+// factory, deep in the memory model) still comes back as a structured
+// per-scenario error.
+func TestPlatformPanicPastSpecChecks(t *testing.T) {
+	registerBadPlatform(t, "bad-align")
+	rn := NewRunner(2)
+	// partition "shared" exercises the run stage; runs > 1 exercises the
+	// nested parallel fan-out, so the panic crosses a worker boundary
+	// (*parallel.PanicError) before the stage reshapes it.
+	spec := Scenario{Workload: "bad-align", Scale: "small", Runs: 2, Partition: PartitionShared}
+
+	res, err := rn.RunContext(context.Background(), spec)
+	var pe *StagePanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *StagePanicError, got %v", err)
+	}
+	if pe.Stage != "run" {
+		t.Errorf("panic must be attributed to the run stage, got %q", pe.Stage)
+	}
+	if !strings.Contains(res.Error, "panic in run stage") {
+		t.Errorf("result must embed the structured panic, got %q", res.Error)
+	}
+	if st := rn.Stats(); st.StagePanics == 0 {
+		t.Errorf("platform panic must be counted: %+v", st)
+	}
+}
+
+// TestBatchIsolatesPanickingScenario checks one panicking scenario in a
+// batch yields exactly one error result; its neighbors complete
+// normally, in order.
+func TestBatchIsolatesPanickingScenario(t *testing.T) {
+	registerPanicking(t, "panic-mid", 1)
+	rn := NewRunner(2)
+	good := Scenario{Workload: "jpeg1-only", Scale: "small", Runs: 1, Partition: PartitionProfile}
+	bad := Scenario{Workload: "panic-mid", Scale: "small", Runs: 1, Partition: PartitionProfile}
+
+	results := rn.RunBatch([]Scenario{good, bad, good})
+	if len(results) != 3 {
+		t.Fatalf("want 3 results, got %d", len(results))
+	}
+	for i, want := range []bool{false, true, false} {
+		if results[i] == nil {
+			t.Fatalf("result %d is nil", i)
+		}
+		if got := results[i].Error != ""; got != want {
+			t.Errorf("result %d: error=%q, want failure=%v", i, results[i].Error, want)
+		}
+	}
+	if !strings.Contains(results[1].Error, "panic in profile stage") {
+		t.Errorf("panicking scenario must carry the structured panic, got %q", results[1].Error)
+	}
+	if len(results[0].Curves) == 0 || len(results[2].Curves) == 0 {
+		t.Error("neighbors of a panicking scenario must complete")
+	}
+}
+
+// TestWorkerDispatchFaultSynthesizesResult checks the batch stream
+// survives a fault at the worker-dispatch boundary itself (before the
+// scenario's own containment even starts): the dead slot becomes a
+// synthesized error result, the walk does not deadlock, and the other
+// scenarios stream normally.
+func TestWorkerDispatchFaultSynthesizesResult(t *testing.T) {
+	for _, kind := range []string{"error", "panic"} {
+		t.Run(kind, func(t *testing.T) {
+			plan := faults.New(11)
+			if kind == "error" {
+				plan.ErrorAt(faults.SiteWorker, 0)
+			} else {
+				plan.PanicAt(faults.SiteWorker, 0)
+			}
+			restore := faults.Activate(plan)
+			defer restore()
+
+			rn := NewRunner(1) // sequential: dispatch ordinal == batch index
+			spec := Scenario{Workload: "jpeg1-only", Scale: "small", Runs: 1, Partition: PartitionProfile}
+			var seen []int
+			results, errs, done := rn.RunBatchStream(context.Background(), []Scenario{spec, spec},
+				func(i int, res *Result) bool {
+					seen = append(seen, i)
+					return true
+				})
+			<-done
+			restore()
+
+			if len(seen) != 2 {
+				t.Fatalf("walk must visit both slots in order, saw %v", seen)
+			}
+			if results[0] == nil || results[0].Error == "" {
+				t.Fatalf("faulted dispatch must synthesize an error result, got %+v", results[0])
+			}
+			if errs[0] == nil {
+				t.Error("faulted dispatch must record an error")
+			}
+			if results[1] == nil || results[1].Error != "" {
+				t.Errorf("the surviving scenario must complete, got %+v", results[1])
+			}
+		})
+	}
+}
+
+// TestInjectedStageFaultsAreDeterministic checks the seeded plan fires
+// at exact stage ordinals: with the first profile execution armed, the
+// first distinct spec fails with the injected error and the second
+// succeeds — and after restore, the failed spec retries cleanly off the
+// evicted memo entry.
+func TestInjectedStageFaultsAreDeterministic(t *testing.T) {
+	plan := faults.New(17).ErrorAt(faults.SiteStage+"profile", 0)
+	restore := faults.Activate(plan)
+
+	rn := NewRunner(1)
+	a := Scenario{Workload: "jpeg1-only", Scale: "small", Runs: 1, Seed: 100, Partition: PartitionProfile}
+	b := Scenario{Workload: "jpeg1-only", Scale: "small", Runs: 1, Seed: 101, Partition: PartitionProfile}
+
+	_, errA := rn.Run(a)
+	var ie *faults.InjectedError
+	if !errors.As(errA, &ie) || ie.Ordinal != 0 {
+		t.Fatalf("first profile execution must carry the injected error, got %v", errA)
+	}
+	if _, err := rn.Run(b); err != nil {
+		t.Fatalf("unarmed ordinal must succeed, got %v", err)
+	}
+	restore()
+
+	if _, err := rn.Run(a); err != nil {
+		t.Fatalf("injected error must be evicted, not memoized: %v", err)
+	}
+	if st := rn.Stats(); st.StageErrors != 1 {
+		t.Errorf("want exactly 1 evicted stage error, got %+v", st)
+	}
+}

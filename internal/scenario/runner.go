@@ -2,11 +2,14 @@ package scenario
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/parallel"
 	"repro/internal/profile"
 	"repro/internal/report"
@@ -37,9 +40,33 @@ type Runner struct {
 	stageRuns    uint64 // stages actually executed
 	memoHits     uint64 // stage lookups served from the memo
 	stageErrors  uint64 // stages that failed (and were evicted for retry)
+	stagePanics  uint64 // panics recovered and converted to StagePanicError
 	profileRuns  uint64 // profile stages executed
 	optimizeRuns uint64 // optimize stages executed
 	runRuns      uint64 // measured-execution stages executed
+}
+
+// StagePanicError is a panic recovered inside a pipeline stage (or a
+// worker executing one), converted into a structured error: the stage
+// kind, the stage's content-address key, the recovered value, and the
+// stack captured at recovery. It propagates to every single-flight
+// waiter of the stage, the memo entry is evicted (a retry starts
+// fresh), and batch consumers see it as the scenario's per-result
+// "error" field — the process, and every other in-flight scenario,
+// keeps running.
+type StagePanicError struct {
+	Stage string      // stage kind ("profile", "optimize", "run", or "scenario" outside any stage)
+	Key   string      // the stage's memo key (content address), if any
+	Value interface{} // the recovered panic value
+	Stack string      // stack captured at recovery
+}
+
+// Error implements error.
+func (e *StagePanicError) Error() string {
+	if e.Key == "" {
+		return fmt.Sprintf("scenario: panic in %s: %v", e.Stage, e.Value)
+	}
+	return fmt.Sprintf("scenario: panic in %s stage (key %s): %v", e.Stage, e.Key, e.Value)
 }
 
 // memoEntry is a single-flight memo slot: the first caller computes,
@@ -77,6 +104,7 @@ type Stats struct {
 	StageRuns    uint64 `json:"stage_runs"`             // pipeline stages executed
 	MemoHits     uint64 `json:"memo_hits"`              // stage requests served from the memo
 	StageErrors  uint64 `json:"stage_errors,omitempty"` // failed stages (evicted, so later requests retry)
+	StagePanics  uint64 `json:"stage_panics,omitempty"` // panics recovered into StagePanicError
 	ProfileRuns  uint64 `json:"profile_runs"`           // profile stages executed
 	OptimizeRuns uint64 `json:"optimize_runs"`          // optimize stages executed
 	RunRuns      uint64 `json:"run_runs"`               // measured executions performed
@@ -88,6 +116,7 @@ func (r *Runner) Stats() Stats {
 		StageRuns:    atomic.LoadUint64(&r.stageRuns),
 		MemoHits:     atomic.LoadUint64(&r.memoHits),
 		StageErrors:  atomic.LoadUint64(&r.stageErrors),
+		StagePanics:  atomic.LoadUint64(&r.stagePanics),
 		ProfileRuns:  atomic.LoadUint64(&r.profileRuns),
 		OptimizeRuns: atomic.LoadUint64(&r.optimizeRuns),
 		RunRuns:      atomic.LoadUint64(&r.runRuns),
@@ -136,7 +165,7 @@ func (r *Runner) stage(ctx context.Context, kind, key string, f func() (interfac
 		case stageRun:
 			atomic.AddUint64(&r.runRuns, 1)
 		}
-		e.val, e.err = f()
+		e.val, e.err = r.guarded(kind, key, f)
 	})
 	if e.err != nil {
 		// Evict so the next request retries. The pointer comparison keeps
@@ -150,6 +179,35 @@ func (r *Runner) stage(ctx context.Context, kind, key string, f func() (interfac
 		r.mu.Unlock()
 	}
 	return e.val, e.err
+}
+
+// guarded executes one stage body with panic containment: a panic on
+// this goroutine is recovered here, and a panic inside a nested
+// parallel fan-out (profiling repetitions, study legs) arrives already
+// recovered as the pool's *parallel.PanicError — both are converted to
+// a *StagePanicError carrying the stage kind, memo key, recovered value
+// and stack. The error flows to every single-flight waiter and evicts
+// the memo entry exactly like any stage failure, so a panicked stage is
+// retried by the next request instead of poisoning the key. The
+// fault-injection point fires once per stage execution (a no-op outside
+// the fault suite).
+func (r *Runner) guarded(kind, key string, f func() (interface{}, error)) (v interface{}, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			atomic.AddUint64(&r.stagePanics, 1)
+			v, err = nil, &StagePanicError{Stage: kind, Key: key, Value: rec, Stack: string(debug.Stack())}
+		}
+	}()
+	if err := faults.Point(faults.SiteStage + kind); err != nil {
+		return nil, err
+	}
+	v, err = f()
+	var pe *parallel.PanicError
+	if errors.As(err, &pe) {
+		atomic.AddUint64(&r.stagePanics, 1)
+		v, err = nil, &StagePanicError{Stage: kind, Key: key, Value: pe.Value, Stack: string(pe.Stack)}
+	}
+	return v, err
 }
 
 // profileKey captures exactly what the profiling stage depends on.
@@ -310,14 +368,33 @@ func (r *Runner) Run(s Scenario) (*Result, error) {
 // serve-mode connection stops burning the worker pool. A stage already
 // in flight runs to completion — its result is memoized and shared, so
 // that work is never wasted.
-func (r *Runner) RunContext(ctx context.Context, s Scenario) (*Result, error) {
+//
+// RunContext never panics: stage panics are contained by the memo layer
+// (see StagePanicError), and a panic anywhere else in the pipeline —
+// normalization, summarization — is recovered here into the same
+// structured shape, so one crashing scenario is one error result, not a
+// dead process.
+func (r *Runner) RunContext(ctx context.Context, s Scenario) (res *Result, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			atomic.AddUint64(&r.stagePanics, 1)
+			p := &StagePanicError{Stage: "scenario", Value: rec, Stack: string(debug.Stack())}
+			if res == nil {
+				res = &Result{SchemaVersion: report.SchemaVersion, Scenario: s}
+			}
+			p.Key = res.Key
+			res.Error = p.Error()
+			res.Shared, res.Partitioned, res.Optimize, res.Compose, res.Curves = nil, nil, nil, nil, nil
+			err = p
+		}
+	}()
 	n, err := s.Normalize()
 	if err != nil {
 		return &Result{SchemaVersion: report.SchemaVersion, Scenario: s, Error: err.Error()}, err
 	}
 	keyed := n
 	keyed.Name = ""
-	res := &Result{SchemaVersion: report.SchemaVersion, Key: hashJSON(keyed), Scenario: n}
+	res = &Result{SchemaVersion: report.SchemaVersion, Key: hashJSON(keyed), Scenario: n}
 	if err := r.execute(ctx, n, res); err != nil {
 		res.Error = err.Error()
 		res.Shared, res.Partitioned, res.Optimize, res.Compose, res.Curves = nil, nil, nil, nil, nil
@@ -432,20 +509,39 @@ func (r *Runner) RunBatchStream(ctx context.Context, specs []Scenario, observe f
 	results := make([]*Result, len(specs))
 	errs := make([]error, len(specs))
 	ready := make([]chan struct{}, len(specs))
+	onces := make([]sync.Once, len(specs))
 	for i := range ready {
 		ready[i] = make(chan struct{})
 	}
+	closeReady := func(i int) { onces[i].Do(func() { close(ready[i]) }) }
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		parallel.Do(parallel.Workers(r.workers), len(specs), func(i int) error {
-			defer close(ready[i])
+		derr := parallel.Do(parallel.Workers(r.workers), len(specs), func(i int) error {
+			defer closeReady(i)
 			if ctx.Err() != nil {
 				return nil
 			}
 			results[i], errs[i] = r.RunContext(ctx, specs[i])
 			return nil
 		})
+		// A worker slot that died before RunContext ran (an injected
+		// dispatch fault, or a panic the pool recovered outside the
+		// scenario's own containment) leaves its slot nil with a live
+		// context. Synthesize an error result before closing the
+		// channel, so the in-order walk neither hangs on the unclosed
+		// channel nor mistakes the hole for a cancellation.
+		for i := range specs {
+			if results[i] == nil && errs[i] == nil && ctx.Err() == nil {
+				err := derr
+				if err == nil {
+					err = fmt.Errorf("scenario: batch worker for scenario %d did not run", i)
+				}
+				errs[i] = err
+				results[i] = &Result{SchemaVersion: report.SchemaVersion, Scenario: specs[i], Error: err.Error()}
+			}
+			closeReady(i)
+		}
 	}()
 	for i := range specs {
 		<-ready[i]

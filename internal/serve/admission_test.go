@@ -1,0 +1,221 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/scenario"
+	"repro/internal/workloads"
+)
+
+// registerGatedWorkload registers a jpeg1-only wrapper whose every
+// factory call signals entered and then blocks until release is closed
+// — the handle admission and drain tests use to hold a request in
+// flight deterministically.
+func registerGatedWorkload(t *testing.T, name string) (entered chan struct{}, release chan struct{}) {
+	t.Helper()
+	base, ok := workloads.Lookup("jpeg1-only")
+	if !ok {
+		t.Fatal("jpeg1-only not registered")
+	}
+	entered = make(chan struct{}, 64)
+	release = make(chan struct{})
+	err := workloads.Register(name, func(bc workloads.BuildConfig) core.Workload {
+		w := base(bc)
+		inner := w.Factory
+		w.Factory = func() (*core.App, error) {
+			select {
+			case entered <- struct{}{}:
+			default:
+			}
+			<-release
+			return inner()
+		}
+		return w
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return entered, release
+}
+
+func waitSignal(t *testing.T, ch <-chan struct{}, what string) {
+	t.Helper()
+	select {
+	case <-ch:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("timed out waiting for %s", what)
+	}
+}
+
+// getHealth fetches and decodes /healthz.
+func getHealth(t *testing.T, url string) (int, Health) {
+	t.Helper()
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var env struct {
+		Payload Health `json:"payload"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, env.Payload
+}
+
+// TestOverCapacitySheds429 checks the load-shedding contract: with one
+// in-flight slot and no wait queue, a second submission is refused
+// immediately with 429 and a Retry-After hint — it is never queued —
+// while /healthz reports the load and the shed count.
+func TestOverCapacitySheds429(t *testing.T) {
+	entered, release := registerGatedWorkload(t, "gated-shed")
+	cfg := testConfig()
+	s := NewWithOptions(cfg, scenario.NewRunner(1), Options{MaxInflight: 1, Queue: -1})
+	srv := httptest.NewServer(s)
+	t.Cleanup(srv.Close)
+
+	body := `{"scenarios":[{"workload":"gated-shed","scale":"small","runs":1,"partition":"profile"}]}`
+	first := make(chan string, 1)
+	go func() {
+		_, b := postBatch(t, srv.URL, body)
+		first <- b
+	}()
+	waitSignal(t, entered, "gated workload to start")
+
+	status, shedBody := postBatch(t, srv.URL, body)
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("over-capacity submission: want 429, got %d\n%s", status, shedBody)
+	}
+	resp, err := http.Post(srv.URL+"/v1/batch", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests || resp.Header.Get("Retry-After") == "" {
+		t.Errorf("shed response must carry Retry-After, got %d %q", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+
+	if code, h := getHealth(t, srv.URL); code != http.StatusOK ||
+		h.Inflight != 1 || h.MaxInflight != 1 || h.Shed < 2 || !h.Ready {
+		t.Errorf("healthz under load: code %d, %+v", code, h)
+	}
+
+	close(release)
+	b := <-first
+	lines := strings.Split(strings.TrimSpace(b), "\n")
+	requireStreamEnd(t, lines[len(lines)-1], 1, 1, "complete")
+}
+
+// TestQueueAdmitsThenSheds checks the bounded wait queue: a second
+// submission waits for the slot (and eventually completes), a third —
+// over both the slot and the queue — sheds with 429.
+func TestQueueAdmitsThenSheds(t *testing.T) {
+	entered, release := registerGatedWorkload(t, "gated-queue")
+	cfg := testConfig()
+	s := NewWithOptions(cfg, scenario.NewRunner(1), Options{MaxInflight: 1, Queue: 1})
+	srv := httptest.NewServer(s)
+	t.Cleanup(srv.Close)
+
+	body := `{"scenarios":[{"workload":"gated-queue","scale":"small","runs":1,"partition":"profile"}]}`
+	done := make(chan string, 2)
+	go func() { _, b := postBatch(t, srv.URL, body); done <- b }()
+	waitSignal(t, entered, "first request to start")
+	go func() { _, b := postBatch(t, srv.URL, body); done <- b }()
+
+	// Wait until the second submission is actually parked in the queue.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if _, h := getHealth(t, srv.URL); h.Queued == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("second submission never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if status, b := postBatch(t, srv.URL, body); status != http.StatusTooManyRequests {
+		t.Fatalf("third submission must shed past the full queue: want 429, got %d\n%s", status, b)
+	}
+
+	close(release)
+	for i := 0; i < 2; i++ {
+		select {
+		case b := <-done:
+			lines := strings.Split(strings.TrimSpace(b), "\n")
+			requireStreamEnd(t, lines[len(lines)-1], 1, 1, "complete")
+		case <-time.After(30 * time.Second):
+			t.Fatal("queued submission never completed")
+		}
+	}
+}
+
+// TestOversizedBodyIs413 checks both simulation endpoints reject a body
+// over the 16 MiB cap with 413, not a generic 400.
+func TestOversizedBodyIs413(t *testing.T) {
+	srv := testServer(t)
+	huge := `{"pad":"` + strings.Repeat("x", maxBodyBytes+1) + `"}`
+	for _, path := range []string{"/v1/batch", "/v1/sweep"} {
+		resp, err := http.Post(srv.URL+path, "application/json", strings.NewReader(huge))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Errorf("%s: oversized body: want 413, got %d", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestRequestTimeoutCancelsSimulation checks the per-request deadline
+// reaches the simulation layer: an already-expired deadline yields an
+// honest canceled stream.end, never a hang or a crash.
+func TestRequestTimeoutCancelsSimulation(t *testing.T) {
+	cfg := testConfig()
+	s := NewWithOptions(cfg, scenario.NewRunner(1), Options{RequestTimeout: time.Nanosecond})
+	srv := httptest.NewServer(s)
+	t.Cleanup(srv.Close)
+
+	status, body := postBatch(t, srv.URL, `{"scenarios":[
+		{"workload":"jpeg1-only","scale":"small","runs":1,"partition":"profile"},
+		{"workload":"jpeg1-only","scale":"small","runs":1,"seed":9,"partition":"profile"}
+	]}`)
+	if status != http.StatusOK {
+		t.Fatalf("deadline-bounded batch: %d\n%s", status, body)
+	}
+	lines := strings.Split(strings.TrimSpace(body), "\n")
+	requireStreamEnd(t, lines[len(lines)-1], 0, 2, "canceled")
+}
+
+// TestDrainRefusesNewWork checks StartDrain flips the server not-ready:
+// /healthz answers 503/draining and new submissions are refused with
+// 503 + Retry-After while the process winds down.
+func TestDrainRefusesNewWork(t *testing.T) {
+	cfg := testConfig()
+	s := New(cfg, scenario.NewRunner(1))
+	srv := httptest.NewServer(s)
+	t.Cleanup(srv.Close)
+
+	s.StartDrain()
+	code, h := getHealth(t, srv.URL)
+	if code != http.StatusServiceUnavailable || h.Status != "draining" || h.Ready {
+		t.Errorf("draining healthz: code %d, %+v", code, h)
+	}
+	resp, err := http.Post(srv.URL+"/v1/batch", "application/json",
+		strings.NewReader(`{"scenarios":[{"workload":"jpeg1-only","scale":"small","runs":1,"partition":"profile"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Errorf("draining submission: want 503 with Retry-After, got %d %q",
+			resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+}

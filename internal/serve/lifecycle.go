@@ -1,0 +1,59 @@
+package serve
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// Hardened http.Server timeouts: a client that never finishes its
+// request header, or an idle keep-alive connection, cannot pin a
+// connection slot forever. The write side is deliberately unbounded —
+// NDJSON streams run as long as the simulation does and are bounded by
+// admission control and the per-request simulation deadline instead.
+const (
+	readHeaderTimeout = 10 * time.Second
+	idleTimeout       = 2 * time.Minute
+)
+
+// Serve runs the server on l until ctx is canceled, then drains
+// gracefully: admission flips to 503 (StartDrain), the listener stops
+// accepting, and in-flight streams get up to drainBudget to finish
+// before the remaining connections are force-closed. A drainBudget <= 0
+// means wait indefinitely for in-flight work. Returns nil after a clean
+// (or budget-bounded) drain; any other listener error is returned as-is.
+func (s *Server) Serve(ctx context.Context, l net.Listener, drainBudget time.Duration) error {
+	hs := &http.Server{
+		Handler:           s,
+		ReadHeaderTimeout: readHeaderTimeout,
+		IdleTimeout:       idleTimeout,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(l) }()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+
+	s.logf("serve: draining (%d requests in flight, budget %v)", atomic.LoadInt64(&s.inflight), drainBudget)
+	s.StartDrain()
+	drainCtx := context.Background()
+	if drainBudget > 0 {
+		var cancel context.CancelFunc
+		drainCtx, cancel = context.WithTimeout(drainCtx, drainBudget)
+		defer cancel()
+	}
+	if err := hs.Shutdown(drainCtx); err != nil {
+		// Budget exhausted with streams still open: force-close them.
+		s.logf("serve: drain budget exhausted, closing remaining connections: %v", err)
+		hs.Close()
+	} else {
+		s.logf("serve: drained cleanly")
+	}
+	<-errCh // Serve has returned http.ErrServerClosed by now
+	return nil
+}

@@ -6,7 +6,7 @@
 //
 // Endpoints:
 //
-//	GET  /healthz       liveness
+//	GET  /healthz       liveness, readiness and load (inflight, queue, memo, panics)
 //	GET  /v1/workloads  registered workload names
 //	GET  /v1/scenarios  built-in scenario specs (usable as "base")
 //	POST /v1/batch      {"scenarios":[spec,...]} → NDJSON result stream
@@ -20,13 +20,29 @@
 // dropped connection cancels queued scenarios/points instead of burning
 // the worker pool (work already in flight finishes into the shared
 // memo, so it is never wasted).
+//
+// The server is fault-contained and load-shedding: a panicking pipeline
+// stage becomes that scenario's structured "error" result (see
+// scenario.StagePanicError) while every other request keeps streaming;
+// the simulation endpoints pass admission control (a bounded in-flight
+// semaphore plus a small wait queue — over-capacity submissions shed
+// with 429 and Retry-After, never unbounded queueing) and can be
+// deadline-bounded per request; every NDJSON stream is terminated by a
+// "stream.end" envelope so clients can distinguish completion from
+// truncation.
 package serve
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/report"
@@ -35,71 +51,330 @@ import (
 	"repro/internal/workloads"
 )
 
-// Server handles the scenario-service endpoints.
-type Server struct {
-	cfg experiments.Config
-	rn  *scenario.Runner
-	mux *http.ServeMux
-	// maxBatch bounds one submission; 0 means DefaultMaxBatch.
-	maxBatch int
+// Admission-control and body-size defaults.
+const (
+	// DefaultMaxBatch bounds the scenarios (or sweep points) of one
+	// submission.
+	DefaultMaxBatch = 256
+	// DefaultMaxInflight bounds the simulation requests admitted
+	// concurrently.
+	DefaultMaxInflight = 8
+	// DefaultQueue bounds the submissions waiting for an in-flight slot
+	// before over-capacity shedding begins.
+	DefaultQueue = 16
+	// maxBodyBytes caps a request body; larger submissions get 413.
+	maxBodyBytes = 16 << 20
+	// retryAfterSeconds is the Retry-After hint on shed (429/503)
+	// responses.
+	retryAfterSeconds = 1
+)
+
+// maxMemoEntries caps the shared runner's memo between submissions.
+const maxMemoEntries = 4096
+
+// Logf is the injectable logging hook of a Server: dropped-client write
+// failures, shed decisions and drain progress report through it. nil
+// discards.
+type Logf func(format string, args ...interface{})
+
+// Options tunes a Server's admission control, deadlines and logging.
+// The zero value means all defaults.
+type Options struct {
+	// MaxBatch bounds one submission's scenarios or sweep points;
+	// 0 means DefaultMaxBatch.
+	MaxBatch int
+	// MaxInflight bounds the simulation requests (batch + sweep)
+	// admitted concurrently; 0 means DefaultMaxInflight.
+	MaxInflight int
+	// Queue bounds the submissions waiting for an in-flight slot beyond
+	// MaxInflight; anything more sheds with 429. 0 means DefaultQueue;
+	// negative disables the wait queue entirely (immediate shedding).
+	Queue int
+	// RequestTimeout deadline-bounds each admitted request's simulation
+	// work through the scenario layer's context cancellation; 0 means
+	// no deadline.
+	RequestTimeout time.Duration
+	// Logf receives operational log lines; nil discards them.
+	Logf Logf
 }
 
-// DefaultMaxBatch bounds the scenarios of one submission.
-const DefaultMaxBatch = 256
+// Server handles the scenario-service endpoints.
+type Server struct {
+	cfg  experiments.Config
+	rn   *scenario.Runner
+	mux  *http.ServeMux
+	opts Options
 
-// New builds a Server over a shared runner. cfg supplies the defaults
-// built-in base scenarios are materialized with (scale, engines,
-// solver), exactly like the CLI flags do for commands.
+	slots chan struct{} // in-flight tokens (admission semaphore)
+	queue chan struct{} // wait-queue tokens; nil when queueing is disabled
+
+	inflight int64  // gauge: admitted simulation requests
+	queued   int64  // gauge: submissions waiting for a slot
+	shed     uint64 // counter: submissions shed with 429
+
+	draining  int32 // set once when the drain starts
+	drainCh   chan struct{}
+	drainOnce sync.Once
+}
+
+// New builds a Server over a shared runner with default Options. cfg
+// supplies the defaults built-in base scenarios are materialized with
+// (scale, engines, solver), exactly like the CLI flags do for commands.
 func New(cfg experiments.Config, rn *scenario.Runner) *Server {
-	s := &Server{cfg: cfg, rn: rn, mux: http.NewServeMux()}
+	return NewWithOptions(cfg, rn, Options{})
+}
+
+// NewWithOptions builds a Server with explicit admission-control,
+// deadline and logging options.
+func NewWithOptions(cfg experiments.Config, rn *scenario.Runner, opts Options) *Server {
+	if opts.MaxBatch <= 0 {
+		opts.MaxBatch = DefaultMaxBatch
+	}
+	if opts.MaxInflight <= 0 {
+		opts.MaxInflight = DefaultMaxInflight
+	}
+	if opts.Queue == 0 {
+		opts.Queue = DefaultQueue
+	}
+	s := &Server{
+		cfg:     cfg,
+		rn:      rn,
+		mux:     http.NewServeMux(),
+		opts:    opts,
+		slots:   make(chan struct{}, opts.MaxInflight),
+		drainCh: make(chan struct{}),
+	}
+	if opts.Queue > 0 {
+		s.queue = make(chan struct{}, opts.Queue)
+	}
 	s.mux.HandleFunc("/healthz", s.health)
 	s.mux.HandleFunc("/v1/workloads", s.workloads)
 	s.mux.HandleFunc("/v1/scenarios", s.scenarios)
-	s.mux.HandleFunc("/v1/batch", s.batch)
-	s.mux.HandleFunc("/v1/sweep", s.sweep)
+	s.mux.HandleFunc("/v1/batch", s.admitted(s.batch))
+	s.mux.HandleFunc("/v1/sweep", s.admitted(s.sweep))
 	return s
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
+func (s *Server) logf(format string, args ...interface{}) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+// Health is the /healthz payload: liveness plus the readiness and load
+// signals a fleet router health-routes on. Runner carries the shared
+// memo counters, including stage_panics — contained panics are an
+// operational signal even though they never crash the process.
+type Health struct {
+	Status      string         `json:"status"` // "ok" or "draining"
+	Ready       bool           `json:"ready"`
+	Inflight    int64          `json:"inflight"`
+	MaxInflight int            `json:"max_inflight"`
+	Queued      int64          `json:"queued"`
+	QueueLimit  int            `json:"queue_limit"`
+	Shed        uint64         `json:"shed"`
+	Runner      scenario.Stats `json:"runner_stats"`
+}
+
 func (s *Server) health(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, report.NewEnvelope("health", map[string]string{"status": "ok"}))
+	h := Health{
+		Status:      "ok",
+		Ready:       true,
+		Inflight:    atomic.LoadInt64(&s.inflight),
+		MaxInflight: s.opts.MaxInflight,
+		Queued:      atomic.LoadInt64(&s.queued),
+		QueueLimit:  max(s.opts.Queue, 0),
+		Shed:        atomic.LoadUint64(&s.shed),
+		Runner:      s.rn.Stats(),
+	}
+	code := http.StatusOK
+	if s.isDraining() {
+		h.Status, h.Ready = "draining", false
+		code = http.StatusServiceUnavailable
+	}
+	s.writeJSON(w, code, report.NewEnvelope("health", h))
 }
 
 func (s *Server) workloads(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, report.NewEnvelope("workloads", workloads.Names()))
+	s.writeJSON(w, http.StatusOK, report.NewEnvelope("workloads", workloads.Names()))
 }
 
 func (s *Server) scenarios(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, report.NewEnvelope("scenarios", experiments.BuiltinScenarios(s.cfg)))
+	s.writeJSON(w, http.StatusOK, report.NewEnvelope("scenarios", experiments.BuiltinScenarios(s.cfg)))
+}
+
+// admit gates one simulation request through the bounded in-flight
+// semaphore. Over capacity, the request takes a wait-queue token and
+// blocks for a slot; with the queue full (or disabled) it is shed
+// immediately with 429 and a Retry-After hint — submissions never queue
+// unboundedly. Queued waiters are released by a client disconnect or a
+// drain. The returned release function must be called when the request
+// finishes.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
+	if s.isDraining() {
+		s.reject(w, http.StatusServiceUnavailable, fmt.Errorf("server is draining"))
+		return nil, false
+	}
+	acquired := func() func() {
+		atomic.AddInt64(&s.inflight, 1)
+		return func() {
+			atomic.AddInt64(&s.inflight, -1)
+			<-s.slots
+		}
+	}
+	select {
+	case s.slots <- struct{}{}:
+		return acquired(), true
+	default:
+	}
+	if s.queue != nil {
+		select {
+		case s.queue <- struct{}{}:
+			atomic.AddInt64(&s.queued, 1)
+			defer func() {
+				atomic.AddInt64(&s.queued, -1)
+				<-s.queue
+			}()
+			select {
+			case s.slots <- struct{}{}:
+				return acquired(), true
+			case <-r.Context().Done():
+				return nil, false // client gave up while queued
+			case <-s.drainCh:
+				s.reject(w, http.StatusServiceUnavailable, fmt.Errorf("server is draining"))
+				return nil, false
+			}
+		default:
+		}
+	}
+	atomic.AddUint64(&s.shed, 1)
+	s.reject(w, http.StatusTooManyRequests,
+		fmt.Errorf("over capacity: %d requests in flight, wait queue full", atomic.LoadInt64(&s.inflight)))
+	return nil, false
+}
+
+// admitted wraps a simulation handler with admission control and the
+// per-request simulation deadline.
+func (s *Server) admitted(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		release, ok := s.admit(w, r)
+		if !ok {
+			return
+		}
+		defer release()
+		if s.opts.RequestTimeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		h(w, r)
+	}
+}
+
+// isDraining reports whether StartDrain has been called.
+func (s *Server) isDraining() bool { return atomic.LoadInt32(&s.draining) == 1 }
+
+// StartDrain flips the server into draining mode: /healthz reports
+// not-ready with 503 (so a fleet router stops health-routing here), new
+// simulation submissions are refused with 503 + Retry-After, and queued
+// waiters are released with the same. Requests already admitted keep
+// streaming — the drain owner (Serve) bounds how long. Idempotent.
+func (s *Server) StartDrain() {
+	s.drainOnce.Do(func() {
+		atomic.StoreInt32(&s.draining, 1)
+		close(s.drainCh)
+	})
+}
+
+// readBody reads a request body under the size cap, distinguishing an
+// oversized submission (413) from an unreadable one (400).
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request, what string) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("%s exceeds the %d-byte request body limit", what, mbe.Limit))
+		} else {
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("reading %s: %v", what, err))
+		}
+		return nil, false
+	}
+	return body, true
+}
+
+// StreamEndKind terminates every NDJSON stream: the final envelope of
+// /v1/batch and /v1/sweep is always a StreamEnd, so clients can
+// distinguish a completed stream from a truncated one.
+const StreamEndKind = "stream.end"
+
+// StreamEnd is the terminal envelope payload of the NDJSON endpoints.
+// Delivered counts the per-scenario (or per-point) envelopes actually
+// written; Expected is how many the submission called for. Reason is
+// "complete" (everything delivered; on the sweep endpoint the aggregate
+// envelope precedes this one only in this case), "canceled" (the
+// request context expired — client disconnect, request deadline, or
+// drain), "truncated" (the stream ended early without a cancellation),
+// or "error" (a write to the client failed mid-stream).
+type StreamEnd struct {
+	Delivered int    `json:"delivered"`
+	Expected  int    `json:"expected"`
+	Reason    string `json:"reason"`
+	Error     string `json:"error,omitempty"`
+}
+
+// streamEnd classifies how a stream finished.
+func streamEnd(delivered, expected int, ctx context.Context, encErr error) StreamEnd {
+	end := StreamEnd{Delivered: delivered, Expected: expected}
+	switch {
+	case encErr != nil:
+		end.Reason, end.Error = "error", encErr.Error()
+	case ctx.Err() != nil:
+		end.Reason, end.Error = "canceled", ctx.Err().Error()
+	case delivered < expected:
+		end.Reason = "truncated"
+	default:
+		end.Reason = "complete"
+	}
+	return end
+}
+
+// endStream writes the terminal envelope (best-effort: the client may
+// already be gone — that is logged, not fatal).
+func (s *Server) endStream(enc *json.Encoder, flusher http.Flusher, end StreamEnd) {
+	if err := enc.Encode(report.NewEnvelope(StreamEndKind, end)); err != nil {
+		s.logf("serve: writing stream.end (%s, %d/%d): %v", end.Reason, end.Delivered, end.Expected, err)
+		return
+	}
+	if flusher != nil {
+		flusher.Flush()
+	}
 }
 
 func (s *Server) batch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST a scenario batch to this endpoint"))
+		s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST a scenario batch to this endpoint"))
 		return
 	}
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 16<<20))
-	if err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("reading batch: %v", err))
+	body, ok := s.readBody(w, r, "batch")
+	if !ok {
 		return
 	}
 	raws, err := scenario.SplitSpecs(body)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, http.StatusBadRequest, err)
 		return
-	}
-	limit := s.maxBatch
-	if limit == 0 {
-		limit = DefaultMaxBatch
 	}
 	if len(raws) == 0 {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("empty batch"))
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("empty batch"))
 		return
 	}
-	if len(raws) > limit {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("batch of %d scenarios exceeds the limit of %d", len(raws), limit))
+	if len(raws) > s.opts.MaxBatch {
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Errorf("batch of %d scenarios exceeds the limit of %d", len(raws), s.opts.MaxBatch))
 		return
 	}
 
@@ -111,7 +386,7 @@ func (s *Server) batch(w http.ResponseWriter, r *http.Request) {
 			return experiments.BuiltinScenario(s.cfg, name)
 		})
 		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("scenario %d: %v", i, err))
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("scenario %d: %v", i, err))
 			return
 		}
 		specs[i] = spec
@@ -126,54 +401,59 @@ func (s *Server) batch(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
+	ctx := r.Context()
 
 	// Fan the batch out over the runner's pool and stream each result in
 	// submission order the moment it and its predecessors are done. The
 	// request context is threaded all the way into the pipeline stages: a
-	// client disconnect skips scenarios not yet started AND fails queued
-	// stages of scenarios mid-pipeline (an in-flight simulation still
-	// finishes — its stages are memoized and shared, so the work is not
-	// wasted).
-	s.rn.RunBatchStream(r.Context(), specs, func(i int, res *scenario.Result) bool {
+	// client disconnect or an expired request deadline skips scenarios
+	// not yet started AND fails queued stages of scenarios mid-pipeline
+	// (an in-flight simulation still finishes — its stages are memoized
+	// and shared, so the work is not wasted). A scenario whose pipeline
+	// panicked arrives as a result with its "error" field set; the
+	// stream, and every other request, keeps going.
+	delivered := 0
+	var encErr error
+	s.rn.RunBatchStream(ctx, specs, func(i int, res *scenario.Result) bool {
 		if err := enc.Encode(res.Envelope()); err != nil {
-			return false // client went away
+			encErr = err
+			s.logf("serve: batch stream: client write failed after %d/%d results: %v", delivered, len(specs), err)
+			return false
 		}
+		delivered++
 		if flusher != nil {
 			flusher.Flush()
 		}
 		return true
 	})
+	s.endStream(enc, flusher, streamEnd(delivered, len(specs), ctx, encErr))
 }
 
 // sweep expands and executes a declarative parameter sweep, streaming
-// one "sweep.point" envelope per completed point (in point order) and a
-// final "sweep.result" aggregate envelope.
+// one "sweep.point" envelope per completed point (in point order), a
+// final "sweep.result" aggregate envelope, and the terminal
+// "stream.end".
 func (s *Server) sweep(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST a sweep spec to this endpoint"))
+		s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST a sweep spec to this endpoint"))
 		return
 	}
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 16<<20))
-	if err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("reading sweep spec: %v", err))
+	body, ok := s.readBody(w, r, "sweep spec")
+	if !ok {
 		return
 	}
 	sw, err := sweep.Parse(body, func(name string) (scenario.Scenario, bool) {
 		return experiments.BuiltinScenario(s.cfg, name)
 	})
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	// Bound one submission exactly like a batch: the spec's own cap
 	// applies when tighter, the server's limit otherwise (truncation is
 	// recorded in the aggregate, never silent).
-	limit := s.maxBatch
-	if limit == 0 {
-		limit = DefaultMaxBatch
-	}
-	if sw.MaxPoints == 0 || sw.MaxPoints > limit {
-		sw.MaxPoints = limit
+	if sw.MaxPoints == 0 || sw.MaxPoints > s.opts.MaxBatch {
+		sw.MaxPoints = s.opts.MaxBatch
 	}
 	// Expand pre-flight: with the cap clamped this is cheap
 	// (simulation-free), and it surfaces EVERY expansion error — not
@@ -182,7 +462,7 @@ func (s *Server) sweep(w http.ResponseWriter, r *http.Request) {
 	// response header commits.
 	points, total, err := sw.Expand()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
 
@@ -192,31 +472,51 @@ func (s *Server) sweep(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
-	res, _ := sweep.ExecuteExpanded(r.Context(), s.rn, sw, points, total, func(p sweep.PointResult) {
-		if enc.Encode(p.Envelope()) == nil && flusher != nil {
+	ctx := r.Context()
+	delivered := 0
+	var encErr error
+	res, _ := sweep.ExecuteExpanded(ctx, s.rn, sw, points, total, func(p sweep.PointResult) {
+		if encErr != nil {
+			return
+		}
+		if err := enc.Encode(p.Envelope()); err != nil {
+			encErr = err
+			s.logf("serve: sweep stream: client write failed after %d/%d points: %v", delivered, len(points), err)
+			return
+		}
+		delivered++
+		if flusher != nil {
 			flusher.Flush()
 		}
 	})
-	if res == nil || r.Context().Err() != nil {
-		return // client went away; no aggregate to deliver
+	if res != nil && ctx.Err() == nil && encErr == nil {
+		if err := enc.Encode(res.Envelope()); err != nil {
+			encErr = err
+			s.logf("serve: sweep stream: writing aggregate: %v", err)
+		} else if flusher != nil {
+			flusher.Flush()
+		}
 	}
-	enc.Encode(res.Envelope())
-	if flusher != nil {
-		flusher.Flush()
-	}
+	s.endStream(enc, flusher, streamEnd(delivered, len(points), ctx, encErr))
 }
 
-// maxMemoEntries caps the shared runner's memo between batches.
-const maxMemoEntries = 4096
+// reject writes an over-capacity (or draining) response with the
+// Retry-After hint of the load-shedding contract.
+func (s *Server) reject(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+	s.writeError(w, status, err)
+}
 
-func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		s.logf("serve: writing %d response: %v", status, err)
+	}
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, report.NewEnvelope("error", map[string]string{"error": err.Error()}))
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	s.writeJSON(w, status, report.NewEnvelope("error", map[string]string{"error": err.Error()}))
 }

@@ -1,7 +1,6 @@
 package serve
 
 import (
-	"bufio"
 	"bytes"
 	"encoding/json"
 	"net/http"
@@ -78,6 +77,26 @@ func TestHealthAndListings(t *testing.T) {
 	}
 }
 
+// requireStreamEnd asserts an NDJSON line is the terminal stream.end
+// envelope with the given delivery count and reason.
+func requireStreamEnd(t *testing.T, line string, delivered, expected int, reason string) {
+	t.Helper()
+	var env struct {
+		SchemaVersion int       `json:"schema_version"`
+		Kind          string    `json:"kind"`
+		Payload       StreamEnd `json:"payload"`
+	}
+	if err := json.Unmarshal([]byte(line), &env); err != nil {
+		t.Fatalf("bad stream.end line %q: %v", line, err)
+	}
+	if env.Kind != StreamEndKind || env.SchemaVersion != report.SchemaVersion {
+		t.Fatalf("terminal envelope: kind %q version %d", env.Kind, env.SchemaVersion)
+	}
+	if env.Payload.Delivered != delivered || env.Payload.Expected != expected || env.Payload.Reason != reason {
+		t.Fatalf("stream.end: want %d/%d %q, got %+v", delivered, expected, reason, env.Payload)
+	}
+}
+
 // postBatch submits a batch and returns the raw NDJSON body.
 func postBatch(t *testing.T, url, body string) (int, string) {
 	t.Helper()
@@ -107,26 +126,26 @@ func TestBatchStreamsResultsInOrder(t *testing.T) {
 	if status != http.StatusOK {
 		t.Fatalf("batch: %d\n%s", status, body)
 	}
+	lines := strings.Split(strings.TrimSpace(body), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want 3 results + stream.end, got %d lines:\n%s", len(lines), body)
+	}
 	var results []scenario.Result
-	sc := bufio.NewScanner(strings.NewReader(body))
-	sc.Buffer(make([]byte, 1<<20), 1<<24)
-	for sc.Scan() {
+	for _, line := range lines[:3] {
 		var env struct {
 			SchemaVersion int             `json:"schema_version"`
 			Kind          string          `json:"kind"`
 			Payload       scenario.Result `json:"payload"`
 		}
-		if err := json.Unmarshal(sc.Bytes(), &env); err != nil {
-			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		if err := json.Unmarshal([]byte(line), &env); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
 		}
 		if env.Kind != scenario.ResultKind || env.SchemaVersion != report.SchemaVersion {
 			t.Errorf("bad envelope header: kind %q version %d", env.Kind, env.SchemaVersion)
 		}
 		results = append(results, env.Payload)
 	}
-	if len(results) != 3 {
-		t.Fatalf("want 3 results, got %d", len(results))
-	}
+	requireStreamEnd(t, lines[3], 3, 3, "complete")
 	if results[0].Scenario.Workload != "2jpeg+canny" || results[0].Error != "" || len(results[0].Curves) == 0 {
 		t.Errorf("base-overlay result wrong: %+v", results[0].Scenario)
 	}
@@ -149,6 +168,8 @@ func TestBatchSingleSpecObject(t *testing.T) {
 	if n := strings.Count(body, `"kind":"scenario.result"`); n != 1 {
 		t.Errorf("want 1 result envelope, got %d:\n%s", n, body)
 	}
+	lines := strings.Split(strings.TrimSpace(body), "\n")
+	requireStreamEnd(t, lines[len(lines)-1], 1, 1, "complete")
 }
 
 // TestBatchRejections covers the atomic-rejection paths.

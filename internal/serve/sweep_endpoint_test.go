@@ -24,8 +24,7 @@ func testConfig() experiments.Config {
 // limit (shared by /v1/batch and /v1/sweep).
 func newCappedServer(t *testing.T, cfg experiments.Config, limit int) *httptest.Server {
 	t.Helper()
-	s := New(cfg, scenario.NewRunner(2))
-	s.maxBatch = limit
+	s := NewWithOptions(cfg, scenario.NewRunner(2), Options{MaxBatch: limit})
 	ts := httptest.NewServer(s)
 	t.Cleanup(ts.Close)
 	return ts
@@ -63,8 +62,8 @@ func TestSweepEndpointStreamsPointsThenAggregate(t *testing.T) {
 		t.Fatalf("sweep: %d\n%s", status, body)
 	}
 	lines := strings.Split(strings.TrimSpace(body), "\n")
-	if len(lines) != 3 {
-		t.Fatalf("want 2 point lines + 1 aggregate, got %d:\n%s", len(lines), body)
+	if len(lines) != 4 {
+		t.Fatalf("want 2 point lines + aggregate + stream.end, got %d:\n%s", len(lines), body)
 	}
 	for i, line := range lines[:2] {
 		var env struct {
@@ -101,6 +100,7 @@ func TestSweepEndpointStreamsPointsThenAggregate(t *testing.T) {
 	if agg.Payload.Stats.ProfileRuns != 2 {
 		t.Errorf("aggregate must carry the runner-stat delta: %+v", agg.Payload.Stats)
 	}
+	requireStreamEnd(t, lines[3], 2, 2, "complete")
 }
 
 // TestSweepEndpointRejections covers the sweep 4xx paths, including the
@@ -144,8 +144,8 @@ func TestSweepEndpointServerCap(t *testing.T) {
 		t.Fatalf("capped sweep: %d\n%s", status, body)
 	}
 	lines := strings.Split(strings.TrimSpace(body), "\n")
-	if len(lines) != 4 { // 3 points + aggregate
-		t.Fatalf("want 3 point lines + aggregate under the cap, got %d", len(lines))
+	if len(lines) != 5 { // 3 points + aggregate + stream.end
+		t.Fatalf("want 3 point lines + aggregate + stream.end under the cap, got %d", len(lines))
 	}
 	var agg struct {
 		Payload sweep.Result `json:"payload"`
@@ -156,6 +156,10 @@ func TestSweepEndpointServerCap(t *testing.T) {
 	if agg.Payload.TotalPoints != 8 || agg.Payload.Executed != 3 || agg.Payload.Truncated != 5 {
 		t.Errorf("truncation must be recorded, got %+v", agg.Payload)
 	}
+	// The stream itself is whole: every expanded (capped) point was
+	// delivered, so the terminal envelope says complete — the spec-level
+	// truncation lives in the aggregate above.
+	requireStreamEnd(t, lines[4], 3, 3, "complete")
 }
 
 // TestSweepExpansionErrorIsA400 checks an expansion failure that slips

@@ -36,6 +36,10 @@ func TestBatchRunsDeepTopologyBuiltins(t *testing.T) {
 		if err := json.Unmarshal(sc.Bytes(), &env); err != nil {
 			t.Fatalf("line %d: %v", n, err)
 		}
+		if env.Kind == StreamEndKind {
+			requireStreamEnd(t, sc.Text(), 2, 2, "complete")
+			continue
+		}
 		if env.Kind != scenario.ResultKind {
 			t.Fatalf("line %d: kind %q", n, env.Kind)
 		}
@@ -90,7 +94,8 @@ func TestSweepOverLevelPath(t *testing.T) {
 			aggregate = env.Payload
 		}
 	}
-	if len(kinds) != 3 || kinds[0] != "sweep.point" || kinds[1] != "sweep.point" || kinds[2] != "sweep.result" {
+	if len(kinds) != 4 || kinds[0] != "sweep.point" || kinds[1] != "sweep.point" ||
+		kinds[2] != "sweep.result" || kinds[3] != StreamEndKind {
 		t.Fatalf("stream shape: %v", kinds)
 	}
 	var res struct {

@@ -241,6 +241,7 @@ func ExecuteExpanded(ctx context.Context, rn *scenario.Runner, sw Sweep, points 
 		StageRuns:    after.StageRuns - before.StageRuns,
 		MemoHits:     after.MemoHits - before.MemoHits,
 		StageErrors:  after.StageErrors - before.StageErrors,
+		StagePanics:  after.StagePanics - before.StagePanics,
 		ProfileRuns:  after.ProfileRuns - before.ProfileRuns,
 		OptimizeRuns: after.OptimizeRuns - before.OptimizeRuns,
 		RunRuns:      after.RunRuns - before.RunRuns,
