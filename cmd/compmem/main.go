@@ -24,9 +24,9 @@
 //	curves    dump the profiled per-entity miss curves m_i(z_p)
 //	bench     time the execution-engine stages (-json for bench.json output)
 //	all       everything above except bench
-//	run       execute scenario specs: run -scenario file.json [-json]
+//	run       execute scenario specs: run -scenario file.json [-store-dir DIR] [-json]
 //	sweep     expand and run a parameter sweep: sweep -spec file.json|paper-grid [-max-points N] [-json]
-//	serve     HTTP scenario service: serve [-addr :8080] [-max-inflight N] [-queue N] [-request-timeout D] [-drain D]
+//	serve     HTTP scenario service: serve [-addr :8080] [-store-dir DIR] [-max-inflight N] [-queue N] [-request-timeout D] [-drain D]
 //	scenarios list built-in scenarios, sweeps and registered workloads
 //
 // With -json, every evaluation command emits its artifacts as versioned
@@ -50,9 +50,26 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/scenario"
 	"repro/internal/serve"
+	"repro/internal/store"
 	"repro/internal/sweep"
 	"repro/internal/workloads"
 )
+
+// newRunner builds the scenario runner, optionally backed by the
+// crash-safe on-disk result store at storeDir (created if missing).
+// The disk layer is wrapped for resilience: transient I/O errors are
+// retried with backoff, and a persistently failing volume trips the
+// store into memory-only degradation instead of failing scenarios.
+func newRunner(cfg experiments.Config, storeDir string) (*scenario.Runner, error) {
+	if storeDir == "" {
+		return scenario.NewRunner(cfg.Workers), nil
+	}
+	ds, err := store.OpenDisk(storeDir)
+	if err != nil {
+		return nil, err
+	}
+	return scenario.NewRunnerWithStore(cfg.Workers, store.NewResilient(ds, store.ResilientOptions{})), nil
+}
 
 func main() {
 	small := flag.Bool("small", false, "use the fast, small-scale workloads")
@@ -184,6 +201,7 @@ func runCommand(cmd string, cfg experiments.Config, asJSON bool) error {
 func runScenarios(cfg experiments.Config, args []string, asJSON bool) error {
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	path := fs.String("scenario", "", "scenario spec: a JSON file or a built-in scenario name")
+	storeDir := fs.String("store-dir", "", "durable result store directory: completed pipeline stages persist here and warm-serve across runs")
 	subJSON := fs.Bool("json", false, "emit result documents as JSON (one envelope per scenario)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -195,7 +213,11 @@ func runScenarios(cfg experiments.Config, args []string, asJSON bool) error {
 	if err != nil {
 		return err
 	}
-	rn := scenario.NewRunner(cfg.Workers)
+	rn, err := newRunner(cfg, *storeDir)
+	if err != nil {
+		return err
+	}
+	defer rn.Close()
 	results := rn.RunBatch(specs)
 
 	if asJSON || *subJSON {
@@ -329,6 +351,7 @@ func firstError(res *sweep.Result) string {
 func runServe(cfg experiments.Config, args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address")
+	storeDir := fs.String("store-dir", "", "durable result store directory: completed pipeline stages persist here and warm-serve across restarts")
 	maxInflight := fs.Int("max-inflight", serve.DefaultMaxInflight, "max concurrently admitted simulation requests")
 	queue := fs.Int("queue", serve.DefaultQueue, "wait-queue slots beyond -max-inflight before shedding with 429 (negative disables queueing)")
 	requestTimeout := fs.Duration("request-timeout", 0, "per-request simulation deadline (0 = none)")
@@ -336,7 +359,11 @@ func runServe(cfg experiments.Config, args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	rn := scenario.NewRunner(cfg.Workers)
+	rn, err := newRunner(cfg, *storeDir)
+	if err != nil {
+		return err
+	}
+	defer rn.Close()
 	logger := log.New(os.Stderr, "compmem: ", log.LstdFlags)
 	s := serve.NewWithOptions(cfg, rn, serve.Options{
 		MaxInflight:    *maxInflight,
@@ -350,7 +377,7 @@ func runServe(cfg experiments.Config, args []string) error {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	logger.Printf("serving scenario API on %s (workloads: %v)", l.Addr(), workloads.Names())
+	logger.Printf("serving scenario API on %s (store: %s, workloads: %v)", l.Addr(), rn.StoreMode(), workloads.Names())
 	return s.Serve(ctx, l, *drain)
 }
 

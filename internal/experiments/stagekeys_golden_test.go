@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// stagekeys_golden_test.go pins the content addresses of every built-in
+// scenario: the spec's own content key and the full store keys
+// ("<kind>|<hash>") of each pipeline stage its partition policy runs.
+// These hashes are *durable identifiers* — the on-disk result store
+// addresses persisted records by them across process restarts — so any
+// drift in scenario.Normalize, hashJSON, or the per-stage key
+// derivations silently orphans every existing -store-dir (warm results
+// all miss and recompute). This test turns that silent cache wipe into
+// a loud failure.
+//
+// Regenerate (only legitimate when a key-schema change is intended and
+// explained in the commit — it invalidates every existing store):
+//
+//	REGEN_STAGE_KEYS=1 go test ./internal/experiments -run TestStageKeysGolden
+const stageKeysGoldenPath = "testdata/stage_keys_golden.json"
+
+// stageKeysDoc is one built-in's pinned addresses.
+type stageKeysDoc struct {
+	Key    string            `json:"key"`
+	Stages map[string]string `json:"stages"`
+}
+
+func stageKeysNow(t *testing.T) map[string]stageKeysDoc {
+	t.Helper()
+	out := map[string]stageKeysDoc{}
+	for name, s := range BuiltinScenarios(Default()) {
+		key, err := s.Key()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		stages, err := s.StageKeys()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out[name] = stageKeysDoc{Key: key, Stages: stages}
+	}
+	return out
+}
+
+func TestStageKeysGolden(t *testing.T) {
+	got := stageKeysNow(t)
+	if os.Getenv("REGEN_STAGE_KEYS") != "" {
+		b, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(stageKeysGoldenPath, append(b, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s (%d scenarios)", stageKeysGoldenPath, len(got))
+		return
+	}
+	raw, err := os.ReadFile(stageKeysGoldenPath)
+	if err != nil {
+		t.Fatalf("missing golden (run with REGEN_STAGE_KEYS=1 to create): %v", err)
+	}
+	var want map[string]stageKeysDoc
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Errorf("built-in count drifted: %d scenarios, golden has %d", len(got), len(want))
+	}
+	for name, w := range want {
+		g, ok := got[name]
+		if !ok {
+			t.Errorf("built-in %q disappeared", name)
+			continue
+		}
+		if g.Key != w.Key {
+			t.Errorf("%s: content key drifted\n got %s\nwant %s\n(this orphans every persisted result for the scenario)", name, g.Key, w.Key)
+		}
+		for stage, wantKey := range w.Stages {
+			if gotKey := g.Stages[stage]; gotKey != wantKey {
+				t.Errorf("%s/%s: stage key drifted\n got %s\nwant %s", name, stage, gotKey, wantKey)
+			}
+		}
+		if len(g.Stages) != len(w.Stages) {
+			t.Errorf("%s: stage set drifted: got %v, golden %v", name, g.Stages, w.Stages)
+		}
+	}
+}

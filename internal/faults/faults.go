@@ -14,6 +14,7 @@
 package faults
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -24,10 +25,16 @@ import (
 
 // Injection-site names. Stage sites are SiteStage + the stage kind
 // ("stage.profile", "stage.optimize", "stage.run"); SiteWorker is hit
-// once per task dispatched on the parallel worker pool.
+// once per task dispatched on the parallel worker pool; SiteStoreGet
+// and SiteStorePut are hit once per durable-store read and write (the
+// disk store honors Error and Delay on both, and Truncate on put — a
+// torn write that frames a deliberately short record through the same
+// atomic path, simulating a crash between rename and data flush).
 const (
-	SiteStage  = "stage."
-	SiteWorker = "parallel.worker"
+	SiteStage    = "stage."
+	SiteWorker   = "parallel.worker"
+	SiteStoreGet = "store.get"
+	SiteStorePut = "store.put"
 )
 
 // Kind selects what an injection rule does when it fires.
@@ -42,6 +49,10 @@ const (
 	Error
 	// Delay sleeps for the rule's duration, then proceeds normally.
 	Delay
+	// Truncate returns an *InjectedError with Kind Truncate; the site
+	// interprets it (the disk store's put path writes a torn record and
+	// reports success). Sites that cannot interpret it treat it as Error.
+	Truncate
 )
 
 // String names the kind.
@@ -53,6 +64,8 @@ func (k Kind) String() string {
 		return "error"
 	case Delay:
 		return "delay"
+	case Truncate:
+		return "truncate"
 	}
 	return "none"
 }
@@ -70,15 +83,28 @@ func (v PanicValue) String() string {
 	return fmt.Sprintf("faults: injected panic at %s[#%d] (seed %d)", v.Site, v.Ordinal, v.Seed)
 }
 
-// InjectedError is the error returned by Error-kind rules.
+// InjectedError is the error returned by Error- and Truncate-kind
+// rules. Kind distinguishes them (the zero Kind reads as a plain
+// error, so existing constructions are unchanged).
 type InjectedError struct {
 	Site    string
 	Ordinal uint64
+	Kind    Kind
 }
 
 // Error implements error.
 func (e *InjectedError) Error() string {
+	if e.Kind == Truncate {
+		return fmt.Sprintf("faults: injected torn write at %s[#%d]", e.Site, e.Ordinal)
+	}
 	return fmt.Sprintf("faults: injected error at %s[#%d]", e.Site, e.Ordinal)
+}
+
+// IsTruncate reports whether err is an injected Truncate fault, which
+// the disk store's put path turns into a torn-but-"successful" write.
+func IsTruncate(err error) bool {
+	var ie *InjectedError
+	return errors.As(err, &ie) && ie.Kind == Truncate
 }
 
 // action is one armed fault at one ordinal of a site.
@@ -88,9 +114,12 @@ type action struct {
 }
 
 // site tracks one injection point's hit counter and armed actions.
+// always, when non-nil, fires on every hit without an exact-ordinal
+// action — the "broken volume" rules of the degradation tests.
 type site struct {
 	hits    uint64
 	actions map[uint64]action
+	always  *action
 	fired   map[Kind]uint64
 }
 
@@ -143,6 +172,24 @@ func (p *Plan) DelayAt(siteName string, d time.Duration, ordinals ...uint64) *Pl
 	return p.arm(siteName, action{kind: Delay, delay: d}, ordinals)
 }
 
+// TruncateAt arms a torn write at the given hit ordinals of a site
+// (meaningful on store.put, where the disk store frames a deliberately
+// truncated record and reports success).
+func (p *Plan) TruncateAt(siteName string, ordinals ...uint64) *Plan {
+	return p.arm(siteName, action{kind: Truncate}, ordinals)
+}
+
+// ErrorAlways arms an error return on every hit of a site — the
+// always-failing-disk rule of the degradation tests. Exact-ordinal
+// rules, if any, take precedence at their ordinals.
+func (p *Plan) ErrorAlways(siteName string) *Plan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	a := action{kind: Error}
+	p.site(siteName).always = &a
+	return p
+}
+
 // Pick deterministically selects k distinct ordinals from [0, n),
 // sorted ascending, from the plan's seed — the "random but
 // reproducible" placement the fault suite uses.
@@ -187,6 +234,9 @@ func (p *Plan) hit(name string) error {
 	ord := s.hits
 	s.hits++
 	a, armed := s.actions[ord]
+	if !armed && s.always != nil {
+		a, armed = *s.always, true
+	}
 	if armed {
 		s.fired[a.kind]++
 	}
@@ -199,6 +249,8 @@ func (p *Plan) hit(name string) error {
 		panic(PanicValue{Site: name, Ordinal: ord, Seed: p.Seed})
 	case Error:
 		return &InjectedError{Site: name, Ordinal: ord}
+	case Truncate:
+		return &InjectedError{Site: name, Ordinal: ord, Kind: Truncate}
 	case Delay:
 		time.Sleep(a.delay)
 	}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/profile"
 	"repro/internal/report"
+	"repro/internal/store"
 	"repro/internal/workloads"
 )
 
@@ -29,21 +30,38 @@ import (
 //
 // A Runner is safe for concurrent use; the serve mode shares one across
 // requests, turning the memo into a result cache.
+//
+// The memo is layered. In front, a single-flight table tracks stages
+// currently computing, so concurrent identical lookups — including
+// concurrent cold reads of the same durable record — collapse into one.
+// Behind it, completed stage results live as versioned encoded
+// documents in an in-memory LRU store, and optionally in a durable
+// store (the crash-safe on-disk CAS of internal/store): a memory miss
+// consults the durable layer before simulating, so warm results survive
+// process restarts. Durable-layer failures are counted, retried and —
+// when the medium keeps failing — degraded away by the store layer;
+// they never fail a scenario.
 type Runner struct {
 	// workers bounds each fan-out stage (0 = GOMAXPROCS, 1 = fully
 	// sequential), exactly like experiments.Config.Workers.
 	workers int
 
-	mu   sync.Mutex
-	memo map[string]*memoEntry
+	mu       sync.Mutex
+	inflight map[string]*memoEntry
+
+	mem     store.Store // completed stage documents, LRU-bounded
+	durable store.Store // optional crash-safe layer; nil = memory-only
 
 	stageRuns    uint64 // stages actually executed
-	memoHits     uint64 // stage lookups served from the memo
+	memoHits     uint64 // stage lookups served from the in-process memo
 	stageErrors  uint64 // stages that failed (and were evicted for retry)
 	stagePanics  uint64 // panics recovered and converted to StagePanicError
 	profileRuns  uint64 // profile stages executed
 	optimizeRuns uint64 // optimize stages executed
 	runRuns      uint64 // measured-execution stages executed
+	diskHits     uint64 // stage lookups served from the durable store
+	diskMisses   uint64 // durable-store lookups that found no record
+	storeErrors  uint64 // durable-store operations that failed (post-retry)
 }
 
 // StagePanicError is a panic recovered inside a pipeline stage (or a
@@ -77,24 +95,60 @@ type memoEntry struct {
 	err  error
 }
 
-// NewRunner returns a Runner with the given worker-pool bound.
+// NewRunner returns a memory-only Runner with the given worker-pool
+// bound.
 func NewRunner(workers int) *Runner {
-	return &Runner{workers: workers, memo: make(map[string]*memoEntry)}
+	return NewRunnerWithStore(workers, nil)
+}
+
+// NewRunnerWithStore returns a Runner whose completed stage results are
+// additionally persisted to (and warm-served from) the given durable
+// store. Pass the disk CAS wrapped in store.NewResilient so transient
+// I/O errors are retried and a persistently failing medium degrades to
+// memory-only operation instead of failing scenarios. nil means
+// memory-only.
+func NewRunnerWithStore(workers int, durable store.Store) *Runner {
+	return &Runner{
+		workers:  workers,
+		inflight: make(map[string]*memoEntry),
+		mem:      store.NewMemory(0),
+		durable:  durable,
+	}
 }
 
 // Workers returns the runner's worker-pool knob (0 = GOMAXPROCS).
 func (r *Runner) Workers() int { return r.workers }
 
-// TrimMemo drops the whole memo when it holds more than max entries,
-// bounding a long-lived runner's memory. In-flight stages keep their
-// entry pointers and finish normally; later requests recompute — every
-// simulation is deterministic, so trimming never changes results.
-func (r *Runner) TrimMemo(max int) {
-	r.mu.Lock()
-	if len(r.memo) > max {
-		r.memo = make(map[string]*memoEntry)
+// StoreMode reports the runner's persistence mode: "memory" without a
+// durable store, "disk" with one, and "degraded" once a failing medium
+// has been disabled by the store layer's breaker.
+func (r *Runner) StoreMode() string {
+	if r.durable == nil {
+		return "memory"
 	}
-	r.mu.Unlock()
+	if m, ok := r.durable.(store.Moder); ok {
+		return m.Mode()
+	}
+	return "disk"
+}
+
+// TrimMemo bounds the in-memory result store to at most max completed
+// entries, evicting least-recently-used records. Stages still in flight
+// are tracked separately and are never evicted; evicted results remain
+// in the durable store (when configured) and otherwise recompute —
+// every simulation is deterministic, so trimming never changes results.
+func (r *Runner) TrimMemo(max int) {
+	if t, ok := r.mem.(store.Trimmer); ok {
+		t.Trim(max)
+	}
+}
+
+// Close releases the durable store, if any.
+func (r *Runner) Close() error {
+	if r.durable == nil {
+		return nil
+	}
+	return r.durable.Close()
 }
 
 // Stats reports memoization effectiveness. All counters are monotonic,
@@ -108,11 +162,15 @@ type Stats struct {
 	ProfileRuns  uint64 `json:"profile_runs"`           // profile stages executed
 	OptimizeRuns uint64 `json:"optimize_runs"`          // optimize stages executed
 	RunRuns      uint64 `json:"run_runs"`               // measured executions performed
+	DiskHits     uint64 `json:"disk_hits,omitempty"`    // stage requests served from the durable store
+	DiskMisses   uint64 `json:"disk_misses,omitempty"`  // durable lookups that found no record
+	StoreErrors  uint64 `json:"store_errors,omitempty"` // durable-store operations failed post-retry (never fatal)
+	Quarantined  uint64 `json:"quarantined,omitempty"`  // corrupt durable records detected and quarantined
 }
 
 // Stats returns a snapshot of the runner's counters.
 func (r *Runner) Stats() Stats {
-	return Stats{
+	s := Stats{
 		StageRuns:    atomic.LoadUint64(&r.stageRuns),
 		MemoHits:     atomic.LoadUint64(&r.memoHits),
 		StageErrors:  atomic.LoadUint64(&r.stageErrors),
@@ -120,7 +178,14 @@ func (r *Runner) Stats() Stats {
 		ProfileRuns:  atomic.LoadUint64(&r.profileRuns),
 		OptimizeRuns: atomic.LoadUint64(&r.optimizeRuns),
 		RunRuns:      atomic.LoadUint64(&r.runRuns),
+		DiskHits:     atomic.LoadUint64(&r.diskHits),
+		DiskMisses:   atomic.LoadUint64(&r.diskMisses),
+		StoreErrors:  atomic.LoadUint64(&r.storeErrors),
 	}
+	if sp, ok := r.durable.(store.StatsProvider); ok {
+		s.Quarantined = sp.Stats().Quarantined
+	}
+	return s
 }
 
 // Stage kinds, also the memo-key prefixes.
@@ -130,9 +195,15 @@ const (
 	stageRun      = "run"
 )
 
-// stage runs f once per key (single-flight) and memoizes its result.
-// Errors are NOT memoized: a failed stage evicts its memo entry, so a
-// transient failure (e.g. a workload factory error) cannot poison the
+// stage serves one pipeline-stage lookup through the memo layers:
+// the completed-result stores first (memory, then the durable layer),
+// then a single-flight execution of f. Concurrent lookups of one key —
+// whether the work is a simulation or a cold durable read — collapse
+// into one computation whose result every waiter shares, so
+// concurrency semantics are independent of the storage backing.
+//
+// Errors are NOT memoized: a failed stage evicts its single-flight
+// entry (nothing is stored), so a transient failure cannot poison the
 // key for the lifetime of a long-lived shared runner — the next request
 // retries. Callers that arrived while the failing computation was in
 // flight still all observe its error (they were waiting on it), but any
@@ -147,15 +218,30 @@ func (r *Runner) stage(ctx context.Context, kind, key string, f func() (interfac
 	}
 	key = kind + "|" + key
 	r.mu.Lock()
-	e, ok := r.memo[key]
-	if !ok {
-		e = &memoEntry{}
-		r.memo[key] = e
-	} else {
-		atomic.AddUint64(&r.memoHits, 1)
+	e, waiting := r.inflight[key]
+	var cached []byte
+	if !waiting {
+		if b, err := r.mem.Get(key); err == nil {
+			cached = b
+		} else {
+			e = &memoEntry{}
+			r.inflight[key] = e
+		}
 	}
 	r.mu.Unlock()
+
+	if cached != nil {
+		atomic.AddUint64(&r.memoHits, 1)
+		return decodeStage(kind, cached)
+	}
+	if waiting {
+		atomic.AddUint64(&r.memoHits, 1)
+	}
 	e.once.Do(func() {
+		if v, ok := r.loadDurable(kind, key); ok {
+			e.val = v
+			return
+		}
 		atomic.AddUint64(&r.stageRuns, 1)
 		switch kind {
 		case stageProfile:
@@ -166,19 +252,78 @@ func (r *Runner) stage(ctx context.Context, kind, key string, f func() (interfac
 			atomic.AddUint64(&r.runRuns, 1)
 		}
 		e.val, e.err = r.guarded(kind, key, f)
+		if e.err == nil {
+			r.persist(kind, key, e.val)
+		}
 	})
-	if e.err != nil {
-		// Evict so the next request retries. The pointer comparison keeps
-		// this idempotent across the entry's concurrent waiters and never
-		// deletes a fresh retry entry installed in the meantime.
-		r.mu.Lock()
-		if r.memo[key] == e {
-			delete(r.memo, key)
+	// The entry's work is done (stored on success): retire it from the
+	// single-flight table. The pointer comparison keeps this idempotent
+	// across the entry's concurrent waiters and never deletes a fresh
+	// retry entry installed in the meantime; the error counter fires
+	// once per failed execution, mirroring the eviction-for-retry
+	// semantics (nothing was stored, so the next lookup starts fresh).
+	r.mu.Lock()
+	if r.inflight[key] == e {
+		delete(r.inflight, key)
+		if e.err != nil {
 			atomic.AddUint64(&r.stageErrors, 1)
 		}
-		r.mu.Unlock()
 	}
+	r.mu.Unlock()
 	return e.val, e.err
+}
+
+// loadDurable consults the durable store for a completed stage result,
+// promoting a hit into the memory store. Store failures are counted and
+// swallowed — the caller falls through to simulation; a document of an
+// unknown version (or a kind mismatch) is treated the same way, and the
+// recompute overwrites it.
+func (r *Runner) loadDurable(kind, key string) (interface{}, bool) {
+	if r.durable == nil {
+		return nil, false
+	}
+	b, err := r.durable.Get(key)
+	switch {
+	case err == nil:
+		v, derr := decodeStage(kind, b)
+		if derr != nil {
+			atomic.AddUint64(&r.storeErrors, 1)
+			r.durable.Delete(key)
+			return nil, false
+		}
+		atomic.AddUint64(&r.diskHits, 1)
+		r.mem.Put(key, b)
+		return v, true
+	case errors.Is(err, store.ErrNotFound):
+		atomic.AddUint64(&r.diskMisses, 1)
+	case errors.Is(err, store.ErrDegraded):
+		// The breaker tripped: memory-only mode, nothing to count per op.
+	default:
+		atomic.AddUint64(&r.storeErrors, 1)
+	}
+	return nil, false
+}
+
+// persist encodes a completed stage value into its versioned document
+// and stores it — always in memory, and in the durable layer when one
+// is configured. Durable failures are counted, never propagated: a
+// broken volume costs durability, not results.
+func (r *Runner) persist(kind, key string, v interface{}) {
+	b, err := encodeStage(kind, v)
+	if err != nil {
+		// Stage values are plain structs of scalars, slices and maps;
+		// encoding cannot fail in practice. Count it and serve from the
+		// single-flight value alone.
+		atomic.AddUint64(&r.storeErrors, 1)
+		return
+	}
+	r.mem.Put(key, b)
+	if r.durable == nil {
+		return
+	}
+	if err := r.durable.Put(key, b); err != nil && !errors.Is(err, store.ErrDegraded) {
+		atomic.AddUint64(&r.storeErrors, 1)
+	}
 }
 
 // guarded executes one stage body with panic containment: a panic on
@@ -223,13 +368,17 @@ type profileKey struct {
 	Sizes    []int        `json:"sizes"`
 }
 
-func (r *Runner) profileStage(ctx context.Context, s Scenario) ([]profile.Curve, error) {
-	key := hashJSON(profileKey{
+// profileStageKey hashes exactly what the profiling stage depends on.
+func profileStageKey(s Scenario) string {
+	return hashJSON(profileKey{
 		Workload: s.Workload, Scale: s.Scale, Seed: s.Seed,
 		Platform: *s.Platform, Exec: s.ExecEngine,
 		Runs: s.Runs, Engine: s.ProfileEngine, Level: s.ProfileLevel, Sizes: s.Sizes,
 	})
-	v, err := r.stage(ctx, stageProfile, key, func() (interface{}, error) {
+}
+
+func (r *Runner) profileStage(ctx context.Context, s Scenario) ([]profile.Curve, error) {
+	v, err := r.stage(ctx, stageProfile, profileStageKey(s), func() (interface{}, error) {
 		w, err := workloads.Build(s.Workload, s.buildConfig())
 		if err != nil {
 			return nil, err
@@ -252,8 +401,9 @@ type optimizeKey struct {
 	Solver string `json:"solver"`
 }
 
-func (r *Runner) optimizeStage(ctx context.Context, s Scenario) (*core.OptimizeResult, error) {
-	key := hashJSON(optimizeKey{
+// optimizeStageKey hashes what the profile+solve stage depends on.
+func optimizeStageKey(s Scenario) string {
+	return hashJSON(optimizeKey{
 		profileKey: profileKey{
 			Workload: s.Workload, Scale: s.Scale, Seed: s.Seed,
 			Platform: *s.Platform, Exec: s.ExecEngine,
@@ -261,7 +411,10 @@ func (r *Runner) optimizeStage(ctx context.Context, s Scenario) (*core.OptimizeR
 		},
 		Solver: s.Solver,
 	})
-	v, err := r.stage(ctx, stageOptimize, key, func() (interface{}, error) {
+}
+
+func (r *Runner) optimizeStage(ctx context.Context, s Scenario) (*core.OptimizeResult, error) {
+	v, err := r.stage(ctx, stageOptimize, optimizeStageKey(s), func() (interface{}, error) {
 		// The closure may be computing on behalf of many single-flight
 		// waiters; once started it completes regardless of the first
 		// caller's fate, so the nested profile lookup is detached from
@@ -305,13 +458,17 @@ type runKey struct {
 	AllocKey  string       `json:"alloc_key,omitempty"`
 }
 
-func (r *Runner) runStage(ctx context.Context, s Scenario, strat core.Strategy, alloc core.Allocation, allocKey string) (*core.Result, error) {
-	key := hashJSON(runKey{
+// runStageKey hashes what one measured execution depends on.
+func runStageKey(s Scenario, strat core.Strategy, allocKey string) string {
+	return hashJSON(runKey{
 		Workload: s.Workload, Scale: s.Scale, Seed: s.Seed,
 		Platform: *s.Platform, Exec: s.ExecEngine,
 		Strategy: strat.String(), Migration: s.Migration, AllocKey: allocKey,
 	})
-	v, err := r.stage(ctx, stageRun, key, func() (interface{}, error) {
+}
+
+func (r *Runner) runStage(ctx context.Context, s Scenario, strat core.Strategy, alloc core.Allocation, allocKey string) (*core.Result, error) {
+	v, err := r.stage(ctx, stageRun, runStageKey(s, strat, allocKey), func() (interface{}, error) {
 		w, err := workloads.Build(s.Workload, s.buildConfig())
 		if err != nil {
 			return nil, err
@@ -344,15 +501,38 @@ func allocSpec(s Scenario) Scenario {
 
 // allocStageKey mirrors optimizeStage's key derivation, for runKey.
 func allocStageKey(s Scenario) string {
-	a := allocSpec(s)
-	return hashJSON(optimizeKey{
-		profileKey: profileKey{
-			Workload: a.Workload, Scale: a.Scale, Seed: a.Seed,
-			Platform: *a.Platform, Exec: a.ExecEngine,
-			Runs: a.Runs, Engine: a.ProfileEngine, Level: a.ProfileLevel, Sizes: a.Sizes,
-		},
-		Solver: a.Solver,
-	})
+	return optimizeStageKey(allocSpec(s))
+}
+
+// StageKeys returns the full store keys ("<kind>|<hash>") of every
+// pipeline stage the scenario's partition policy executes, labeled
+// "profile", "optimize", "run.shared" and "run.partitioned". These keys
+// are durable identifiers: persisted results are addressed by them
+// across process restarts, so any drift in Normalize or the per-stage
+// key derivations silently orphans every cached result — the golden
+// tests pin them for the built-in scenarios.
+func (s Scenario) StageKeys() (map[string]string, error) {
+	n, err := s.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	keys := make(map[string]string)
+	switch n.Partition {
+	case PartitionProfile:
+		keys["profile"] = stageProfile + "|" + profileStageKey(n)
+	case PartitionOptimize:
+		keys["profile"] = stageProfile + "|" + profileStageKey(n)
+		keys["optimize"] = stageOptimize + "|" + optimizeStageKey(n)
+	case PartitionShared:
+		keys["run.shared"] = stageRun + "|" + runStageKey(n, core.Shared, "")
+	case PartitionOptimized:
+		a := allocSpec(n)
+		keys["profile"] = stageProfile + "|" + profileStageKey(a)
+		keys["optimize"] = stageOptimize + "|" + optimizeStageKey(a)
+		keys["run.shared"] = stageRun + "|" + runStageKey(n, core.Shared, "")
+		keys["run.partitioned"] = stageRun + "|" + runStageKey(n, core.Partitioned, allocStageKey(n))
+	}
+	return keys, nil
 }
 
 // Run normalizes and executes one scenario. The returned Result always

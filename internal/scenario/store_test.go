@@ -1,0 +1,246 @@
+package scenario
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/store"
+)
+
+// diskRunner returns a runner persisting to dir through the resilient
+// wrapper, exactly as the CLI's -store-dir wiring builds it.
+func diskRunner(t *testing.T, workers int, dir string) *Runner {
+	t.Helper()
+	ds, err := store.OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewRunnerWithStore(workers, store.NewResilient(ds, store.ResilientOptions{
+		Backoff: time.Microsecond,
+	}))
+}
+
+// fullSpec exercises every stage kind: the optimized partition runs the
+// shared baseline, the profile and optimize legs, and the partitioned
+// run — four distinct durable records.
+func fullSpec() Scenario {
+	return Scenario{Workload: "jpeg1-only", Scale: "small", Runs: 1, Partition: PartitionOptimized}
+}
+
+// TestRunnerWarmRestartFromDisk is the restart contract: a fresh runner
+// over a directory populated by an earlier one re-executes *zero*
+// stages — every stage of every kind is served from disk — and returns
+// a bit-identical result document.
+func TestRunnerWarmRestartFromDisk(t *testing.T) {
+	dir := t.TempDir()
+
+	cold := diskRunner(t, 2, dir)
+	r1, err := cold.Run(fullSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := cold.Stats()
+	if st.StageRuns != 4 {
+		t.Fatalf("cold run must execute all 4 stages, got %+v", st)
+	}
+	if err := cold.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	warm := diskRunner(t, 2, dir) // a new process, same directory
+	defer warm.Close()
+	r2, err := warm.Run(fullSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = warm.Stats()
+	if st.StageRuns != 0 || st.ProfileRuns != 0 || st.OptimizeRuns != 0 || st.RunRuns != 0 {
+		t.Errorf("warm restart must re-execute nothing, got %+v", st)
+	}
+	// 3 hits, not 4: the profile stage is only ever looked up from
+	// inside the optimize stage's closure, which the disk hit skips.
+	if st.DiskHits != 3 {
+		t.Errorf("want 3 stages served from disk, got %+v", st)
+	}
+	b1, _ := json.Marshal(r1)
+	b2, _ := json.Marshal(r2)
+	if string(b1) != string(b2) {
+		t.Errorf("disk-served result differs from the computed one\n%s\nvs\n%s", b1, b2)
+	}
+}
+
+// TestRunnerTornWriteRecovery injects a torn write (a record cut
+// mid-payload that reported success — the crash-mid-flush shape), then
+// restarts: the corrupt record must be quarantined and recomputed, the
+// result must be correct, and the recompute must heal the slot so a
+// third runner warm-hits it.
+func TestRunnerTornWriteRecovery(t *testing.T) {
+	dir := t.TempDir()
+	spec := smallSpec() // profile-only: exactly one stage, one record
+
+	writer := diskRunner(t, 1, dir)
+	restore := faults.Activate(faults.New(7).TruncateAt(faults.SiteStorePut, 0))
+	r1, err := writer.Run(spec)
+	restore()
+	if err != nil {
+		t.Fatalf("a torn durable write must not fail the scenario: %v", err)
+	}
+	writer.Close()
+
+	// "Restart": the torn record is detected on read, quarantined, and
+	// transparently recomputed.
+	reader := diskRunner(t, 1, dir)
+	r2, err := reader.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := reader.Stats()
+	if st.Quarantined != 1 {
+		t.Errorf("the torn record must be quarantined, got %+v", st)
+	}
+	if st.DiskHits != 0 || st.StageRuns != 1 {
+		t.Errorf("the torn record must be recomputed, not served: %+v", st)
+	}
+	b1, _ := json.Marshal(r1.Curves)
+	b2, _ := json.Marshal(r2.Curves)
+	if string(b1) != string(b2) {
+		t.Error("recomputed result differs from the original")
+	}
+	reader.Close()
+
+	// The recompute overwrote the slot: a third runner warm-hits.
+	healed := diskRunner(t, 1, dir)
+	defer healed.Close()
+	if _, err := healed.Run(spec); err != nil {
+		t.Fatal(err)
+	}
+	st = healed.Stats()
+	if st.StageRuns != 0 || st.DiskHits != 1 {
+		t.Errorf("the healed slot must serve from disk, got %+v", st)
+	}
+
+	// The quarantined evidence is preserved on disk.
+	entries, err := os.ReadDir(filepath.Join(dir, "quarantine"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := 0
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".rec") {
+			recs++
+		}
+	}
+	if recs != 1 {
+		t.Errorf("want 1 quarantined record on disk, found %d", recs)
+	}
+}
+
+// TestRunnerDegradesToMemoryOnly is the broken-volume contract: with
+// every durable read AND write failing, the breaker trips the store
+// into degraded mode and every scenario still completes correctly from
+// the memory layer — durable failures cost durability, never results.
+func TestRunnerDegradesToMemoryOnly(t *testing.T) {
+	rn := diskRunner(t, 2, t.TempDir())
+	defer rn.Close()
+
+	restore := faults.Activate(faults.New(7).
+		ErrorAlways(faults.SiteStoreGet).
+		ErrorAlways(faults.SiteStorePut))
+	defer restore()
+
+	// Distinct specs force fresh stages (store traffic); a repeat at the
+	// end must still memo-hit from the memory layer.
+	specs := []Scenario{smallSpec(), fullSpec(), smallSpec()}
+	results := rn.RunBatch(specs)
+	for i, r := range results {
+		if r.Error != "" {
+			t.Fatalf("scenario %d failed under a dead disk: %s", i, r.Error)
+		}
+	}
+	if mode := rn.StoreMode(); mode != "degraded" {
+		t.Errorf("StoreMode = %q, want degraded", mode)
+	}
+	st := rn.Stats()
+	if st.StoreErrors == 0 {
+		t.Errorf("durable failures must be counted, got %+v", st)
+	}
+	if st.MemoHits == 0 {
+		t.Errorf("the memory layer must keep serving repeats, got %+v", st)
+	}
+
+	// Identical rerun: everything from memory, no stage re-executes.
+	before := rn.Stats().StageRuns
+	for i, r := range rn.RunBatch(specs) {
+		if r.Error != "" {
+			t.Fatalf("degraded-mode rerun scenario %d failed: %s", i, r.Error)
+		}
+	}
+	if after := rn.Stats().StageRuns; after != before {
+		t.Errorf("degraded-mode rerun re-executed %d stages", after-before)
+	}
+}
+
+// TestStageDocEnvelopeGolden pins the persisted stage-document envelope:
+// records written by one build are addressed and decoded by later
+// builds, so the envelope's field names, order, and version byte must
+// not drift without a StageDocVersion bump.
+func TestStageDocEnvelopeGolden(t *testing.T) {
+	b, err := encodeStage(stageProfile, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = `{"v":1,"kind":"profile","data":[1,2]}`
+	if string(b) != want {
+		t.Fatalf("stage envelope drifted:\n got %s\nwant %s", b, want)
+	}
+}
+
+// TestStageDocVersionAndKindMismatch checks the decode guards: a
+// foreign version or a kind swap is an error (the runner treats it as a
+// miss and recomputes), never a silently misread value.
+func TestStageDocVersionAndKindMismatch(t *testing.T) {
+	if _, err := decodeStage(stageProfile, []byte(`{"v":99,"kind":"profile","data":[]}`)); err == nil {
+		t.Error("future-version document must not decode")
+	}
+	if _, err := decodeStage(stageOptimize, []byte(`{"v":1,"kind":"profile","data":[]}`)); err == nil {
+		t.Error("kind-swapped document must not decode")
+	}
+	if _, err := decodeStage(stageProfile, []byte(`not json`)); err == nil {
+		t.Error("garbage must not decode")
+	}
+}
+
+// TestStageDocRoundTrip proves decode(encode(v)) over real stage values
+// is lossless: a result served from a stored document is bit-identical
+// to the freshly computed one (the warm-restart test proves the same
+// end to end; this isolates the codec).
+func TestStageDocRoundTrip(t *testing.T) {
+	rn := NewRunner(1)
+	spec := fullSpec()
+	n, err := spec.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	curves, err := rn.profileStage(t.Context(), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := encodeStage(stageProfile, curves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := decodeStage(stageProfile, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, _ := json.Marshal(curves)
+	back, _ := json.Marshal(v)
+	if string(orig) != string(back) {
+		t.Errorf("profile stage value did not round-trip:\n%s\nvs\n%s", orig, back)
+	}
+}

@@ -1,0 +1,85 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/profile"
+)
+
+// Stage results are persisted as versioned documents: a small envelope
+// naming the stage kind and wire version around the stage value's
+// canonical JSON. The envelope travels through any store.Store — the
+// in-memory LRU and the on-disk CAS hold exactly the same bytes, so a
+// result computed by one process is byte-identical to the same result
+// reloaded by another (encoding/json round-trips float64 exactly and
+// orders map keys deterministically).
+//
+// StageDocVersion is bumped on any incompatible change to the stage
+// value types below; documents of another version decode with an error,
+// which the runner treats as a miss — old records are recomputed and
+// overwritten, never misread.
+const StageDocVersion = 1
+
+// stageDoc is the persisted stage-result envelope.
+type stageDoc struct {
+	Version int             `json:"v"`
+	Kind    string          `json:"kind"`
+	Data    json.RawMessage `json:"data"`
+}
+
+// encodeStage serializes one completed stage value ([]profile.Curve,
+// *core.OptimizeResult or *core.Result, per kind) into its document.
+func encodeStage(kind string, v interface{}) ([]byte, error) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: encoding %s stage: %w", kind, err)
+	}
+	doc, err := json.Marshal(stageDoc{Version: StageDocVersion, Kind: kind, Data: data})
+	if err != nil {
+		return nil, fmt.Errorf("scenario: encoding %s stage: %w", kind, err)
+	}
+	return doc, nil
+}
+
+// decodeStage deserializes a stage document back into the live value
+// the memo serves. The kind and version must match: a version or kind
+// mismatch is an error the runner treats as a cache miss, not as
+// corruption (the store layer already verified the bytes' integrity).
+func decodeStage(kind string, b []byte) (interface{}, error) {
+	var doc stageDoc
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return nil, fmt.Errorf("scenario: decoding %s stage: %w", kind, err)
+	}
+	if doc.Version != StageDocVersion {
+		return nil, fmt.Errorf("scenario: %s stage document version %d (want %d)", kind, doc.Version, StageDocVersion)
+	}
+	if doc.Kind != kind {
+		return nil, fmt.Errorf("scenario: stage document is %q, not %q", doc.Kind, kind)
+	}
+	var v interface{}
+	switch kind {
+	case stageProfile:
+		var curves []profile.Curve
+		if err := json.Unmarshal(doc.Data, &curves); err != nil {
+			return nil, fmt.Errorf("scenario: decoding %s stage: %w", kind, err)
+		}
+		v = curves
+	case stageOptimize:
+		opt := &core.OptimizeResult{}
+		if err := json.Unmarshal(doc.Data, opt); err != nil {
+			return nil, fmt.Errorf("scenario: decoding %s stage: %w", kind, err)
+		}
+		v = opt
+	case stageRun:
+		res := &core.Result{}
+		if err := json.Unmarshal(doc.Data, res); err != nil {
+			return nil, fmt.Errorf("scenario: decoding %s stage: %w", kind, err)
+		}
+		v = res
+	default:
+		return nil, fmt.Errorf("scenario: unknown stage kind %q", kind)
+	}
+	return v, nil
+}

@@ -176,7 +176,12 @@ type Health struct {
 	Queued      int64          `json:"queued"`
 	QueueLimit  int            `json:"queue_limit"`
 	Shed        uint64         `json:"shed"`
-	Runner      scenario.Stats `json:"runner_stats"`
+	// StoreMode is the runner's persistence mode: "memory" (no durable
+	// store), "disk", or "degraded" (a failing disk was disabled; the
+	// runner keeps serving memory-only). Runner.store_errors counts the
+	// failed store operations that led there.
+	StoreMode string         `json:"store_mode"`
+	Runner    scenario.Stats `json:"runner_stats"`
 }
 
 func (s *Server) health(w http.ResponseWriter, r *http.Request) {
@@ -188,6 +193,7 @@ func (s *Server) health(w http.ResponseWriter, r *http.Request) {
 		Queued:      atomic.LoadInt64(&s.queued),
 		QueueLimit:  max(s.opts.Queue, 0),
 		Shed:        atomic.LoadUint64(&s.shed),
+		StoreMode:   s.rn.StoreMode(),
 		Runner:      s.rn.Stats(),
 	}
 	code := http.StatusOK

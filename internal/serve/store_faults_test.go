@@ -1,0 +1,189 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/scenario"
+	"repro/internal/store"
+)
+
+// diskRunner builds a runner persisting to dir exactly as the CLI's
+// -store-dir flag wires it, with test-speed retry backoff.
+func diskRunner(t *testing.T, dir string) *scenario.Runner {
+	t.Helper()
+	ds, err := store.OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rn := scenario.NewRunnerWithStore(2, store.NewResilient(ds, store.ResilientOptions{
+		Backoff: time.Microsecond,
+	}))
+	t.Cleanup(func() { rn.Close() })
+	return rn
+}
+
+// storeFaultSpecs are a batch and a sweep over distinct seeds, so every
+// scenario needs fresh stages (and therefore live store traffic).
+const storeFaultBatch = `{"scenarios":[
+	{"workload":"jpeg1-only","scale":"small","runs":1,"seed":300,"partition":"profile"},
+	{"workload":"jpeg1-only","scale":"small","runs":1,"seed":301,"partition":"profile"},
+	{"workload":"jpeg1-only","scale":"small","runs":1,"seed":302,"partition":"profile"}
+]}`
+const storeFaultSweep = `{
+	"base": {"workload":"jpeg1-only","scale":"small","runs":1,"partition":"profile"},
+	"axes": [{"field":"seed","range":{"from":310,"count":3}}]
+}`
+
+// submitBatchAndSweep posts the batch and the sweep concurrently and
+// returns both bodies.
+func submitBatchAndSweep(t *testing.T, url string) []string {
+	t.Helper()
+	var mu sync.Mutex
+	var bodies []string
+	var wg sync.WaitGroup
+	post := func(path, body string) {
+		defer wg.Done()
+		status, b := postBatchTo(t, url+path, body)
+		if status != http.StatusOK {
+			t.Errorf("%s: %d\n%s", path, status, b)
+		}
+		mu.Lock()
+		bodies = append(bodies, b)
+		mu.Unlock()
+	}
+	wg.Add(2)
+	go post("/v1/batch", storeFaultBatch)
+	go post("/v1/sweep", storeFaultSweep)
+	wg.Wait()
+	return bodies
+}
+
+// requireCleanStreams asserts every stream ended complete with no
+// per-scenario error envelopes.
+func requireCleanStreams(t *testing.T, bodies []string, when string) {
+	t.Helper()
+	for _, b := range bodies {
+		if !strings.Contains(b, `"reason":"complete"`) {
+			t.Errorf("%s: a stream did not end complete:\n%s", when, b)
+		}
+		if strings.Contains(b, `"kind":"error"`) || strings.Contains(b, `"error":`) {
+			t.Errorf("%s: a stream carried an error envelope:\n%s", when, b)
+		}
+	}
+}
+
+// TestServeCompletesUnderDeadDisk is the degradation acceptance test:
+// with every durable read AND write failing, concurrent /v1/batch and
+// /v1/sweep streams must all end in a complete stream.end — the breaker
+// degrades the store to memory-only instead of failing scenarios — and
+// /healthz must surface the degradation.
+func TestServeCompletesUnderDeadDisk(t *testing.T) {
+	rn := diskRunner(t, t.TempDir())
+	srv := httptest.NewServer(New(testConfig(), rn))
+	t.Cleanup(srv.Close)
+
+	restore := faults.Activate(faults.New(11).
+		ErrorAlways(faults.SiteStoreGet).
+		ErrorAlways(faults.SiteStorePut))
+	bodies := submitBatchAndSweep(t, srv.URL)
+	restore()
+
+	requireCleanStreams(t, bodies, "dead disk")
+	code, h := getHealth(t, srv.URL)
+	if code != http.StatusOK {
+		t.Fatalf("healthz: %d", code)
+	}
+	if h.StoreMode != "degraded" {
+		t.Errorf("healthz store_mode = %q, want degraded", h.StoreMode)
+	}
+	if h.Runner.StoreErrors == 0 {
+		t.Errorf("healthz must count the store failures, got %+v", h.Runner)
+	}
+}
+
+// TestServeCompletesUnderTornWrites is the torn-write acceptance test:
+// every durable write is torn (reports success, leaves a truncated
+// record), yet all streams complete; a restarted server over the same
+// directory quarantines the torn records, recomputes, completes again,
+// and reports the quarantine count in /healthz.
+func TestServeCompletesUnderTornWrites(t *testing.T) {
+	dir := t.TempDir()
+	rn1 := diskRunner(t, dir)
+	srv1 := httptest.NewServer(New(testConfig(), rn1))
+	t.Cleanup(srv1.Close)
+
+	// Tear every write: profile-only specs over 6 distinct seeds put at
+	// most 6 records; tearing the first 32 ordinals covers all of them.
+	plan := faults.New(11)
+	plan.TruncateAt(faults.SiteStorePut, seq(32)...)
+	restore := faults.Activate(plan)
+	bodies := submitBatchAndSweep(t, srv1.URL)
+	restore()
+	requireCleanStreams(t, bodies, "torn writes")
+	if fired := plan.Fired(faults.SiteStorePut, faults.Truncate); fired == 0 {
+		t.Fatal("the plan never fired a torn write — the test proved nothing")
+	}
+
+	// Restart: same directory, fresh runner. Every stored record is
+	// torn; the reads must quarantine them and recompute cleanly.
+	rn2 := diskRunner(t, dir)
+	srv2 := httptest.NewServer(New(testConfig(), rn2))
+	t.Cleanup(srv2.Close)
+	requireCleanStreams(t, submitBatchAndSweep(t, srv2.URL), "after restart over torn records")
+
+	_, h := getHealth(t, srv2.URL)
+	if h.StoreMode != "disk" {
+		t.Errorf("store_mode = %q, want disk (torn records are corruption, not medium failure)", h.StoreMode)
+	}
+	if h.Runner.Quarantined == 0 {
+		t.Errorf("healthz must report the quarantined records, got %+v", h.Runner)
+	}
+	if h.Runner.StageRuns == 0 {
+		t.Errorf("torn records must be recomputed, got %+v", h.Runner)
+	}
+}
+
+// seq returns 0..n-1, for arming a fault at every early ordinal.
+func seq(n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = uint64(i)
+	}
+	return out
+}
+
+// TestServeWarmRestartFromDisk is the serve-side restart contract: a
+// new server process over a populated -store-dir serves the same batch
+// with zero re-executed stages, and /healthz attributes the work to
+// disk hits.
+func TestServeWarmRestartFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	rn1 := diskRunner(t, dir)
+	srv1 := httptest.NewServer(New(testConfig(), rn1))
+	t.Cleanup(srv1.Close)
+	first := submitBatchAndSweep(t, srv1.URL)
+	requireCleanStreams(t, first, "cold")
+
+	rn2 := diskRunner(t, dir)
+	srv2 := httptest.NewServer(New(testConfig(), rn2))
+	t.Cleanup(srv2.Close)
+	second := submitBatchAndSweep(t, srv2.URL)
+	requireCleanStreams(t, second, "warm restart")
+
+	_, h := getHealth(t, srv2.URL)
+	if h.Runner.StageRuns != 0 || h.Runner.ProfileRuns != 0 {
+		t.Errorf("warm restart must re-execute nothing, got %+v", h.Runner)
+	}
+	if h.Runner.DiskHits == 0 {
+		t.Errorf("warm restart must be served from disk, got %+v", h.Runner)
+	}
+	if h.StoreMode != "disk" {
+		t.Errorf("store_mode = %q, want disk", h.StoreMode)
+	}
+}

@@ -1,0 +1,117 @@
+package store
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// Memory is the in-process Store: a map with LRU recency tracking and
+// real bounded eviction. A limit of 0 means unbounded; Trim evicts
+// least-recently-used records down to a target on demand. Only
+// completed results ever reach a store (the runner's single-flight
+// layer tracks in-flight work separately), so eviction can never drop
+// an in-flight computation.
+type Memory struct {
+	mu    sync.Mutex
+	limit int
+	lru   *list.List // front = most recently used; values are *memRecord
+	byKey map[string]*list.Element
+
+	gets, hits, misses, puts, evictions uint64
+}
+
+type memRecord struct {
+	key string
+	val []byte
+}
+
+// NewMemory returns an in-memory store evicting LRU records beyond
+// limit entries (0 = unbounded).
+func NewMemory(limit int) *Memory {
+	return &Memory{limit: limit, lru: list.New(), byKey: make(map[string]*list.Element)}
+}
+
+// Get implements Store; a hit refreshes the record's recency.
+func (m *Memory) Get(key string) ([]byte, error) {
+	atomic.AddUint64(&m.gets, 1)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.byKey[key]
+	if !ok {
+		atomic.AddUint64(&m.misses, 1)
+		return nil, ErrNotFound
+	}
+	atomic.AddUint64(&m.hits, 1)
+	m.lru.MoveToFront(e)
+	return e.Value.(*memRecord).val, nil
+}
+
+// Put implements Store.
+func (m *Memory) Put(key string, val []byte) error {
+	atomic.AddUint64(&m.puts, 1)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e, ok := m.byKey[key]; ok {
+		e.Value.(*memRecord).val = val
+		m.lru.MoveToFront(e)
+		return nil
+	}
+	m.byKey[key] = m.lru.PushFront(&memRecord{key: key, val: val})
+	if m.limit > 0 {
+		m.trimLocked(m.limit)
+	}
+	return nil
+}
+
+// Delete implements Store.
+func (m *Memory) Delete(key string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e, ok := m.byKey[key]; ok {
+		m.lru.Remove(e)
+		delete(m.byKey, key)
+	}
+	return nil
+}
+
+// Len implements Store.
+func (m *Memory) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lru.Len()
+}
+
+// Close implements Store.
+func (m *Memory) Close() error { return nil }
+
+// Trim implements Trimmer: evict LRU records until at most max remain
+// (max <= 0 empties the store).
+func (m *Memory) Trim(max int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.trimLocked(max)
+}
+
+func (m *Memory) trimLocked(max int) {
+	if max < 0 {
+		max = 0
+	}
+	for m.lru.Len() > max {
+		e := m.lru.Back()
+		m.lru.Remove(e)
+		delete(m.byKey, e.Value.(*memRecord).key)
+		atomic.AddUint64(&m.evictions, 1)
+	}
+}
+
+// Stats implements StatsProvider.
+func (m *Memory) Stats() Stats {
+	return Stats{
+		Gets:      atomic.LoadUint64(&m.gets),
+		Hits:      atomic.LoadUint64(&m.hits),
+		Misses:    atomic.LoadUint64(&m.misses),
+		Puts:      atomic.LoadUint64(&m.puts),
+		Evictions: atomic.LoadUint64(&m.evictions),
+	}
+}

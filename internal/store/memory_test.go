@@ -1,0 +1,98 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestMemoryRoundTrip checks basic Get/Put/Delete/Len semantics.
+func TestMemoryRoundTrip(t *testing.T) {
+	m := NewMemory(0)
+	if _, err := m.Get("a"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("empty store Get = %v, want ErrNotFound", err)
+	}
+	if err := m.Put("a", []byte("alpha")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Get("a")
+	if err != nil || string(got) != "alpha" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	if err := m.Put("a", []byte("alpha2")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := m.Get("a"); string(got) != "alpha2" {
+		t.Fatalf("overwrite not visible: %q", got)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", m.Len())
+	}
+	if err := m.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Get("a"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("deleted key Get = %v, want ErrNotFound", err)
+	}
+	if err := m.Delete("never-existed"); err != nil {
+		t.Fatalf("deleting a missing key must be a no-op, got %v", err)
+	}
+	st := m.Stats()
+	if st.Hits != 2 || st.Misses != 2 || st.Puts != 2 {
+		t.Errorf("stats %+v, want 2 hits, 2 misses, 2 puts", st)
+	}
+}
+
+// TestMemoryLRUEviction checks the bound is enforced in recency order:
+// a Get refreshes a record, so the least-recently-used one goes first.
+func TestMemoryLRUEviction(t *testing.T) {
+	m := NewMemory(3)
+	for _, k := range []string{"a", "b", "c"} {
+		m.Put(k, []byte(k))
+	}
+	// Touch "a" so "b" becomes the LRU record.
+	if _, err := m.Get("a"); err != nil {
+		t.Fatal(err)
+	}
+	m.Put("d", []byte("d")) // evicts "b"
+	if _, err := m.Get("b"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("LRU record survived eviction: %v", err)
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, err := m.Get(k); err != nil {
+			t.Errorf("record %q evicted out of order: %v", k, err)
+		}
+	}
+	if ev := m.Stats().Evictions; ev != 1 {
+		t.Errorf("evictions = %d, want 1", ev)
+	}
+}
+
+// TestMemoryTrim checks on-demand eviction down to a target, in LRU
+// order, and that Trim(0) empties the store.
+func TestMemoryTrim(t *testing.T) {
+	m := NewMemory(0)
+	for i := 0; i < 10; i++ {
+		m.Put(fmt.Sprintf("k%d", i), []byte{byte(i)})
+	}
+	// Refresh the three oldest so they survive the trim.
+	for i := 0; i < 3; i++ {
+		m.Get(fmt.Sprintf("k%d", i))
+	}
+	m.Trim(3)
+	if m.Len() != 3 {
+		t.Fatalf("Len after Trim(3) = %d", m.Len())
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := m.Get(fmt.Sprintf("k%d", i)); err != nil {
+			t.Errorf("recently-used k%d was evicted", i)
+		}
+	}
+	m.Trim(-1) // negative clamps to empty
+	if m.Len() != 0 {
+		t.Fatalf("Len after Trim(-1) = %d", m.Len())
+	}
+	if ev := m.Stats().Evictions; ev != 10 {
+		t.Errorf("evictions = %d, want 10", ev)
+	}
+}

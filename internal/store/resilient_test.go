@@ -1,0 +1,148 @@
+package store
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// flaky is a scripted inner store: each operation consumes the next
+// error from its queue (nil = succeed against the backing memory).
+type flaky struct {
+	*Memory
+	script []error // consumed front-first by every Get/Put/Delete
+}
+
+func (f *flaky) next() error {
+	if len(f.script) == 0 {
+		return nil
+	}
+	err := f.script[0]
+	f.script = f.script[1:]
+	return err
+}
+
+func (f *flaky) Get(key string) ([]byte, error) {
+	if err := f.next(); err != nil {
+		return nil, err
+	}
+	return f.Memory.Get(key)
+}
+
+func (f *flaky) Put(key string, val []byte) error {
+	if err := f.next(); err != nil {
+		return err
+	}
+	return f.Memory.Put(key, val)
+}
+
+func (f *flaky) Delete(key string) error {
+	if err := f.next(); err != nil {
+		return err
+	}
+	return f.Memory.Delete(key)
+}
+
+var errIO = errors.New("transient i/o error")
+
+// fastOpts keeps test retries quick.
+func fastOpts() ResilientOptions {
+	return ResilientOptions{Attempts: 3, Backoff: time.Microsecond, TripAfter: 3}
+}
+
+// TestResilientRetriesTransientErrors checks an operation that fails
+// then succeeds within the attempt budget reports success, counts its
+// retries, and leaves the breaker untouched.
+func TestResilientRetriesTransientErrors(t *testing.T) {
+	inner := &flaky{Memory: NewMemory(0), script: []error{errIO, errIO, nil}}
+	r := NewResilient(inner, fastOpts())
+	if err := r.Put("k", []byte("v")); err != nil {
+		t.Fatalf("Put failed despite a successful third attempt: %v", err)
+	}
+	if got, err := r.Get("k"); err != nil || string(got) != "v" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	if r.Mode() != "disk" {
+		t.Errorf("Mode = %q, want disk", r.Mode())
+	}
+	if st := r.Stats(); st.Retries != 2 {
+		t.Errorf("Retries = %d, want 2", st.Retries)
+	}
+}
+
+// TestResilientNotFoundIsNotRetried checks ErrNotFound returns
+// immediately — it is a lookup result, not a medium failure.
+func TestResilientNotFoundIsNotRetried(t *testing.T) {
+	inner := &flaky{Memory: NewMemory(0)}
+	r := NewResilient(inner, fastOpts())
+	if _, err := r.Get("missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get = %v, want ErrNotFound", err)
+	}
+	if st := r.Stats(); st.Retries != 0 {
+		t.Errorf("a miss must not be retried, Retries = %d", st.Retries)
+	}
+	if r.Degraded() {
+		t.Error("a miss must not feed the breaker")
+	}
+}
+
+// TestResilientTripsToDegraded checks TripAfter consecutive post-retry
+// failures trip the breaker permanently: later operations short-circuit
+// with ErrDegraded without touching the medium.
+func TestResilientTripsToDegraded(t *testing.T) {
+	// Every attempt of every operation fails: 3 ops × 3 attempts.
+	script := make([]error, 9)
+	for i := range script {
+		script[i] = errIO
+	}
+	inner := &flaky{Memory: NewMemory(0), script: script}
+	r := NewResilient(inner, fastOpts())
+
+	for i := 0; i < 3; i++ {
+		if err := r.Put("k", []byte("v")); !errors.Is(err, errIO) {
+			t.Fatalf("op %d = %v, want the inner error", i, err)
+		}
+	}
+	if !r.Degraded() || r.Mode() != "degraded" {
+		t.Fatalf("breaker did not trip: degraded=%v mode=%q", r.Degraded(), r.Mode())
+	}
+	// The script is exhausted; a post-trip operation reaching the medium
+	// would now succeed — so ErrDegraded proves the short-circuit.
+	if err := r.Put("k", []byte("v")); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("post-trip Put = %v, want ErrDegraded", err)
+	}
+	if _, err := r.Get("k"); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("post-trip Get = %v, want ErrDegraded", err)
+	}
+	if r.Len() != 0 {
+		t.Errorf("degraded Len = %d, want 0", r.Len())
+	}
+}
+
+// TestResilientSuccessResetsBreaker checks the trip counter requires
+// *consecutive* failures: a success in between starts the count over.
+func TestResilientSuccessResetsBreaker(t *testing.T) {
+	// Two fully-failed ops (3 attempts each), one success, two more
+	// fully-failed ops: never 3 consecutive, so never degraded.
+	var script []error
+	for i := 0; i < 6; i++ {
+		script = append(script, errIO)
+	}
+	script = append(script, nil)
+	for i := 0; i < 6; i++ {
+		script = append(script, errIO)
+	}
+	inner := &flaky{Memory: NewMemory(0), script: script}
+	r := NewResilient(inner, fastOpts())
+
+	r.Put("k", []byte("v"))
+	r.Put("k", []byte("v"))
+	if err := r.Put("k", []byte("v")); err != nil {
+		t.Fatalf("the successful op failed: %v", err)
+	}
+	r.Put("k", []byte("v"))
+	r.Put("k", []byte("v"))
+	if r.Degraded() {
+		t.Error("breaker tripped without TripAfter consecutive failures")
+	}
+}

@@ -1,0 +1,78 @@
+// Package store is the pluggable result-store layer behind the
+// scenario runner's memo: a key/value interface over opaque record
+// bytes, with an in-memory LRU implementation (the refactored
+// in-process memo) and a crash-safe on-disk content-addressed
+// implementation (durable warm hits across process restarts). A
+// Resilient wrapper adds bounded retry with backoff and automatic
+// degradation — a store whose medium repeatedly fails trips into a
+// permanent no-op "degraded" mode so a broken volume can never take
+// serving down.
+//
+// Keys are arbitrary strings (the runner uses content addresses of the
+// form "<stage-kind>|<hash>"); values are opaque byte slices that
+// callers must treat as immutable after Put and after Get — both
+// implementations share the underlying arrays instead of copying.
+package store
+
+import "errors"
+
+// ErrNotFound is returned by Get when the key has no (intact) record.
+// A corrupt on-disk record reads as ErrNotFound after quarantine — the
+// caller recomputes; corruption is never served and never fatal.
+var ErrNotFound = errors.New("store: not found")
+
+// ErrDegraded is returned by every operation of a Resilient store that
+// has tripped into memory-only degradation. Callers treat it as "no
+// durable layer", not as a per-operation failure.
+var ErrDegraded = errors.New("store: degraded (disabled after repeated failures)")
+
+// Store is a result store: a flat key/value space of immutable record
+// bytes. Implementations are safe for concurrent use.
+type Store interface {
+	// Get returns the record bytes for key, ErrNotFound when absent (or
+	// quarantined as corrupt), or the medium's error.
+	Get(key string) ([]byte, error)
+	// Put durably stores val under key, overwriting any previous record.
+	Put(key string, val []byte) error
+	// Delete removes the record; deleting an absent key is a no-op.
+	Delete(key string) error
+	// Len reports the number of intact records (a Disk store counts
+	// record files; quarantined records are excluded).
+	Len() int
+	// Close releases the store's resources. The store must not be used
+	// afterwards.
+	Close() error
+}
+
+// Stats are the operational counters of a store. All counters are
+// monotonic, so deltas of snapshots attribute activity to a window.
+type Stats struct {
+	Gets        uint64 `json:"gets"`
+	Hits        uint64 `json:"hits"`
+	Misses      uint64 `json:"misses"`
+	Puts        uint64 `json:"puts"`
+	GetErrors   uint64 `json:"get_errors,omitempty"`
+	PutErrors   uint64 `json:"put_errors,omitempty"`
+	Quarantined uint64 `json:"quarantined,omitempty"`
+	Retries     uint64 `json:"retries,omitempty"`
+	Evictions   uint64 `json:"evictions,omitempty"`
+}
+
+// StatsProvider is implemented by stores that report Stats (Disk,
+// Resilient, Memory).
+type StatsProvider interface {
+	Stats() Stats
+}
+
+// Trimmer is implemented by bounded stores that can evict down to a
+// target size on demand (Memory's LRU).
+type Trimmer interface {
+	// Trim evicts least-recently-used records until at most max remain.
+	Trim(max int)
+}
+
+// Moder is implemented by stores with an operational mode — Resilient
+// reports "disk" until its breaker trips, then "degraded".
+type Moder interface {
+	Mode() string
+}

@@ -1,0 +1,48 @@
+package store
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+)
+
+// TestWireFormatGolden pins the persisted record framing byte for byte.
+// Records written by one build must be readable by every later build of
+// the same diskVersion, so any change to the header layout, key/payload
+// placement, CRC polynomial, or byte order must fail here — and must
+// come with a diskVersion bump (old records then read as misses, never
+// as garbage).
+func TestWireFormatGolden(t *testing.T) {
+	rec, err := frame("run|k", []byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = "434d5253" + // magic "CMRS"
+		"0001" + // version 1, big-endian
+		"0005" + // key length 5
+		"00000007" + // payload length 7
+		"72756e7c6b" + // "run|k"
+		"7061796c6f6164" + // "payload"
+		"ab005b40" // CRC-32C over everything above
+	if got := hex.EncodeToString(rec); got != want {
+		t.Fatalf("record framing drifted:\n got %s\nwant %s", got, want)
+	}
+	payload, version, err := parse(rec, "run|k")
+	if err != nil || version != diskVersion || !bytes.Equal(payload, []byte("payload")) {
+		t.Fatalf("parse(frame(...)) = %q, v%d, %v", payload, version, err)
+	}
+}
+
+// TestRecordPathGolden pins the record's on-disk address: the fan-out
+// layout is derived from SHA-256 of the key, so a changed hash or
+// layout orphans every existing store directory.
+func TestRecordPathGolden(t *testing.T) {
+	d := &Disk{root: "/r"}
+	_, path := d.recordPath("run|k")
+	// sha256("run|k") = e17895... — first two hex chars are the fan-out
+	// directory, the rest names the file.
+	const want = "/r/objects/e1/78959302f475ed9d080a638c370335b870fcaf7612403676383084e1b6b0c6.rec"
+	if path != want {
+		t.Fatalf("record path drifted:\n got %s\nwant %s", path, want)
+	}
+}

@@ -245,6 +245,10 @@ func ExecuteExpanded(ctx context.Context, rn *scenario.Runner, sw Sweep, points 
 		ProfileRuns:  after.ProfileRuns - before.ProfileRuns,
 		OptimizeRuns: after.OptimizeRuns - before.OptimizeRuns,
 		RunRuns:      after.RunRuns - before.RunRuns,
+		DiskHits:     after.DiskHits - before.DiskHits,
+		DiskMisses:   after.DiskMisses - before.DiskMisses,
+		StoreErrors:  after.StoreErrors - before.StoreErrors,
+		Quarantined:  after.Quarantined - before.Quarantined,
 	}
 	for i, p := range points {
 		ps := PointSummary{Index: i, Coords: p.Coords}
