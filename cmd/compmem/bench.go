@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/platform"
+	"repro/internal/tracefile"
 	"repro/internal/workloads"
 )
 
@@ -82,6 +83,25 @@ func runBench(cfg experiments.Config, iters int, asJSON bool) error {
 		// One optimize per app provides the partitioned runs' allocation.
 		opt, err := core.Optimize(app.w, cfg.OptimizeConfig())
 		if err != nil {
+			return err
+		}
+		// The trace stages: capture cost (one live functional run plus
+		// encoding), and the warm profiling pipeline driven by replay —
+		// the path every scenario stage takes once the trace exists.
+		var tr *tracefile.Trace
+		if err := measure(fmt.Sprintf("trace-capture-%s", app.name), func() error {
+			var err error
+			tr, err = tracefile.Capture(app.w, tracefile.Meta{Workload: app.name, Scale: scale})
+			return err
+		}); err != nil {
+			return err
+		}
+		if err := measure(fmt.Sprintf("trace-replay-profile-%s", app.name), func() error {
+			oc := cfg.OptimizeConfig()
+			oc.Runs = 1
+			_, err := core.Profile(tr.Workload(app.name), oc)
+			return err
+		}); err != nil {
 			return err
 		}
 		for _, eng := range engines {

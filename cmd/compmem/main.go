@@ -24,7 +24,10 @@
 //	curves    dump the profiled per-entity miss curves m_i(z_p)
 //	bench     time the execution-engine stages (-json for bench.json output)
 //	all       everything above except bench
-//	run       execute scenario specs: run -scenario file.json [-store-dir DIR] [-json]
+//	trace     record, inspect and replay access-stream traces:
+//	          trace record -workload NAME [-scale small|paper] [-seed N] [-o file.ctr]
+//	          trace info file.ctr | trace replay [-verify=false] file.ctr
+//	run       execute scenario specs: run -scenario file.json [-trace file.ctr] [-store-dir DIR] [-json]
 //	sweep     expand and run a parameter sweep: sweep -spec file.json|paper-grid [-max-points N] [-json]
 //	serve     HTTP scenario service: serve [-addr :8080] [-store-dir DIR] [-max-inflight N] [-queue N] [-request-timeout D] [-drain D]
 //	scenarios list built-in scenarios, sweeps and registered workloads
@@ -52,6 +55,7 @@ import (
 	"repro/internal/serve"
 	"repro/internal/store"
 	"repro/internal/sweep"
+	"repro/internal/tracefile"
 	"repro/internal/workloads"
 )
 
@@ -83,7 +87,7 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the command to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile after the command to this file")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: compmem [flags] table1|table2|fig2|fig3|headline|compose|granularity|split|migration|assign|curves|bench|all|run|sweep|serve|scenarios\n")
+		fmt.Fprintf(os.Stderr, "usage: compmem [flags] table1|table2|fig2|fig3|headline|compose|granularity|split|migration|assign|curves|bench|all|trace|run|sweep|serve|scenarios\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -124,6 +128,8 @@ func main() {
 		if err == nil {
 			err = runBench(cfg, *benchN, *asJSON)
 		}
+	case "trace":
+		err = runTrace(cfg, rest, *asJSON)
 	case "run":
 		err = runScenarios(cfg, rest, *asJSON)
 	case "sweep":
@@ -201,6 +207,7 @@ func runCommand(cmd string, cfg experiments.Config, asJSON bool) error {
 func runScenarios(cfg experiments.Config, args []string, asJSON bool) error {
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	path := fs.String("scenario", "", "scenario spec: a JSON file or a built-in scenario name")
+	traceFile := fs.String("trace", "", "import a recorded trace file as a workload named trace:<recorded workload> before running")
 	storeDir := fs.String("store-dir", "", "durable result store directory: completed pipeline stages persist here and warm-serve across runs")
 	subJSON := fs.Bool("json", false, "emit result documents as JSON (one envelope per scenario)")
 	if err := fs.Parse(args); err != nil {
@@ -208,6 +215,17 @@ func runScenarios(cfg experiments.Config, args []string, asJSON bool) error {
 	}
 	if *path == "" {
 		return fmt.Errorf("run: -scenario file.json (or a built-in name) is required")
+	}
+	if *traceFile != "" {
+		t, err := tracefile.ReadFile(*traceFile)
+		if err != nil {
+			return fmt.Errorf("run: %w", err)
+		}
+		name := "trace:" + t.Header.Meta.Workload
+		if err := tracefile.RegisterWorkload(name, t); err != nil {
+			return fmt.Errorf("run: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "compmem: imported %s as workload %q\n", *traceFile, name)
 	}
 	specs, err := loadSpecs(cfg, *path)
 	if err != nil {

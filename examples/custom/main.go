@@ -36,7 +36,7 @@ func buildApp() (*core.App, error) {
 				c.Exec(128)
 				iq.Write(c, buf)
 			}
-			iq.Close()
+			iq.Close(c)
 		},
 	})
 	b.AddTask(core.TaskConfig{
@@ -57,7 +57,7 @@ func buildApp() (*core.App, error) {
 				}
 				sym.Write(c, out)
 			}
-			sym.Close()
+			sym.Close(c)
 		},
 	})
 	b.AddTask(core.TaskConfig{

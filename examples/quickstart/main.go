@@ -35,7 +35,7 @@ func main() {
 						}
 						pipe.Write32(c, sum)
 					}
-					pipe.Close()
+					pipe.Close(c)
 				},
 			})
 			b.AddTask(core.TaskConfig{

@@ -164,7 +164,7 @@ func sourceBody(cfg Config, out *kpn.FIFO, inBuf *mem.Region) func(*kpn.Ctx) {
 				out.Write(c, line)
 			}
 		}
-		out.Close()
+		out.Close(c)
 	}
 }
 
@@ -236,8 +236,8 @@ func lowPassBody(cfg Config, sc secs, in, outH, outV *kpn.FIFO) func(*kpn.Ctx) {
 				sections.Bump(c, sc.bss, 8)
 			}
 		})
-		outH.Close()
-		outV.Close()
+		outH.Close(c)
+		outV.Close(c)
 	}
 }
 
@@ -276,7 +276,7 @@ func sobelBody(cfg Config, sc secs, in, out *kpn.FIFO, kernOff uint64, counterSl
 				sections.Bump(c, sc.bss, counterSlot)
 			}
 		})
-		out.Close()
+		out.Close(c)
 	}
 }
 
@@ -310,7 +310,7 @@ func horizNMSBody(cfg Config, sc secs, in, out *kpn.FIFO) func(*kpn.Ctx) {
 				sections.Bump(c, sc.bss, 5)
 			}
 		}
-		out.Close()
+		out.Close(c)
 	}
 }
 
@@ -339,7 +339,7 @@ func vertNMSBody(cfg Config, sc secs, in, out *kpn.FIFO) func(*kpn.Ctx) {
 				sections.Bump(c, sc.bss, 6)
 			}
 		})
-		out.Close()
+		out.Close(c)
 	}
 }
 

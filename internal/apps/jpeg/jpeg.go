@@ -204,7 +204,7 @@ func frontEndBody(cfg Config, app appSections, out *kpn.FIFO, inBuf *mem.Region,
 			out.Write(c, tok)
 			sections.Bump(c, app.bss, 0)
 		}
-		out.Close()
+		out.Close(c)
 	}
 }
 
@@ -239,7 +239,7 @@ func idctBody(cfg Config, app appSections, in, out *kpn.FIFO, totalBlocks int) f
 			out.Write(c, pix)
 			sections.Bump(c, app.bss, 1)
 		}
-		out.Close()
+		out.Close(c)
 	}
 }
 
@@ -274,7 +274,7 @@ func rasterBody(cfg Config, app appSections, in, out *kpn.FIFO, tabOff uint64) f
 				sections.Bump(c, app.bss, 2)
 			}
 		}
-		out.Close()
+		out.Close(c)
 	}
 }
 

@@ -216,8 +216,8 @@ func inputBody(cfg Config, inBuf *mem.Region, hdrIn, chunks *kpn.FIFO) func(*kpn
 				c.Exec(32)
 			}
 		}
-		hdrIn.Close()
-		chunks.Close()
+		hdrIn.Close(c)
+		chunks.Close(c)
 	}
 }
 
@@ -229,8 +229,8 @@ func hdrBody(cfg Config, in, toVLD, toMM *kpn.FIFO) func(*kpn.Ctx) {
 			toVLD.Write(c, tok)
 			toMM.Write(c, tok)
 		}
-		toVLD.Close()
-		toMM.Close()
+		toVLD.Close(c)
+		toMM.Close(c)
 	}
 }
 
@@ -255,9 +255,9 @@ func memManBody(cfg Config, in, toWrite, toStore, toOut, free *kpn.FIFO) func(*k
 			toStore.Write(c, tok)
 			toOut.Write(c, tok)
 		}
-		toWrite.Close()
-		toStore.Close()
-		toOut.Close()
+		toWrite.Close(c)
+		toStore.Close(c)
+		toOut.Close(c)
 	}
 }
 
@@ -337,8 +337,8 @@ func vldBody(cfg Config, sc secs, hdrPic, chunks, coefF, mvF *kpn.FIFO, vbv *mem
 				}
 			}
 		}
-		coefF.Close()
-		mvF.Close()
+		coefF.Close(c)
+		mvF.Close(c)
 	}
 }
 
@@ -368,7 +368,7 @@ func isiqBody(cfg Config, sc secs, in, out *kpn.FIFO) func(*kpn.Ctx) {
 			}
 			out.Write(c, outTok)
 		}
-		out.Close()
+		out.Close(c)
 	}
 }
 
@@ -400,7 +400,7 @@ func idctBody(cfg Config, sc secs, in, out *kpn.FIFO) func(*kpn.Ctx) {
 			}
 			out.Write(c, outTok)
 		}
-		out.Close()
+		out.Close(c)
 	}
 }
 
@@ -423,7 +423,7 @@ func decMVBody(cfg Config, in, out *kpn.FIFO) func(*kpn.Ctx) {
 			}
 			c.Exec(24)
 		}
-		out.Close()
+		out.Close(c)
 	}
 }
 
@@ -469,7 +469,7 @@ func predictRDBody(cfg Config, in, refReady, out *kpn.FIFO, ref *kpn.Frame) func
 			out.Write(c, pred)
 			mb++
 		}
-		out.Close()
+		out.Close(c)
 	}
 }
 
@@ -482,7 +482,7 @@ func predictBody(cfg Config, in, out *kpn.FIFO) func(*kpn.Ctx) {
 			c.Exec(256)
 			out.Write(c, tok)
 		}
-		out.Close()
+		out.Close(c)
 	}
 }
 
@@ -494,7 +494,7 @@ func addBody(cfg Config, sc secs, predIn, resIn, out *kpn.FIFO) func(*kpn.Ctx) {
 		for predIn.Read(c, pred) {
 			for blk := 0; blk < 4; blk++ {
 				if !resIn.Read(c, res) {
-					out.Close()
+					out.Close(c)
 					return
 				}
 				ox, oy := (blk%2)*8, (blk/2)*8
@@ -515,7 +515,7 @@ func addBody(cfg Config, sc secs, predIn, resIn, out *kpn.FIFO) func(*kpn.Ctx) {
 			}
 			out.Write(c, mb)
 		}
-		out.Close()
+		out.Close(c)
 	}
 }
 
@@ -528,7 +528,7 @@ func writeMBBody(cfg Config, sc secs, mmIn, mbIn, done *kpn.FIFO, dec *kpn.Frame
 		for mmIn.Read(c, pic) {
 			for i := 0; i < cfg.mbCount(); i++ {
 				if !mbIn.Read(c, mb) {
-					done.Close()
+					done.Close(c)
 					return
 				}
 				tab.Probe(c, c.Heap(), 10)
@@ -544,7 +544,7 @@ func writeMBBody(cfg Config, sc secs, mmIn, mbIn, done *kpn.FIFO, dec *kpn.Frame
 			}
 			done.Write(c, []byte{1, 0, 0, 0})
 		}
-		done.Close()
+		done.Close(c)
 	}
 }
 
@@ -566,8 +566,8 @@ func storeBody(cfg Config, mmIn, wmDone, refReady, storeDone *kpn.FIFO, dec, ref
 			refReady.Write(c, []byte{1, 0, 0, 0})
 			storeDone.Write(c, []byte{1, 0, 0, 0})
 		}
-		refReady.Close()
-		storeDone.Close()
+		refReady.Close(c)
+		storeDone.Close(c)
 	}
 }
 
@@ -590,7 +590,7 @@ func outputBody(cfg Config, sc secs, mmIn, storeDone, free *kpn.FIFO, dec, disp 
 			}
 			free.Write(c, []byte{1, 0, 0, 0})
 		}
-		free.Close()
+		free.Close(c)
 	}
 }
 

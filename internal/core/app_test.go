@@ -17,7 +17,7 @@ func tinyApp(t *testing.T) (*App, *kpn.FIFO) {
 			c.Exec(10)
 			f.Write32(c, i)
 		}
-		f.Close()
+		f.Close(c)
 	}})
 	b.AddTask(TaskConfig{Name: "cons", CPU: 1, Body: func(c *kpn.Ctx) {
 		for {

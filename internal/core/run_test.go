@@ -40,7 +40,7 @@ func loopStreamWorkload() Workload {
 						}
 						f.Write32(c, uint32(iter))
 					}
-					f.Close()
+					f.Close(c)
 				}})
 			b.AddTask(TaskConfig{
 				Name: "streamer", CPU: 1, HeapSize: 2 * 1024 * 1024,

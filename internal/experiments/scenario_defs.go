@@ -12,18 +12,18 @@ import (
 // one or more of these, and user specs can overlay any of them through
 // the "base" field.
 const (
-	ScenarioApp1          = "app1"            // full study of 2×JPEG + Canny (Tables 1, Figures 2-3)
-	ScenarioApp2          = "app2"            // full study of MPEG-2 (Table 2)
-	ScenarioMpeg2Big      = "mpeg2-1mb"       // MPEG-2 on a 1 MB shared L2 (headline variant)
-	ScenarioApp1Curves    = "app1-curves"     // miss-curve profile of application 1
-	ScenarioApp2Curves    = "app2-curves"     // miss-curve profile of application 2
-	ScenarioJPEG1Solo     = "jpeg1-solo"      // X1: solo decoder under the full app's allocation
-	ScenarioApp1Split     = "app1-split"      // X4: split instruction/data partitions
-	ScenarioApp1Migration = "app1-migration"  // X5: study under task migration
-	ScenarioApp1Optimize  = "app1-optimize"   // X2: fine-grained optimize leg (no measured runs)
-	ScenarioApp1Column    = "app1-column"     // X2: column-caching optimize leg (one whole way each)
-	ScenarioL3Shared      = "l3-shared"       // 3-level tree: private L1+L2 under a shared partitioned L3
-	ScenarioClusteredL2   = "clustered-l2"    // 3-level tree: cluster-of-2 L2s under a shared partitioned L3
+	ScenarioApp1          = "app1"           // full study of 2×JPEG + Canny (Tables 1, Figures 2-3)
+	ScenarioApp2          = "app2"           // full study of MPEG-2 (Table 2)
+	ScenarioMpeg2Big      = "mpeg2-1mb"      // MPEG-2 on a 1 MB shared L2 (headline variant)
+	ScenarioApp1Curves    = "app1-curves"    // miss-curve profile of application 1
+	ScenarioApp2Curves    = "app2-curves"    // miss-curve profile of application 2
+	ScenarioJPEG1Solo     = "jpeg1-solo"     // X1: solo decoder under the full app's allocation
+	ScenarioApp1Split     = "app1-split"     // X4: split instruction/data partitions
+	ScenarioApp1Migration = "app1-migration" // X5: study under task migration
+	ScenarioApp1Optimize  = "app1-optimize"  // X2: fine-grained optimize leg (no measured runs)
+	ScenarioApp1Column    = "app1-column"    // X2: column-caching optimize leg (one whole way each)
+	ScenarioL3Shared      = "l3-shared"      // 3-level tree: private L1+L2 under a shared partitioned L3
+	ScenarioClusteredL2   = "clustered-l2"   // 3-level tree: cluster-of-2 L2s under a shared partitioned L3
 )
 
 // baseSpec maps the harness configuration onto the scenario fields every

@@ -30,11 +30,14 @@ import (
 // disk store honors Error and Delay on both, and Truncate on put — a
 // torn write that frames a deliberately short record through the same
 // atomic path, simulating a crash between rename and data flush).
+// SiteTraceRead is hit once per trace-stage document decode, so corrupt
+// recorded traces are provable to read as misses and recapture.
 const (
-	SiteStage    = "stage."
-	SiteWorker   = "parallel.worker"
-	SiteStoreGet = "store.get"
-	SiteStorePut = "store.put"
+	SiteStage     = "stage."
+	SiteWorker    = "parallel.worker"
+	SiteStoreGet  = "store.get"
+	SiteStorePut  = "store.put"
+	SiteTraceRead = "trace.read"
 )
 
 // Kind selects what an injection rule does when it fires.

@@ -72,11 +72,22 @@ func (f *FIFO) MaxDepth() int { return f.maxDepth }
 
 // Close marks the end of the stream. Subsequent reads drain the buffer
 // and then return false. Closing twice is a no-op; writing after Close
-// panics.
-func (f *FIFO) Close() { f.closed = true }
+// panics. The closing task passes its Ctx so trace capture records the
+// close at its exact position in the task's stream (the point at which
+// blocked readers become eligible to observe EOF); c may be nil in
+// engine-external teardown (tests).
+func (f *FIFO) Close(c *Ctx) {
+	f.closed = true
+	if c != nil && c.rec != nil && c.recMute == 0 {
+		c.rec.RecordFIFOClose(f)
+	}
+}
 
 // Write blocks until space is available, then copies one token into the
 // ring buffer, charging the memory accesses to the FIFO's region.
+// Capture records it as a single event — the internal StoreBytes is
+// suppressed — and replay re-issues the real Write, regenerating the
+// identical blocking condition, ring-slot traffic and statistics.
 func (f *FIFO) Write(c *Ctx, tok []byte) {
 	if len(tok) != f.TokenBytes {
 		panic(fmt.Sprintf("kpn: fifo %q: write of %d bytes, token is %d", f.Name, len(tok), f.TokenBytes))
@@ -84,31 +95,43 @@ func (f *FIFO) Write(c *Ctx, tok []byte) {
 	if f.closed {
 		panic(fmt.Sprintf("kpn: fifo %q: write after close", f.Name))
 	}
+	c.muteRecord()
 	c.WaitFor(func() bool { return !f.Full() }, f)
 	slot := (f.tail % uint64(f.Cap)) * uint64(f.TokenBytes)
 	c.StoreBytes(f.Region, slot, tok)
+	c.unmuteRecord()
 	f.tail++
 	f.produced++
 	if d := f.Len(); d > f.maxDepth {
 		f.maxDepth = d
 	}
+	if c.rec != nil && c.recMute == 0 {
+		c.rec.RecordFIFOWrite(f)
+	}
 }
 
 // Read blocks until a token is available, copies it into tok and returns
 // true; it returns false when the FIFO is closed and drained (EOF).
+// Like Write, capture records it as one event (carrying the EOF flag,
+// which replay verifies) with the internal LoadBytes suppressed.
 func (f *FIFO) Read(c *Ctx, tok []byte) bool {
 	if len(tok) != f.TokenBytes {
 		panic(fmt.Sprintf("kpn: fifo %q: read of %d bytes, token is %d", f.Name, len(tok), f.TokenBytes))
 	}
+	c.muteRecord()
 	c.WaitFor(func() bool { return !f.Empty() || f.closed }, f)
-	if f.Empty() {
-		return false
+	ok := !f.Empty()
+	if ok {
+		slot := (f.head % uint64(f.Cap)) * uint64(f.TokenBytes)
+		c.LoadBytes(f.Region, slot, tok)
+		f.head++
+		f.consumed++
 	}
-	slot := (f.head % uint64(f.Cap)) * uint64(f.TokenBytes)
-	c.LoadBytes(f.Region, slot, tok)
-	f.head++
-	f.consumed++
-	return true
+	c.unmuteRecord()
+	if c.rec != nil && c.recMute == 0 {
+		c.rec.RecordFIFORead(f, ok)
+	}
+	return ok
 }
 
 // Write32 writes one 4-byte token holding v (for FIFOs with TokenBytes 4).

@@ -101,7 +101,7 @@ func TestProducerConsumerIntegrity(t *testing.T) {
 		for i := uint32(0); i < n; i++ {
 			f.Write32(c, i*i)
 		}
-		f.Close()
+		f.Close(c)
 	})
 	h.addProc(as, "cons", func(c *Ctx) {
 		for {
@@ -138,7 +138,7 @@ func TestFIFOBlocksWhenFull(t *testing.T) {
 		for i := uint32(0); i < 10; i++ {
 			f.Write32(c, i)
 		}
-		f.Close()
+		f.Close(c)
 	})
 	h.addProc(as, "cons", func(c *Ctx) {
 		consumerStarted = true
@@ -165,7 +165,7 @@ func TestFIFOEOF(t *testing.T) {
 	h.addProc(as, "prod", func(c *Ctx) {
 		f.Write32(c, 1)
 		f.Write32(c, 2)
-		f.Close()
+		f.Close(c)
 	})
 	h.addProc(as, "cons", func(c *Ctx) {
 		n := 0
@@ -191,7 +191,7 @@ func TestWriteAfterClosePanics(t *testing.T) {
 	h := newHarness(t)
 	f := MustNewFIFO(as, "f", 4, 8)
 	p := h.addProc(as, "prod", func(c *Ctx) {
-		f.Close()
+		f.Close(c)
 		f.Write32(c, 1)
 	})
 	p.Start()
@@ -498,7 +498,7 @@ func TestFIFOOrderProperty(t *testing.T) {
 			for _, v := range vals {
 				fifo.Write32(c, v)
 			}
-			fifo.Close()
+			fifo.Close(c)
 		})
 		h.addProc(as, "c", func(c *Ctx) {
 			for {
@@ -537,10 +537,10 @@ func TestChargeBulkOddSizesAndStraddles(t *testing.T) {
 	}{
 		{0, 7, []uint8{4, 3}},
 		{1, 13, []uint8{4, 4, 4, 1}},
-		{62, 8, []uint8{4, 4}},   // words straddle the 64 B line boundary
-		{61, 6, []uint8{4, 2}},   // first word straddles
+		{62, 8, []uint8{4, 4}}, // words straddle the 64 B line boundary
+		{61, 6, []uint8{4, 2}}, // first word straddles
 		{0, 1, []uint8{1}},
-		{63, 2, []uint8{2}},      // single straddling short word
+		{63, 2, []uint8{2}}, // single straddling short word
 	} {
 		as := mem.NewAddressSpace()
 		h := newHarness(t)

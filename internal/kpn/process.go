@@ -55,6 +55,35 @@ type LineMemory interface {
 	CommitRepeats(lineAddr uint64, region mem.RegionID, reads, writes uint64, merge bool)
 }
 
+// Recorder observes the Ctx-level operation stream of one task — the
+// exact vocabulary a recorded trace needs to reproduce the task's
+// timing behavior without re-running its computation (internal/tracefile
+// implements it for trace capture).
+//
+// The vocabulary is chosen for bit-exact replay:
+//
+//   - Exec counts are recorded per call and never coalesced or split:
+//     the engine tests the slice budget after every internal step and
+//     accumulates fractional cycles, so yield points — and with them the
+//     whole schedule — are sensitive to call boundaries.
+//   - Instruction fetches are NOT recorded: Exec regenerates them
+//     deterministically from the task's code region and hot-code cursor.
+//   - FIFO operations are recorded as single events and the buffer
+//     traffic inside them is suppressed: replay re-issues the real FIFO
+//     operation, which regenerates identical ring-slot traffic, blocking
+//     conditions and depth statistics.
+//
+// All methods are called from the task goroutine, strictly in program
+// order.
+type Recorder interface {
+	RecordExec(n uint64)
+	RecordAccess(a trace.Access)
+	RecordBulk(region mem.RegionID, off, n uint64, op trace.Op)
+	RecordFIFOWrite(f *FIFO)
+	RecordFIFORead(f *FIFO, ok bool)
+	RecordFIFOClose(f *FIFO)
+}
+
 // State enumerates the lifecycle of a process.
 type State uint8
 
@@ -143,6 +172,10 @@ type Process struct {
 	// sets it from platform.Config.Engine; differential tests prove the
 	// default fast path bit-identical to this path.
 	WordExact bool
+
+	// Recorder, when non-nil, observes the task's Ctx-level operation
+	// stream (trace capture). Must be set before Start.
+	Recorder Recorder
 
 	state  State
 	ctx    *Ctx
@@ -271,6 +304,12 @@ type Ctx struct {
 	instrAccum  uint64
 	consumed    uint64 // execution + stall cycles attributed to this task
 
+	// rec observes the task's operation stream during trace capture;
+	// recMute suppresses access/bulk records while a FIFO operation —
+	// recorded as a single event — issues its internal buffer traffic.
+	rec     Recorder
+	recMute int
+
 	// Line-register file of the exact fast path: slotWays registers per
 	// L1 set (mirroring the L1's associativity) plus one register for
 	// the bypass line buffer. A register is armed by the slow-path walk
@@ -301,14 +340,14 @@ type Ctx struct {
 	setMask  uint64     // L1 set mask
 	hitLat   uint64     // per-repeat latency, cacheable class
 	mergeLat uint64     // per-repeat latency, bypass class
-	slots    []lineRun // slotWays per set; nil = cacheable batching off
-	keys     []uint64  // packed epoch|line|region per slot, for the scan
+	slots    []lineRun  // slotWays per set; nil = cacheable batching off
+	keys     []uint64   // packed epoch|line|region per slot, for the scan
 	slotsBuf []lineRun
 	keysBuf  []uint64
 	bypass   lineRun
-	dirty []int32 // slot indices with pending commits; -1 = bypass
-	epoch uint64  // registers are valid only when their epoch matches
-	seq   uint64  // per-register last-touch order within a slice
+	dirty    []int32 // slot indices with pending commits; -1 = bypass
+	epoch    uint64  // registers are valid only when their epoch matches
+	seq      uint64  // per-register last-touch order within a slice
 }
 
 // Packed register keys: epoch (18 bits, wrapping with a full key clear) |
@@ -351,7 +390,22 @@ type lineRun struct {
 }
 
 func newCtx(p *Process) *Ctx {
-	return &Ctx{proc: p, coalesce: !p.WordExact, epoch: 1, bypass: lineRun{idx: -1}}
+	return &Ctx{proc: p, coalesce: !p.WordExact, rec: p.Recorder, epoch: 1, bypass: lineRun{idx: -1}}
+}
+
+// muteRecord suppresses access/bulk recording (used by FIFO operations,
+// which are recorded as single events); unmuteRecord restores it. Both
+// are single nil checks when no recorder is attached.
+func (c *Ctx) muteRecord() {
+	if c.rec != nil {
+		c.recMute++
+	}
+}
+
+func (c *Ctx) unmuteRecord() {
+	if c.rec != nil {
+		c.recMute--
+	}
 }
 
 // awaitResume parks the goroutine until the engine grants a slice.
@@ -442,6 +496,9 @@ func (c *Ctx) Now() uint64 { return c.core.Now() }
 // instruction fetch per cache line's worth of instructions (4-byte
 // instruction words), cycling through the task's hot code footprint.
 func (c *Ctx) Exec(n uint64) {
+	if c.rec != nil && c.recMute == 0 {
+		c.rec.RecordExec(n)
+	}
 	hot := c.proc.HotCode
 	if hot == 0 || hot > c.proc.Code.Size {
 		hot = c.proc.Code.Size
@@ -774,13 +831,22 @@ func (c *Ctx) access(a trace.Access) {
 	c.maybeYield()
 }
 
+// recordAccess records one data access during trace capture.
+func (c *Ctx) recordAccess(a trace.Access) {
+	if c.rec != nil && c.recMute == 0 {
+		c.rec.RecordAccess(a)
+	}
+}
+
 // Load32 reads a 32-bit word from a region, charging the access.
 func (c *Ctx) Load32(r *mem.Region, off uint64) uint32 {
 	v, err := r.Load32(off)
 	if err != nil {
 		panic(err)
 	}
-	c.access(trace.Access{Addr: r.Base + off, Size: 4, Op: trace.Read, Region: r.ID})
+	a := trace.Access{Addr: r.Base + off, Size: 4, Op: trace.Read, Region: r.ID}
+	c.recordAccess(a)
+	c.access(a)
 	return v
 }
 
@@ -789,7 +855,9 @@ func (c *Ctx) Store32(r *mem.Region, off uint64, v uint32) {
 	if err := r.Store32(off, v); err != nil {
 		panic(err)
 	}
-	c.access(trace.Access{Addr: r.Base + off, Size: 4, Op: trace.Write, Region: r.ID})
+	a := trace.Access{Addr: r.Base + off, Size: 4, Op: trace.Write, Region: r.ID}
+	c.recordAccess(a)
+	c.access(a)
 }
 
 // Load8 reads one byte from a region, charging the access.
@@ -798,7 +866,9 @@ func (c *Ctx) Load8(r *mem.Region, off uint64) byte {
 	if err != nil {
 		panic(err)
 	}
-	c.access(trace.Access{Addr: r.Base + off, Size: 1, Op: trace.Read, Region: r.ID})
+	a := trace.Access{Addr: r.Base + off, Size: 1, Op: trace.Read, Region: r.ID}
+	c.recordAccess(a)
+	c.access(a)
 	return v
 }
 
@@ -807,7 +877,9 @@ func (c *Ctx) Store8(r *mem.Region, off uint64, v byte) {
 	if err := r.Store8(off, v); err != nil {
 		panic(err)
 	}
-	c.access(trace.Access{Addr: r.Base + off, Size: 1, Op: trace.Write, Region: r.ID})
+	a := trace.Access{Addr: r.Base + off, Size: 1, Op: trace.Write, Region: r.ID}
+	c.recordAccess(a)
+	c.access(a)
 }
 
 // LoadBytes copies len(dst) bytes out of a region with word-granular
@@ -818,6 +890,9 @@ func (c *Ctx) LoadBytes(r *mem.Region, off uint64, dst []byte) {
 		panic(fmt.Sprintf("kpn: LoadBytes out of range: %s off=%d len=%d", r.Name, off, len(dst)))
 	}
 	copy(dst, backing[off:off+uint64(len(dst))])
+	if c.rec != nil && c.recMute == 0 {
+		c.rec.RecordBulk(r.ID, off, uint64(len(dst)), trace.Read)
+	}
 	c.chargeBulk(r, off, uint64(len(dst)), trace.Read)
 }
 
@@ -828,7 +903,36 @@ func (c *Ctx) StoreBytes(r *mem.Region, off uint64, src []byte) {
 		panic(fmt.Sprintf("kpn: StoreBytes out of range: %s off=%d len=%d", r.Name, off, len(src)))
 	}
 	copy(backing[off:off+uint64(len(src))], src)
+	if c.rec != nil && c.recMute == 0 {
+		c.rec.RecordBulk(r.ID, off, uint64(len(src)), trace.Write)
+	}
 	c.chargeBulk(r, off, uint64(len(src)), trace.Write)
+}
+
+// ChargeAccess charges one access through the engine's normal charging
+// path — line-register file, hierarchy walk, budget test — without
+// touching backing storage. It is the trace-replay primitive for
+// recorded Load8/Load32/Store8/Store32 events. It records like the
+// functional accessors do, so capturing a replayed task re-records the
+// identical stream (replayed workloads are first-class).
+func (c *Ctx) ChargeAccess(a trace.Access) {
+	c.recordAccess(a)
+	c.access(a)
+}
+
+// ChargeBulk charges the word-decomposed traffic of a bulk transfer of
+// n bytes at off in r — exactly what LoadBytes/StoreBytes charge,
+// including the line-merged batching of the fast path — without moving
+// bytes. It is the trace-replay primitive for recorded bulk events, and
+// records like LoadBytes/StoreBytes do.
+func (c *Ctx) ChargeBulk(r *mem.Region, off, n uint64, op trace.Op) {
+	if off+n > r.Size {
+		panic(fmt.Sprintf("kpn: ChargeBulk out of range: %s off=%d len=%d", r.Name, off, n))
+	}
+	if c.rec != nil && c.recMute == 0 {
+		c.rec.RecordBulk(r.ID, off, n, op)
+	}
+	c.chargeBulk(r, off, n, op)
 }
 
 // chargeBulk charges the memory traffic of a bulk transfer: one access

@@ -1,0 +1,61 @@
+package mem
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestAllocAt covers the exact-placement allocator trace replay rebuilds
+// address spaces with: regions land at their recorded bases (gaps
+// allowed), IDs stay dense in call order, and the bump pointer advances
+// so later Allocs never overlap a placed region.
+func TestAllocAt(t *testing.T) {
+	as := NewAddressSpace()
+	r1, err := as.AllocAt("t0.code", KindCode, "t0", 0x1000, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Base != 0x1000 || r1.Size != 4096 || r1.ID != 0 {
+		t.Fatalf("bad placed region: %+v", r1)
+	}
+	// A gap before the next base is fine: recorded layouts may skip
+	// alignment padding the original allocator inserted.
+	r2, err := as.AllocAt("t0.heap", KindHeap, "t0", 0x10000, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Base != 0x10000 || r2.ID != 1 {
+		t.Fatalf("bad gapped region: %+v", r2)
+	}
+	// The bump pointer followed: a regular Alloc lands past the gap.
+	r3 := as.MustAlloc("shared", KindData, "", 128)
+	if r3.Base < 0x10000+64 {
+		t.Fatalf("Alloc after AllocAt overlaps placed space: %+v", r3)
+	}
+}
+
+func TestAllocAtRejectsOverlap(t *testing.T) {
+	as := NewAddressSpace()
+	if _, err := as.AllocAt("a", KindData, "", 0x2000, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := as.AllocAt("b", KindData, "", 0x2800, 64); err == nil {
+		t.Error("base inside an allocated region must be rejected")
+	}
+	if _, err := as.AllocAt("c", KindData, "", 0x800, 64); err == nil {
+		t.Error("base below the reserved first page must be rejected")
+	}
+}
+
+func TestAllocAtLimits(t *testing.T) {
+	as := NewAddressSpace()
+	if _, err := as.AllocAt("z", KindData, "", 0x1000, 0); !errors.Is(err, ErrZeroSize) {
+		t.Errorf("want ErrZeroSize, got %v", err)
+	}
+	if _, err := as.AllocAt("big", KindData, "", (1<<32)-64, 128); !errors.Is(err, ErrExhausted) {
+		t.Errorf("past the 4 GiB limit: want ErrExhausted, got %v", err)
+	}
+	if _, err := as.AllocAt("wrap", KindData, "", ^uint64(0)-10, 100); !errors.Is(err, ErrExhausted) {
+		t.Errorf("base+size wraparound: want ErrExhausted, got %v", err)
+	}
+}

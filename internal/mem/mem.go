@@ -232,6 +232,37 @@ func (as *AddressSpace) Alloc(name string, kind Kind, owner string, size uint64)
 	return r, nil
 }
 
+// AllocAt places a region at an explicit base address instead of
+// deriving one from the buddy policy. This is the reconstruction path
+// of trace replay and trace import: a recorded address space must be
+// rebuilt with the exact bases (and therefore the exact cache-index
+// behavior) it had when captured, even when the recording came from
+// another system that laid regions out differently. Regions must still
+// be appended in increasing address order, must not overlap, and must
+// respect the space's limit; ids stay dense allocation-order indices.
+func (as *AddressSpace) AllocAt(name string, kind Kind, owner string, base, size uint64) (*Region, error) {
+	if size == 0 {
+		return nil, fmt.Errorf("%w: %q", ErrZeroSize, name)
+	}
+	if base < as.next {
+		return nil, fmt.Errorf("mem: AllocAt %q at %#x overlaps allocated space (next free %#x)", name, base, as.next)
+	}
+	if base+size < base || base+size > as.limit {
+		return nil, fmt.Errorf("%w: allocating %q (%d bytes at %#x)", ErrExhausted, name, size, base)
+	}
+	r := &Region{
+		ID:    RegionID(len(as.regions)),
+		Name:  name,
+		Kind:  kind,
+		Owner: owner,
+		Base:  base,
+		Size:  size,
+	}
+	as.regions = append(as.regions, r)
+	as.next = base + size
+	return r, nil
+}
+
 // MustAlloc is Alloc that panics on error; it is used during application
 // construction where allocation failure is a programming error.
 func (as *AddressSpace) MustAlloc(name string, kind Kind, owner string, size uint64) *Region {

@@ -31,7 +31,7 @@ func buildPipelineApp() (*mem.AddressSpace, []*kpn.Process) {
 			c.Exec(50)
 			f1.Write(c, tok)
 		}
-		f1.Close()
+		f1.Close(c)
 	})
 	mid := mk("mid", func(c *kpn.Ctx) {
 		tok := make([]byte, 16)
@@ -42,7 +42,7 @@ func buildPipelineApp() (*mem.AddressSpace, []*kpn.Process) {
 			c.Exec(80)
 			f2.Write(c, tok)
 		}
-		f2.Close()
+		f2.Close(c)
 	})
 	sink := mk("sink", func(c *kpn.Ctx) {
 		tok := make([]byte, 16)

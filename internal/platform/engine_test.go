@@ -50,8 +50,8 @@ func buildStress(as *mem.AddressSpace) (tasks []*kpn.Process, entities []rtos.Al
 			c.StoreBytes(h, 1+uint64(i%5), buf[:7+i%5])
 			f2.Write(c, buf)
 		}
-		f1.Close()
-		f2.Close()
+		f1.Close(c)
+		f2.Close(c)
 	})
 	_ = prod
 

@@ -97,7 +97,7 @@ func TestPipelineAcrossCPUs(t *testing.T) {
 			c.Exec(20)
 			f.Write32(c, i*3)
 		}
-		f.Close()
+		f.Close(c)
 	})
 	cons := mkTask(as, "cons", func(c *kpn.Ctx) {
 		for {
@@ -183,7 +183,7 @@ func TestSharedRegionsBypassL1(t *testing.T) {
 		for i := 0; i < 32; i++ {
 			f.Write(c, tok)
 		}
-		f.Close()
+		f.Close(c)
 	})
 	cons := mkTask(as, "c", func(c *kpn.Ctx) {
 		tok := make([]byte, 64)

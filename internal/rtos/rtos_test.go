@@ -200,7 +200,7 @@ func TestWakeTimeAdvancesConsumerClock(t *testing.T) {
 	prod := mkProc(as, "prod", func(c *kpn.Ctx) {
 		c.Exec(5000) // long compute before producing
 		f.Write32(c, 42)
-		f.Close()
+		f.Close(c)
 	})
 	cons := mkProc(as, "cons", func(c *kpn.Ctx) {
 		v, ok := f.Read32(c)

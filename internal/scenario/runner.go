@@ -14,6 +14,7 @@ import (
 	"repro/internal/profile"
 	"repro/internal/report"
 	"repro/internal/store"
+	"repro/internal/tracefile"
 	"repro/internal/workloads"
 )
 
@@ -59,6 +60,9 @@ type Runner struct {
 	profileRuns  uint64 // profile stages executed
 	optimizeRuns uint64 // optimize stages executed
 	runRuns      uint64 // measured-execution stages executed
+	traceRuns    uint64 // trace captures executed (functional runs)
+	traceHits    uint64 // trace lookups served without capturing (any layer)
+	traceBytes   uint64 // encoded bytes of traces captured
 	diskHits     uint64 // stage lookups served from the durable store
 	diskMisses   uint64 // durable-store lookups that found no record
 	storeErrors  uint64 // durable-store operations that failed (post-retry)
@@ -162,6 +166,9 @@ type Stats struct {
 	ProfileRuns  uint64 `json:"profile_runs"`           // profile stages executed
 	OptimizeRuns uint64 `json:"optimize_runs"`          // optimize stages executed
 	RunRuns      uint64 `json:"run_runs"`               // measured executions performed
+	TraceRuns    uint64 `json:"trace_runs"`             // trace captures executed (functional runs)
+	TraceHits    uint64 `json:"trace_hits"`             // trace requests served without capturing
+	TraceBytes   uint64 `json:"trace_bytes,omitempty"`  // encoded bytes of traces captured
 	DiskHits     uint64 `json:"disk_hits,omitempty"`    // stage requests served from the durable store
 	DiskMisses   uint64 `json:"disk_misses,omitempty"`  // durable lookups that found no record
 	StoreErrors  uint64 `json:"store_errors,omitempty"` // durable-store operations failed post-retry (never fatal)
@@ -178,6 +185,9 @@ func (r *Runner) Stats() Stats {
 		ProfileRuns:  atomic.LoadUint64(&r.profileRuns),
 		OptimizeRuns: atomic.LoadUint64(&r.optimizeRuns),
 		RunRuns:      atomic.LoadUint64(&r.runRuns),
+		TraceRuns:    atomic.LoadUint64(&r.traceRuns),
+		TraceHits:    atomic.LoadUint64(&r.traceHits),
+		TraceBytes:   atomic.LoadUint64(&r.traceBytes),
 		DiskHits:     atomic.LoadUint64(&r.diskHits),
 		DiskMisses:   atomic.LoadUint64(&r.diskMisses),
 		StoreErrors:  atomic.LoadUint64(&r.storeErrors),
@@ -193,7 +203,16 @@ const (
 	stageProfile  = "profile"
 	stageOptimize = "optimize"
 	stageRun      = "run"
+	stageTrace    = "trace"
 )
+
+// noteHit counts a stage lookup served without executing the stage.
+func (r *Runner) noteHit(kind string) {
+	atomic.AddUint64(&r.memoHits, 1)
+	if kind == stageTrace {
+		atomic.AddUint64(&r.traceHits, 1)
+	}
+}
 
 // stage serves one pipeline-stage lookup through the memo layers:
 // the completed-result stores first (memory, then the durable layer),
@@ -217,25 +236,42 @@ func (r *Runner) stage(ctx context.Context, kind, key string, f func() (interfac
 		return nil, err
 	}
 	key = kind + "|" + key
-	r.mu.Lock()
-	e, waiting := r.inflight[key]
-	var cached []byte
-	if !waiting {
-		if b, err := r.mem.Get(key); err == nil {
-			cached = b
-		} else {
-			e = &memoEntry{}
-			r.inflight[key] = e
+	var (
+		e       *memoEntry
+		waiting bool
+	)
+	for {
+		r.mu.Lock()
+		e, waiting = r.inflight[key]
+		var cached []byte
+		if !waiting {
+			if b, err := r.mem.Get(key); err == nil {
+				cached = b
+			} else {
+				e = &memoEntry{}
+				r.inflight[key] = e
+			}
 		}
+		r.mu.Unlock()
+		if cached == nil {
+			break
+		}
+		v, derr := decodeStage(kind, cached)
+		if derr == nil {
+			r.noteHit(kind)
+			return v, nil
+		}
+		// The memory layer held an undecodable document (a corrupt
+		// trace surfaced by the trace.read fault site, or version skew
+		// from a live upgrade). Treat it exactly like the durable layer
+		// does: count it, evict the record, and loop back to recompute —
+		// corruption costs a re-run, never a failed scenario.
+		atomic.AddUint64(&r.storeErrors, 1)
+		r.mem.Delete(key)
 	}
-	r.mu.Unlock()
 
-	if cached != nil {
-		atomic.AddUint64(&r.memoHits, 1)
-		return decodeStage(kind, cached)
-	}
 	if waiting {
-		atomic.AddUint64(&r.memoHits, 1)
+		r.noteHit(kind)
 	}
 	e.once.Do(func() {
 		if v, ok := r.loadDurable(kind, key); ok {
@@ -250,6 +286,8 @@ func (r *Runner) stage(ctx context.Context, kind, key string, f func() (interfac
 			atomic.AddUint64(&r.optimizeRuns, 1)
 		case stageRun:
 			atomic.AddUint64(&r.runRuns, 1)
+		case stageTrace:
+			atomic.AddUint64(&r.traceRuns, 1)
 		}
 		e.val, e.err = r.guarded(kind, key, f)
 		if e.err == nil {
@@ -292,6 +330,9 @@ func (r *Runner) loadDurable(kind, key string) (interface{}, bool) {
 			return nil, false
 		}
 		atomic.AddUint64(&r.diskHits, 1)
+		if kind == stageTrace {
+			atomic.AddUint64(&r.traceHits, 1)
+		}
 		r.mem.Put(key, b)
 		return v, true
 	case errors.Is(err, store.ErrNotFound):
@@ -355,6 +396,59 @@ func (r *Runner) guarded(kind, key string, f func() (interface{}, error)) (v int
 	return v, err
 }
 
+// traceKey captures exactly what the capture stage depends on: the
+// workload identity alone. A recorded trace is platform-, engine- and
+// strategy-independent (capture happens at the Ctx API boundary, above
+// all timing — see internal/tracefile), so one trace serves the
+// profiler and every measured execution of every scenario sharing the
+// workload.
+type traceKey struct {
+	Workload string `json:"workload"`
+	Scale    string `json:"scale"`
+	Seed     uint64 `json:"seed"`
+}
+
+// traceStageKey hashes what the capture stage depends on.
+func traceStageKey(s Scenario) string {
+	return hashJSON(traceKey{Workload: s.Workload, Scale: s.Scale, Seed: s.Seed})
+}
+
+// traceStage serves the scenario's recorded trace through the memo
+// layers, capturing it from one live functional run on first use.
+func (r *Runner) traceStage(ctx context.Context, s Scenario) (*tracefile.Trace, error) {
+	v, err := r.stage(ctx, stageTrace, traceStageKey(s), func() (interface{}, error) {
+		w, err := workloads.Build(s.Workload, s.buildConfig())
+		if err != nil {
+			return nil, err
+		}
+		t, err := tracefile.Capture(w, tracefile.Meta{Workload: s.Workload, Scale: s.Scale, Seed: s.Seed})
+		if err != nil {
+			return nil, err
+		}
+		atomic.AddUint64(&r.traceBytes, uint64(t.Size()))
+		return t, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*tracefile.Trace), nil
+}
+
+// workload returns the factory the pipeline stages build app instances
+// from: a replay workload backed by the trace stage (the default — a
+// warm trace makes every later stage skip functional execution
+// entirely), or the live functional workload under trace mode "live".
+func (r *Runner) workload(ctx context.Context, s Scenario) (core.Workload, error) {
+	if s.Trace == TraceLive {
+		return workloads.Build(s.Workload, s.buildConfig())
+	}
+	t, err := r.traceStage(ctx, s)
+	if err != nil {
+		return core.Workload{}, err
+	}
+	return t.Workload(s.Workload), nil
+}
+
 // profileKey captures exactly what the profiling stage depends on.
 type profileKey struct {
 	Workload string       `json:"workload"`
@@ -379,7 +473,9 @@ func profileStageKey(s Scenario) string {
 
 func (r *Runner) profileStage(ctx context.Context, s Scenario) ([]profile.Curve, error) {
 	v, err := r.stage(ctx, stageProfile, profileStageKey(s), func() (interface{}, error) {
-		w, err := workloads.Build(s.Workload, s.buildConfig())
+		// Nested stage lookups are detached from ctx: the closure may be
+		// computing on behalf of many single-flight waiters.
+		w, err := r.workload(context.Background(), s)
 		if err != nil {
 			return nil, err
 		}
@@ -424,7 +520,7 @@ func (r *Runner) optimizeStage(ctx context.Context, s Scenario) (*core.OptimizeR
 		if err != nil {
 			return nil, err
 		}
-		w, err := workloads.Build(s.Workload, s.buildConfig())
+		w, err := r.workload(context.Background(), s)
 		if err != nil {
 			return nil, err
 		}
@@ -469,7 +565,7 @@ func runStageKey(s Scenario, strat core.Strategy, allocKey string) string {
 
 func (r *Runner) runStage(ctx context.Context, s Scenario, strat core.Strategy, alloc core.Allocation, allocKey string) (*core.Result, error) {
 	v, err := r.stage(ctx, stageRun, runStageKey(s, strat, allocKey), func() (interface{}, error) {
-		w, err := workloads.Build(s.Workload, s.buildConfig())
+		w, err := r.workload(context.Background(), s)
 		if err != nil {
 			return nil, err
 		}
@@ -532,6 +628,12 @@ func (s Scenario) StageKeys() (map[string]string, error) {
 		keys["run.shared"] = stageRun + "|" + runStageKey(n, core.Shared, "")
 		keys["run.partitioned"] = stageRun + "|" + runStageKey(n, core.Partitioned, allocStageKey(n))
 	}
+	if n.Trace != TraceLive {
+		keys["trace"] = stageTrace + "|" + traceStageKey(n)
+		if a := allocSpec(n); a.Workload != n.Workload {
+			keys["trace.alloc"] = stageTrace + "|" + traceStageKey(a)
+		}
+	}
 	return keys, nil
 }
 
@@ -574,6 +676,7 @@ func (r *Runner) RunContext(ctx context.Context, s Scenario) (res *Result, err e
 	}
 	keyed := n
 	keyed.Name = ""
+	keyed.Trace = "" // replay ≡ live; the mode is non-semantic (see Key)
 	res = &Result{SchemaVersion: report.SchemaVersion, Key: hashJSON(keyed), Scenario: n}
 	if err := r.execute(ctx, n, res); err != nil {
 		res.Error = err.Error()

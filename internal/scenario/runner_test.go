@@ -31,7 +31,8 @@ func TestRunnerMemoizesIdenticalSpecs(t *testing.T) {
 		t.Errorf("keys differ: %s %s %s", results[0].Key, results[1].Key, results[2].Key)
 	}
 	st := rn.Stats()
-	if st.StageRuns != 1 {
+	// 2 runs: the trace capture and the profile stage it feeds.
+	if st.StageRuns != 2 {
 		t.Errorf("identical specs must simulate once, got %d stage runs (stats %+v)", st.StageRuns, st)
 	}
 	if st.MemoHits != 2 {

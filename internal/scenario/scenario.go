@@ -104,7 +104,26 @@ type Scenario struct {
 	// scenario's own — the compositionality ablation validates a solo
 	// task under the full application's allocation this way.
 	AllocWorkload string `json:"alloc_workload,omitempty"`
+	// Trace selects the functional-execution source for the pipeline
+	// stages: "replay" (the default; canonicalized to empty) drives the
+	// profiler and the measured executions from the workload's recorded
+	// access-stream trace, captured once per (workload, scale, seed) by
+	// the trace stage and persisted through the store layers; "live"
+	// re-runs the functional apps for every stage. Replay is proven
+	// bit-identical to live (see internal/tracefile), so the choice
+	// cannot affect results and is cleared from the content address —
+	// both modes share every stage key.
+	Trace string `json:"trace,omitempty"`
 }
+
+// Trace modes (Scenario.Trace).
+const (
+	// TraceReplay drives pipeline stages from the recorded trace
+	// (default; normalizes to the empty string).
+	TraceReplay = "replay"
+	// TraceLive re-runs the functional applications for every stage.
+	TraceLive = "live"
+)
 
 // CacheSpec overrides a cache geometry. Fields are pointers so that an
 // explicit zero is distinguishable from "field absent": absent (nil)
@@ -375,10 +394,10 @@ func (p PlatformSpec) Config() (platform.Config, error) {
 	return pc, nil
 }
 
-func iptr(v int) *int          { return &v }
-func u64ptr(v uint64) *uint64  { return &v }
+func iptr(v int) *int           { return &v }
+func u64ptr(v uint64) *uint64   { return &v }
 func f64ptr(v float64) *float64 { return &v }
-func bptr(v bool) *bool        { return &v }
+func bptr(v bool) *bool         { return &v }
 
 // PlatformSpecOf captures an assembled platform.Config as a spec — the
 // inverse of PlatformSpec.Config. Every field is written explicitly
@@ -480,6 +499,14 @@ func (s Scenario) Normalize() (Scenario, error) {
 		}
 	}
 
+	switch n.Trace {
+	case "", TraceReplay:
+		n.Trace = "" // replay is the canonical default
+	case TraceLive:
+	default:
+		return n, fmt.Errorf("scenario: unknown trace mode %q (want %q or %q)", n.Trace, TraceReplay, TraceLive)
+	}
+
 	if n.Runs == 0 {
 		n.Runs = 2
 	}
@@ -551,6 +578,7 @@ func (s Scenario) Key() (string, error) {
 		return "", err
 	}
 	n.Name = ""
+	n.Trace = "" // replay ≡ live, so the mode is non-semantic
 	return hashJSON(n), nil
 }
 

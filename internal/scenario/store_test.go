@@ -45,8 +45,8 @@ func TestRunnerWarmRestartFromDisk(t *testing.T) {
 		t.Fatal(err)
 	}
 	st := cold.Stats()
-	if st.StageRuns != 4 {
-		t.Fatalf("cold run must execute all 4 stages, got %+v", st)
+	if st.StageRuns != 5 {
+		t.Fatalf("cold run must execute all 5 stages (trace + 4), got %+v", st)
 	}
 	if err := cold.Close(); err != nil {
 		t.Fatal(err)
@@ -84,7 +84,9 @@ func TestRunnerTornWriteRecovery(t *testing.T) {
 	spec := smallSpec() // profile-only: exactly one stage, one record
 
 	writer := diskRunner(t, 1, dir)
-	restore := faults.Activate(faults.New(7).TruncateAt(faults.SiteStorePut, 0))
+	// Put ordinal 0 is the trace record; ordinal 1 tears the profile
+	// record the test reads back.
+	restore := faults.Activate(faults.New(7).TruncateAt(faults.SiteStorePut, 1))
 	r1, err := writer.Run(spec)
 	restore()
 	if err != nil {
@@ -103,7 +105,9 @@ func TestRunnerTornWriteRecovery(t *testing.T) {
 	if st.Quarantined != 1 {
 		t.Errorf("the torn record must be quarantined, got %+v", st)
 	}
-	if st.DiskHits != 0 || st.StageRuns != 1 {
+	// 1 disk hit: the recompute's closure serves the (intact) trace
+	// record from disk instead of recapturing.
+	if st.DiskHits != 1 || st.StageRuns != 1 || st.TraceRuns != 0 {
 		t.Errorf("the torn record must be recomputed, not served: %+v", st)
 	}
 	b1, _ := json.Marshal(r1.Curves)

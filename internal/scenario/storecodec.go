@@ -5,7 +5,9 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/profile"
+	"repro/internal/tracefile"
 )
 
 // Stage results are persisted as versioned documents: a small envelope
@@ -30,9 +32,22 @@ type stageDoc struct {
 }
 
 // encodeStage serializes one completed stage value ([]profile.Curve,
-// *core.OptimizeResult or *core.Result, per kind) into its document.
+// *core.OptimizeResult, *core.Result or *tracefile.Trace, per kind)
+// into its document. A trace is persisted as its own self-validating
+// CMTR container (base64 inside the JSON envelope), not as a JSON view
+// of the struct — the wire golden in internal/tracefile pins it.
 func encodeStage(kind string, v interface{}) ([]byte, error) {
-	data, err := json.Marshal(v)
+	var data []byte
+	var err error
+	if kind == stageTrace {
+		t, ok := v.(*tracefile.Trace)
+		if !ok {
+			return nil, fmt.Errorf("scenario: encoding trace stage: unexpected value %T", v)
+		}
+		data, err = json.Marshal(t.Bytes())
+	} else {
+		data, err = json.Marshal(v)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("scenario: encoding %s stage: %w", kind, err)
 	}
@@ -78,6 +93,22 @@ func decodeStage(kind string, b []byte) (interface{}, error) {
 			return nil, fmt.Errorf("scenario: decoding %s stage: %w", kind, err)
 		}
 		v = res
+	case stageTrace:
+		// The injection point makes corrupt-trace handling provable: an
+		// injected error here must read as a miss and recapture, exactly
+		// like a real CRC failure below.
+		if err := faults.Point(faults.SiteTraceRead); err != nil {
+			return nil, fmt.Errorf("scenario: decoding trace stage: %w", err)
+		}
+		var raw []byte
+		if err := json.Unmarshal(doc.Data, &raw); err != nil {
+			return nil, fmt.Errorf("scenario: decoding trace stage: %w", err)
+		}
+		t, err := tracefile.Decode(raw)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: decoding trace stage: %w", err)
+		}
+		v = t
 	default:
 		return nil, fmt.Errorf("scenario: unknown stage kind %q", kind)
 	}

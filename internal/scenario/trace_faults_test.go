@@ -1,0 +1,90 @@
+package scenario
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/faults"
+)
+
+// TestTraceReadFaultRecaptures proves the corrupt-trace contract:
+// a recorded trace that fails to decode (the trace.read fault site
+// models bit rot in either store layer) is treated as a miss — the
+// record is evicted, the stage recaptures from a live functional run,
+// and the scenario still succeeds with bit-identical results. Corruption
+// costs a re-run, never a failed scenario.
+func TestTraceReadFaultRecaptures(t *testing.T) {
+	rn := NewRunner(1)
+	first := smallSpec()
+	if _, err := rn.Run(first); err != nil {
+		t.Fatal(err)
+	}
+	if st := rn.Stats(); st.TraceRuns != 1 || st.StoreErrors != 0 {
+		t.Fatalf("setup: want exactly the cold capture, got %+v", st)
+	}
+
+	// A second spec sharing the workload but not the profile key forces
+	// a fresh profile stage, whose trace lookup is the first *decode* of
+	// the recorded trace (the capture itself never decodes). Arm that
+	// decode to fail.
+	second := smallSpec()
+	second.Runs = 3
+	restore := faults.Activate(faults.New(5).ErrorAt(faults.SiteTraceRead, 0))
+	res, err := rn.Run(second)
+	restore()
+	if err != nil {
+		t.Fatalf("a corrupt trace must recapture, not fail the scenario: %v", err)
+	}
+	st := rn.Stats()
+	if st.TraceRuns != 2 {
+		t.Errorf("corrupt trace must be recaptured from a live run, got %+v", st)
+	}
+	if st.StoreErrors != 1 {
+		t.Errorf("the failed decode must be counted as a store error, got %+v", st)
+	}
+
+	// Capture is deterministic: the recaptured trace drives the exact
+	// result a clean runner computes.
+	clean, err := NewRunner(1).Run(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(res.Curves)
+	b, _ := json.Marshal(clean.Curves)
+	if len(res.Curves) == 0 || string(a) != string(b) {
+		t.Errorf("recaptured trace produced different curves\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestTraceSharedAcrossEngines pins the point of keying traces by
+// (workload, scale, seed) alone: the two execution engines profile from
+// one recorded trace — the second engine's pipeline performs zero
+// functional runs.
+func TestTraceSharedAcrossEngines(t *testing.T) {
+	rn := NewRunner(1)
+	merged := smallSpec()
+	merged.ExecEngine = "merged"
+	word := smallSpec()
+	word.ExecEngine = "word"
+
+	if _, err := rn.Run(merged); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rn.Run(word); err != nil {
+		t.Fatal(err)
+	}
+	st := rn.Stats()
+	// 3 stage runs: one capture + two per-engine profile stages.
+	if st.StageRuns != 3 || st.ProfileRuns != 2 {
+		t.Errorf("engines must profile separately over one trace, got %+v", st)
+	}
+	if st.TraceRuns != 1 {
+		t.Errorf("the trace must be captured exactly once across engines, got %+v", st)
+	}
+	if st.TraceHits != 1 {
+		t.Errorf("the second engine must replay the recorded trace, got %+v", st)
+	}
+	if st.TraceBytes == 0 {
+		t.Errorf("the capture must account its encoded size, got %+v", st)
+	}
+}

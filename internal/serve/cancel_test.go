@@ -84,8 +84,8 @@ func TestBatchClientDisconnectCancelsQueuedWork(t *testing.T) {
 	srv := New(cfg, rn)
 
 	// Scenario 0 is a full study: with one worker its pipeline runs the
-	// shared baseline first (the factory blocks there), then the
-	// profile+optimize leg, then the partitioned run.
+	// shared baseline first (the factory blocks inside that run's trace
+	// capture), then the profile+optimize leg, then the partitioned run.
 	const body = `{"scenarios":[
 		{"workload":"serve-test-blocking","scale":"small","runs":1},
 		{"workload":"serve-test-counted","scale":"small","runs":1,"partition":"profile"},
@@ -127,13 +127,15 @@ func TestBatchClientDisconnectCancelsQueuedWork(t *testing.T) {
 	}
 
 	// The in-flight stage completed into the shared memo: a later
-	// request for the same scenario reuses it (1 memo hit) and only
-	// simulates the stages the disconnect canceled.
+	// request for the same scenario reuses it and only simulates the
+	// stages the disconnect canceled. 4 memo hits: the shared run plus
+	// the captured trace served to the profile, optimize, and
+	// partitioned-run closures.
 	res, err := rn.Run(scenario.Scenario{Workload: "serve-test-blocking", Scale: "small", Runs: 1})
 	if err != nil || res.Shared == nil || res.Partitioned == nil {
 		t.Fatalf("later run of the interrupted scenario failed: %v", err)
 	}
-	if st := rn.Stats(); st.MemoHits != 1 || st.RunRuns != 2 {
+	if st := rn.Stats(); st.MemoHits != 4 || st.TraceHits != 3 || st.RunRuns != 2 {
 		t.Errorf("in-flight work must be reused, not wasted: %+v", st)
 	}
 }

@@ -169,13 +169,13 @@ func (s *Server) logf(format string, args ...interface{}) {
 // memo counters, including stage_panics — contained panics are an
 // operational signal even though they never crash the process.
 type Health struct {
-	Status      string         `json:"status"` // "ok" or "draining"
-	Ready       bool           `json:"ready"`
-	Inflight    int64          `json:"inflight"`
-	MaxInflight int            `json:"max_inflight"`
-	Queued      int64          `json:"queued"`
-	QueueLimit  int            `json:"queue_limit"`
-	Shed        uint64         `json:"shed"`
+	Status      string `json:"status"` // "ok" or "draining"
+	Ready       bool   `json:"ready"`
+	Inflight    int64  `json:"inflight"`
+	MaxInflight int    `json:"max_inflight"`
+	Queued      int64  `json:"queued"`
+	QueueLimit  int    `json:"queue_limit"`
+	Shed        uint64 `json:"shed"`
 	// StoreMode is the runner's persistence mode: "memory" (no durable
 	// store), "disk", or "degraded" (a failing disk was disabled; the
 	// runner keeps serving memory-only). Runner.store_errors counts the

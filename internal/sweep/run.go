@@ -245,6 +245,9 @@ func ExecuteExpanded(ctx context.Context, rn *scenario.Runner, sw Sweep, points 
 		ProfileRuns:  after.ProfileRuns - before.ProfileRuns,
 		OptimizeRuns: after.OptimizeRuns - before.OptimizeRuns,
 		RunRuns:      after.RunRuns - before.RunRuns,
+		TraceRuns:    after.TraceRuns - before.TraceRuns,
+		TraceHits:    after.TraceHits - before.TraceHits,
+		TraceBytes:   after.TraceBytes - before.TraceBytes,
 		DiskHits:     after.DiskHits - before.DiskHits,
 		DiskMisses:   after.DiskMisses - before.DiskMisses,
 		StoreErrors:  after.StoreErrors - before.StoreErrors,

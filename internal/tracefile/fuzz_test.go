@@ -1,0 +1,46 @@
+package tracefile
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode hardens the trace decoder against arbitrary input: corrupt
+// containers — truncated, bit-flipped, bad magic, hostile headers or
+// event streams — must return an error, never panic, and never allocate
+// proportionally to a forged declared size. A trace that does decode
+// must be self-consistent: its encoded form is the input, and it decodes
+// again to the same totals.
+func FuzzDecode(f *testing.F) {
+	tr, err := Capture(miniWorkload(), Meta{Workload: "mini", Scale: "small", Seed: 0})
+	if err != nil {
+		f.Fatal(err)
+	}
+	data := tr.Bytes()
+	f.Add(data)
+	f.Add([]byte{})
+	f.Add([]byte(Magic))
+	f.Add(data[:len(data)/2])
+	for _, off := range []int{5, 9, 20, len(data) / 2, len(data) - 2} {
+		mut := bytes.Clone(data)
+		mut[off] ^= 0x41
+		f.Add(mut)
+	}
+
+	f.Fuzz(func(t *testing.T, in []byte) {
+		tr, err := Decode(in)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(tr.Bytes(), in) {
+			t.Fatal("decoded trace does not round-trip its input")
+		}
+		again, err := Decode(tr.Bytes())
+		if err != nil {
+			t.Fatalf("re-decode of valid trace failed: %v", err)
+		}
+		if again.Totals != tr.Totals {
+			t.Fatalf("re-decode totals drifted: %+v vs %+v", again.Totals, tr.Totals)
+		}
+	})
+}

@@ -1,0 +1,56 @@
+package tracefile
+
+import (
+	"bytes"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestWireFormatGolden pins the trace container byte for byte. Traces
+// persisted by one build (durable store records, exported .ctr files,
+// external importers) must be readable by every later build of the same
+// Version, so any drift in the frame layout, header JSON, event opcodes,
+// varint encoding or CRC must fail here — and must come with a Version
+// bump. Regenerate with REGEN_TRACE_GOLDEN=1 after an intentional
+// format change.
+func TestWireFormatGolden(t *testing.T) {
+	tr := captureMini(t)
+	data := tr.Bytes()
+
+	// Frame prefix, pinned inline: magic, version 1, flags 0.
+	const wantPrefix = "434d5452" + "0001" + "0000"
+	if got := hex.EncodeToString(data[:8]); got != wantPrefix {
+		t.Fatalf("frame prefix drifted:\n got %s\nwant %s", got, wantPrefix)
+	}
+
+	path := filepath.Join("testdata", "mini_golden.ctr")
+	if os.Getenv("REGEN_TRACE_GOLDEN") == "1" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s (%d bytes)", path, len(data))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden (regenerate with REGEN_TRACE_GOLDEN=1): %v", err)
+	}
+	if !bytes.Equal(data, want) {
+		i := 0
+		for i < len(data) && i < len(want) && data[i] == want[i] {
+			i++
+		}
+		t.Fatalf("trace wire format drifted: %d vs %d bytes, first difference at offset %d; "+
+			"if intentional, bump Version and run REGEN_TRACE_GOLDEN=1 go test ./internal/tracefile/",
+			len(data), len(want), i)
+	}
+	// The golden file itself must decode (guards against a stale regen).
+	if _, err := Decode(want); err != nil {
+		t.Fatalf("golden file does not decode: %v", err)
+	}
+}
