@@ -355,6 +355,23 @@ func (tr *Tree) Cache(level, cpu int) *Cache {
 // exactly one). The slice must not be modified.
 func (tr *Tree) LevelCaches(level int) []*Cache { return tr.caches[level] }
 
+// MaxLeafSets returns the largest set count among the leaf level's
+// instances when the leaf lies below the first shared level (the
+// geometry the execution engine's line-register files are keyed by), or
+// 0 when the leaf is already shared (no cacheable batching).
+func (tr *Tree) MaxLeafSets() int {
+	if tr.firstShared == 0 {
+		return 0
+	}
+	most := 0
+	for _, c := range tr.caches[0] {
+		if c.cfg.Sets > most {
+			most = c.cfg.Sets
+		}
+	}
+	return most
+}
+
 // PartitionCache returns the partition level's (single, shared) cache.
 func (tr *Tree) PartitionCache() *Cache { return tr.caches[tr.partLevel][0] }
 

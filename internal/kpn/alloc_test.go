@@ -1,0 +1,66 @@
+package kpn
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/cpu"
+	"repro/internal/mem"
+)
+
+// newLeafHierarchy builds a private-L1 + shared-L2 path with the given
+// leaf set count, the shape the merged engine's register file keys by.
+func newLeafHierarchy(sets int) *cache.Hierarchy {
+	l1 := cache.New(cache.Config{Name: "l1", Sets: sets, Ways: 4, LineSize: 64})
+	l2 := cache.New(cache.Config{Name: "l2", Sets: 2048, Ways: 4, LineSize: 64})
+	return cache.NewTwoLevel(l1, l2, 1, 11, &cache.FixedMem{Latency: 40})
+}
+
+// spinProc starts a process whose body streams loads over its heap
+// forever; each RunSlice runs it until the slice budget is exhausted.
+// The caller must Kill it.
+func spinProc(as *mem.AddressSpace, name string) *Process {
+	p := &Process{
+		Name: name,
+		Code: as.MustAlloc(name+".code", mem.KindCode, name, 4096),
+		Heap: as.MustAlloc(name+".heap", mem.KindHeap, name, 65536),
+	}
+	p.Body = func(c *Ctx) {
+		for {
+			for off := uint64(0); off+4 <= p.Heap.Size; off += 4 {
+				c.Load32(p.Heap, off)
+			}
+		}
+	}
+	p.Start()
+	return p
+}
+
+// TestResumeNoReallocAcrossGeometries pins the awaitResume fix: with the
+// platform's MaxLeafSets hint, a task migrating between differently-sized
+// private leaves re-slices its line-register file instead of reallocating
+// it on every resume. Before the fix this measured 2 allocations per
+// geometry change (slots + keys); it must now be zero in steady state.
+func TestResumeNoReallocAcrossGeometries(t *testing.T) {
+	as := mem.NewAddressSpace()
+	core := cpu.New(cpu.Config{Name: "p0", BaseCPI: 1.0})
+	small := newLeafHierarchy(64)
+	big := newLeafHierarchy(128)
+
+	p := spinProc(as, "spin")
+	defer p.Kill()
+	p.MaxLeafSets = 128 // what platform.AddTask stamps from the tree
+
+	// Warm up both geometries once (first-touch sizing, cache stats
+	// growth), then demand steady-state zero.
+	p.RunSlice(core, small, 2000)
+	p.RunSlice(core, big, 2000)
+
+	allocs := testing.AllocsPerRun(50, func() {
+		p.RunSlice(core, small, 2000)
+		p.RunSlice(core, big, 2000)
+	})
+	if allocs != 0 {
+		t.Fatalf("resuming across leaf geometries allocates %.1f objects per slice pair, want 0", allocs)
+	}
+}

@@ -177,6 +177,16 @@ type Process struct {
 	// stream (trace capture). Must be set before Start.
 	Recorder Recorder
 
+	// MaxLeafSets is a sizing hint: the largest leaf-cache set count the
+	// task can encounter on any processor of its platform. When set
+	// (platform.AddTask stamps it from the instantiated topology), the
+	// line-register file is sized for the largest geometry up front and a
+	// resume that hands the task a smaller leaf merely re-slices it —
+	// heterogeneous per-CPU geometries no longer reallocate the file on
+	// every migration between differently-sized leaves. 0 means unknown:
+	// the file grows to each new maximum as geometries are encountered.
+	MaxLeafSets int
+
 	state  State
 	ctx    *Ctx
 	resume chan resumeMsg
@@ -425,15 +435,29 @@ func (c *Ctx) awaitResume() {
 				var sets int
 				c.shift, sets, c.hitLat, c.mergeLat = lm.FastSpec()
 				if sets > 0 {
-					if len(c.slotsBuf) != sets*slotWays {
-						c.slotsBuf = make([]lineRun, sets*slotWays)
+					need := sets * slotWays
+					if len(c.slotsBuf) < need {
+						// Size for the largest leaf geometry the task can
+						// meet (the platform's hint), so later resumes on a
+						// differently-sized leaf re-slice instead of
+						// reallocating. Registers keep their flat idx for
+						// the whole backing array, so a larger view later
+						// exposes correctly initialized slots; stale keys
+						// in the hidden tail cannot match (they carry an
+						// older epoch) and the wrap wipe below clears the
+						// full backing.
+						full := need
+						if hint := c.proc.MaxLeafSets * slotWays; hint > full {
+							full = hint
+						}
+						c.slotsBuf = make([]lineRun, full)
 						for i := range c.slotsBuf {
 							c.slotsBuf[i].idx = int32(i)
 						}
-						c.keysBuf = make([]uint64, sets*slotWays)
+						c.keysBuf = make([]uint64, full)
 					}
-					c.slots = c.slotsBuf
-					c.keys = c.keysBuf
+					c.slots = c.slotsBuf[:need]
+					c.keys = c.keysBuf[:need]
 					c.setMask = uint64(sets - 1)
 				}
 			}
@@ -446,8 +470,8 @@ func (c *Ctx) awaitResume() {
 	// wiped so they cannot resurrect.
 	c.epoch++
 	if c.epoch&keyEpochMask == 0 {
-		for i := range c.keys {
-			c.keys[i] = 0
+		for i := range c.keysBuf {
+			c.keysBuf[i] = 0
 		}
 	}
 	c.budget = m.budget

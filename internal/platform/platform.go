@@ -227,6 +227,7 @@ func (p *Platform) AddressSpace() *mem.AddressSpace { return p.as }
 // run starts for the stamp to take effect).
 func (p *Platform) AddTask(proc *kpn.Process, cpuIdx int) error {
 	proc.WordExact = p.cfg.Engine == EngineWordExact
+	proc.MaxLeafSets = p.tree.MaxLeafSets()
 	return p.sched.Add(proc, cpuIdx)
 }
 
