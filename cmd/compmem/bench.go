@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -10,17 +11,27 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/platform"
+	"repro/internal/scenario"
+	"repro/internal/sweep"
 	"repro/internal/tracefile"
 	"repro/internal/workloads"
 )
 
 // benchResult is one timed stage, in the machine-readable shape of
 // `compmem bench -json` (the seed of the BENCH_* performance trajectory).
+// The batch stages additionally report throughput and GC pressure: the
+// north-star metric is aggregate points/sec across a fleet of
+// simulations, not single-run latency.
 type benchResult struct {
 	Name       string  `json:"name"`
 	Iterations int     `json:"iterations"`
 	NsPerOp    int64   `json:"ns_per_op"`
 	MsPerOp    float64 `json:"ms_per_op"`
+
+	Points        int     `json:"points,omitempty"`
+	PointsPerSec  float64 `json:"points_per_sec,omitempty"`
+	BytesPerPoint int64   `json:"bytes_per_point,omitempty"`
+	GCPerPoint    float64 `json:"gc_per_point,omitempty"`
 }
 
 // benchReport is the top-level JSON document.
@@ -132,6 +143,73 @@ func runBench(cfg experiments.Config, iters int, asJSON bool) error {
 		}
 	}
 
+	// The batch stages: the whole paper-grid sweep through a fresh
+	// runner, measured first as aggregate points/sec at the harness's
+	// -workers setting (fresh runner per iteration so the memo never
+	// warms across iterations — this is the cold fleet cost), then once
+	// more instrumented with runtime.ReadMemStats for bytes allocated
+	// and GC cycles per point.
+	gridSweep, ok := experiments.BuiltinSweep(cfg, experiments.SweepPaperGrid)
+	if !ok {
+		return fmt.Errorf("bench: built-in sweep %q missing", experiments.SweepPaperGrid)
+	}
+	runGrid := func() (int, error) {
+		rn := scenario.NewRunner(cfg.Workers)
+		res, err := sweep.Execute(context.Background(), rn, gridSweep, nil)
+		if err != nil {
+			return 0, err
+		}
+		if res.Failed > 0 {
+			return 0, fmt.Errorf("paper-grid: %d points failed", res.Failed)
+		}
+		return res.Executed, nil
+	}
+	{
+		best := time.Duration(1<<63 - 1)
+		points := 0
+		for i := 0; i < iters; i++ {
+			start := time.Now()
+			n, err := runGrid()
+			if err != nil {
+				return fmt.Errorf("bench batch-throughput: %w", err)
+			}
+			points = n
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		rep.Benchmarks = append(rep.Benchmarks, benchResult{
+			Name:         "batch-throughput-paper-grid",
+			Iterations:   iters,
+			NsPerOp:      best.Nanoseconds() / int64(max(points, 1)),
+			MsPerOp:      float64(best.Nanoseconds()) / 1e6 / float64(max(points, 1)),
+			Points:       points,
+			PointsPerSec: float64(points) / best.Seconds(),
+		})
+	}
+	{
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		points, err := runGrid()
+		if err != nil {
+			return fmt.Errorf("bench gc-pressure: %w", err)
+		}
+		dur := time.Since(start)
+		runtime.ReadMemStats(&after)
+		n := int64(max(points, 1))
+		rep.Benchmarks = append(rep.Benchmarks, benchResult{
+			Name:          "gc-pressure-paper-grid",
+			Iterations:    1,
+			NsPerOp:       dur.Nanoseconds() / n,
+			MsPerOp:       float64(dur.Nanoseconds()) / 1e6 / float64(n),
+			Points:        points,
+			BytesPerPoint: int64(after.TotalAlloc-before.TotalAlloc) / n,
+			GCPerPoint:    float64(after.NumGC-before.NumGC) / float64(n),
+		})
+	}
+
 	// The 3-level l3-shared tree next to the 2-level runs, so the
 	// per-level walk cost shows up in the BENCH_* trajectory.
 	l3w := workloads.JPEGCanny(cfg.Scale, nil)
@@ -155,7 +233,18 @@ func runBench(cfg experiments.Config, iters int, asJSON bool) error {
 	fmt.Printf("execution-engine benchmarks (%s scale, best of %d, GOMAXPROCS=%d)\n",
 		rep.Scale, iters, rep.GOMAXPROCS)
 	for _, b := range rep.Benchmarks {
-		fmt.Printf("  %-44s %10.1f ms\n", b.Name, b.MsPerOp)
+		fmt.Printf("  %-44s %10.1f ms", b.Name, b.MsPerOp)
+		if b.Points > 0 {
+			fmt.Printf("  (%d pts", b.Points)
+			if b.PointsPerSec > 0 {
+				fmt.Printf(", %.2f pts/s", b.PointsPerSec)
+			}
+			if b.BytesPerPoint > 0 {
+				fmt.Printf(", %.1f MB/pt, %.1f GC/pt", float64(b.BytesPerPoint)/1e6, b.GCPerPoint)
+			}
+			fmt.Printf(")")
+		}
+		fmt.Println()
 	}
 	return nil
 }
