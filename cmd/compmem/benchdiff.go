@@ -1,0 +1,119 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+)
+
+// runBenchDiff compares two machine-readable bench reports (the output
+// of `compmem -json bench`) stage by stage and prints the deltas.
+// Stages that got slower than the threshold emit WARN lines; CI greps
+// those into annotations. The exit status stays 0 on regressions —
+// baselines are recorded on whatever machine produced them, so a delta
+// is a signal to inspect, not a build failure. Only malformed input or
+// a baseline/current stage mismatch is an error.
+func runBenchDiff(args []string) error {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	threshold := fs.Float64("threshold", 15, "regression warning threshold, percent")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("benchdiff: usage: compmem benchdiff [-threshold PCT] baseline.json current.json")
+	}
+	base, err := readBenchReport(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	cur, err := readBenchReport(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	if base.Scale != cur.Scale {
+		return fmt.Errorf("benchdiff: scale mismatch: baseline is %q, current is %q", base.Scale, cur.Scale)
+	}
+
+	baseByName := make(map[string]benchResult, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseByName[b.Name] = b
+	}
+
+	warns := 0
+	fmt.Printf("%-40s %12s %12s %8s\n", "stage", "base ms", "current ms", "delta")
+	for _, c := range cur.Benchmarks {
+		b, ok := baseByName[c.Name]
+		if !ok {
+			fmt.Printf("%-40s %12s %12.1f %8s\n", c.Name, "-", c.MsPerOp, "new")
+			continue
+		}
+		delta := pctChange(b.MsPerOp, c.MsPerOp)
+		fmt.Printf("%-40s %12.1f %12.1f %+7.1f%%\n", c.Name, b.MsPerOp, c.MsPerOp, delta)
+		if delta > *threshold {
+			warns++
+			fmt.Printf("WARN: %s is %.1f%% slower than the baseline (%.1f ms -> %.1f ms)\n",
+				c.Name, delta, b.MsPerOp, c.MsPerOp)
+		}
+		// The batch stages carry throughput and GC-pressure metrics
+		// beyond wall time; regressions there are exactly what the
+		// zero-alloc core is meant to hold.
+		if b.PointsPerSec > 0 && c.PointsPerSec > 0 {
+			// Higher is better: the drop is measured against the baseline.
+			if d := -pctChange(b.PointsPerSec, c.PointsPerSec); d > *threshold {
+				warns++
+				fmt.Printf("WARN: %s throughput fell %.1f%% (%.2f -> %.2f points/sec)\n",
+					c.Name, d, b.PointsPerSec, c.PointsPerSec)
+			}
+		}
+		if b.BytesPerPoint > 0 && c.BytesPerPoint > 0 {
+			if d := pctChange(float64(b.BytesPerPoint), float64(c.BytesPerPoint)); d > *threshold {
+				warns++
+				fmt.Printf("WARN: %s allocates %.1f%% more per point (%d -> %d bytes)\n",
+					c.Name, d, b.BytesPerPoint, c.BytesPerPoint)
+			}
+		}
+	}
+	for _, b := range base.Benchmarks {
+		found := false
+		for _, c := range cur.Benchmarks {
+			if c.Name == b.Name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Printf("WARN: baseline stage %s missing from the current report\n", b.Name)
+			warns++
+		}
+	}
+	if warns > 0 {
+		fmt.Printf("benchdiff: %d warning(s) at the %.0f%% threshold\n", warns, *threshold)
+	} else {
+		fmt.Printf("benchdiff: no stage regressed more than %.0f%%\n", *threshold)
+	}
+	return nil
+}
+
+// pctChange returns how much worse cur is than base, in percent, where
+// larger cur is worse. Callers flip the arguments for higher-is-better
+// metrics.
+func pctChange(base, cur float64) float64 {
+	if base == 0 {
+		return math.Inf(1)
+	}
+	return (cur - base) / base * 100
+}
+
+func readBenchReport(path string) (*benchReport, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("benchdiff: %w", err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("benchdiff: %s: %w", path, err)
+	}
+	return &rep, nil
+}

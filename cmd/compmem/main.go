@@ -23,6 +23,8 @@
 //	migration schedule sensitivity under task migration (X5)
 //	curves    dump the profiled per-entity miss curves m_i(z_p)
 //	bench     time the execution-engine stages (-json for bench.json output)
+//	benchdiff compare two bench JSON reports; warn on regressions:
+//	          benchdiff [-threshold PCT] baseline.json current.json
 //	all       everything above except bench
 //	trace     record, inspect and replay access-stream traces:
 //	          trace record -workload NAME [-scale small|paper] [-seed N] [-o file.ctr]
@@ -87,7 +89,7 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the command to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile after the command to this file")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: compmem [flags] table1|table2|fig2|fig3|headline|compose|granularity|split|migration|assign|curves|bench|all|trace|run|sweep|serve|scenarios\n")
+		fmt.Fprintf(os.Stderr, "usage: compmem [flags] table1|table2|fig2|fig3|headline|compose|granularity|split|migration|assign|curves|bench|benchdiff|all|trace|run|sweep|serve|scenarios\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -128,6 +130,8 @@ func main() {
 		if err == nil {
 			err = runBench(cfg, *benchN, *asJSON)
 		}
+	case "benchdiff":
+		err = runBenchDiff(rest)
 	case "trace":
 		err = runTrace(cfg, rest, *asJSON)
 	case "run":

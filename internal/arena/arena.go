@@ -1,0 +1,114 @@
+// Package arena provides a typed bump allocator for per-simulation
+// mutable state.
+//
+// A batch sweep runs many short-lived platform instances per process;
+// each one allocates the same shapes — cache tag/LRU/dirty arrays, line
+// register files, dirty lists — uses them for one simulation, and drops
+// them, leaving the garbage collector to sweep megabytes of dead state
+// per point. An Arena amortizes that: slabs are allocated once, handed
+// out by bumping an offset, and Reset rewinds the offsets so the next
+// simulation reuses the same memory with zero new allocations.
+//
+// Make returns zeroed memory, exactly like the builtin make, so callers
+// switch between arena and heap allocation (a nil *Arena) without any
+// behavioral difference. Slabs are segregated by element type, so a
+// returned slice is properly typed with no unsafe aliasing.
+//
+// An Arena is NOT safe for concurrent use. The simulation engine runs
+// tasks in strict handoff — exactly one goroutine of a platform instance
+// executes at any instant, with channel synchronization between handoffs
+// — so one arena per platform is race-free; concurrent simulations each
+// take their own arena.
+package arena
+
+import "reflect"
+
+// Arena is a bump allocator of typed slabs. The zero value is not
+// usable; call New.
+type Arena struct {
+	slabs map[reflect.Type]resettable
+}
+
+type resettable interface{ reset() }
+
+// New returns an empty arena.
+func New() *Arena {
+	return &Arena{slabs: make(map[reflect.Type]resettable)}
+}
+
+// Reset rewinds every slab so subsequently Made slices reuse the
+// arena's existing blocks. The caller must guarantee that no slice
+// handed out before the Reset is used afterwards: Make zeroes on
+// allocation, so stale slices would observe (and corrupt) the next
+// user's state.
+func (a *Arena) Reset() {
+	for _, s := range a.slabs {
+		s.reset()
+	}
+}
+
+// slab holds the blocks of one element type. blocks[cur] is the block
+// currently being bumped at offset used; earlier blocks are full (or
+// were too small for a request that skipped past them).
+type slab[T any] struct {
+	blocks [][]T
+	cur    int
+	used   int
+}
+
+func (s *slab[T]) reset() { s.cur, s.used = 0, 0 }
+
+// minBlockElems is the smallest block, in elements. Blocks double from
+// there (or jump straight to a large request's size), so a slab reaches
+// any working-set size in O(log n) allocations.
+const minBlockElems = 256
+
+func (s *slab[T]) alloc(n int) []T {
+	for {
+		if s.cur < len(s.blocks) {
+			if b := s.blocks[s.cur]; s.used+n <= len(b) {
+				out := b[s.used : s.used+n : s.used+n]
+				s.used += n
+				clear(out)
+				return out
+			}
+			// The current block cannot fit the request; advance. Later
+			// blocks are at least as large (blocks grow monotonically),
+			// so a fitting one is found or a new one is appended.
+			s.cur++
+			s.used = 0
+			continue
+		}
+		size := minBlockElems
+		if len(s.blocks) > 0 {
+			size = 2 * len(s.blocks[len(s.blocks)-1])
+		}
+		if size < n {
+			size = n
+		}
+		s.blocks = append(s.blocks, make([]T, size))
+		s.cur = len(s.blocks) - 1
+		s.used = 0
+	}
+}
+
+// Make allocates a zeroed slice of n elements with both length and
+// capacity n, from the arena when a is non-nil, from the heap (the
+// builtin make) when a is nil. The capacity is exact, so an append
+// beyond it copies out of the arena instead of overrunning a
+// neighboring allocation.
+func Make[T any](a *Arena, n int) []T {
+	if a == nil {
+		return make([]T, n)
+	}
+	if n == 0 {
+		return []T{}
+	}
+	key := reflect.TypeFor[T]()
+	s, ok := a.slabs[key].(*slab[T])
+	if !ok {
+		s = &slab[T]{}
+		a.slabs[key] = s
+	}
+	return s.alloc(n)
+}

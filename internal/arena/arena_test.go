@@ -1,0 +1,92 @@
+package arena
+
+import "testing"
+
+func TestMakeZeroesAndSizes(t *testing.T) {
+	a := New()
+	s := Make[uint64](a, 10)
+	if len(s) != 10 || cap(s) != 10 {
+		t.Fatalf("len=%d cap=%d, want 10/10", len(s), cap(s))
+	}
+	for i := range s {
+		if s[i] != 0 {
+			t.Fatalf("s[%d]=%d, want 0", i, s[i])
+		}
+		s[i] = uint64(i + 1)
+	}
+	// A second slice must not alias the first.
+	s2 := Make[uint64](a, 10)
+	for i := range s2 {
+		if s2[i] != 0 {
+			t.Fatalf("second slice aliases the first at %d: %d", i, s2[i])
+		}
+	}
+	for i := range s {
+		if s[i] != uint64(i+1) {
+			t.Fatalf("first slice corrupted at %d: %d", i, s[i])
+		}
+	}
+}
+
+func TestMakeNilArenaFallsBackToHeap(t *testing.T) {
+	s := Make[int32](nil, 7)
+	if len(s) != 7 || cap(s) != 7 {
+		t.Fatalf("len=%d cap=%d, want 7/7", len(s), cap(s))
+	}
+}
+
+func TestResetReusesBlocksAndZeroes(t *testing.T) {
+	a := New()
+	s := Make[int](a, minBlockElems)
+	for i := range s {
+		s[i] = -1
+	}
+	a.Reset()
+	r := Make[int](a, minBlockElems)
+	if &r[0] != &s[0] {
+		t.Fatalf("after Reset the first allocation did not reuse the first block")
+	}
+	for i := range r {
+		if r[i] != 0 {
+			t.Fatalf("reused memory not zeroed at %d: %d", i, r[i])
+		}
+	}
+}
+
+func TestLargeRequestGetsOwnBlock(t *testing.T) {
+	a := New()
+	Make[byte](a, 3)
+	big := Make[byte](a, 10*minBlockElems)
+	if len(big) != 10*minBlockElems {
+		t.Fatalf("len=%d", len(big))
+	}
+	// The small tail of the skipped block is not returned to; the next
+	// allocation bumps the big block.
+	next := Make[byte](a, 5)
+	if len(next) != 5 {
+		t.Fatalf("len=%d", len(next))
+	}
+}
+
+func TestTypesAreSegregated(t *testing.T) {
+	a := New()
+	u := Make[uint64](a, 4)
+	b := Make[bool](a, 4)
+	u[0] = ^uint64(0)
+	if b[0] {
+		t.Fatal("bool slab aliases uint64 slab")
+	}
+}
+
+func TestSteadyStateAllocFree(t *testing.T) {
+	a := New()
+	// Warm the slab, then a reset+make cycle must not allocate.
+	Make[uint64](a, 64)
+	allocs := testing.AllocsPerRun(100, func() {
+		a.Reset()
+		_ = Make[uint64](a, 64)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state reset+make allocates %.1f objects, want 0", allocs)
+	}
+}

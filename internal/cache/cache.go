@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"repro/internal/arena"
 	"repro/internal/mem"
 	"repro/internal/trace"
 )
@@ -114,7 +115,11 @@ type Cache struct {
 // New builds a cache with the given geometry. It panics on an invalid
 // configuration: geometry is fixed by the platform description and a bad
 // one is a programming error.
-func New(cfg Config) *Cache {
+func New(cfg Config) *Cache { return newIn(cfg, nil) }
+
+// newIn is New with the line-state arrays — the per-simulation mutable
+// state block — drawn from the arena (heap when a is nil).
+func newIn(cfg Config, a *arena.Arena) *Cache {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
@@ -123,10 +128,23 @@ func New(cfg Config) *Cache {
 		cfg:       cfg,
 		lineShift: cfg.LineShift(),
 		setMask:   cfg.SetMask(),
-		tags:      make([]uint64, n),
-		last:      make([]uint64, n),
-		dirty:     make([]bool, n),
+		tags:      arena.Make[uint64](a, n),
+		last:      arena.Make[uint64](a, n),
+		dirty:     arena.Make[bool](a, n),
 	}
+}
+
+// PresizeRegions grows the per-entity counter table to cover n region
+// ids up front (from the arena when a is non-nil), so the recording hot
+// path never reallocates it mid-run. The platform calls this at
+// assembly time, when the address space's region population is known.
+func (c *Cache) PresizeRegions(n int, a *arena.Arena) {
+	if n <= len(c.regions) {
+		return
+	}
+	grown := arena.Make[EntityStats](a, n)
+	copy(grown, c.regions)
+	c.regions = grown
 }
 
 // Config returns the cache geometry.

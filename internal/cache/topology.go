@@ -304,9 +304,12 @@ func (t Topology) Validate(numCPUs int) error {
 // instances of every level, group-assigned, plus the per-CPU hierarchy
 // paths the execution engine charges through.
 type Tree struct {
+	// Topo is shared read-only with the interned Descriptor the tree
+	// was instantiated from; it must not be mutated.
 	Topo    Topology
 	NumCPUs int
 
+	desc        *Descriptor
 	caches      [][]*Cache // [level][group]
 	groups      []int      // CPUs per instance, per level
 	firstShared int
@@ -316,31 +319,14 @@ type Tree struct {
 // Build instantiates the topology's caches. Shared levels get one
 // instance, cluster:N levels one per N CPUs, private levels one per CPU
 // (named "<level>.<cpu>"; per-CPU geometry overrides apply there).
+// It is Describe (interned, shared across equal topologies) followed by
+// a heap-allocated Instantiate.
 func (t Topology) Build(numCPUs int) (*Tree, error) {
-	if err := t.Validate(numCPUs); err != nil {
+	d, err := t.Describe(numCPUs)
+	if err != nil {
 		return nil, err
 	}
-	tr := &Tree{
-		Topo:        t.Clone(),
-		NumCPUs:     numCPUs,
-		firstShared: t.FirstShared(),
-		partLevel:   t.PartitionIndex(),
-	}
-	for _, l := range tr.Topo.Levels {
-		g, _ := GroupSize(l.Scope, numCPUs)
-		tr.groups = append(tr.groups, g)
-		n := numCPUs / g
-		row := make([]*Cache, n)
-		for i := range row {
-			cfg := l.ConfigFor(i * g) // identity for non-private scopes
-			if n > 1 {
-				cfg.Name = fmt.Sprintf("%s.%d", l.Name, i)
-			}
-			row[i] = New(cfg)
-		}
-		tr.caches = append(tr.caches, row)
-	}
-	return tr, nil
+	return d.Instantiate(nil), nil
 }
 
 // NumLevels returns the level count.
@@ -360,6 +346,9 @@ func (tr *Tree) LevelCaches(level int) []*Cache { return tr.caches[level] }
 // geometry the execution engine's line-register files are keyed by), or
 // 0 when the leaf is already shared (no cacheable batching).
 func (tr *Tree) MaxLeafSets() int {
+	if tr.desc != nil {
+		return tr.desc.MaxLeafSets()
+	}
 	if tr.firstShared == 0 {
 		return 0
 	}
@@ -371,6 +360,10 @@ func (tr *Tree) MaxLeafSets() int {
 	}
 	return most
 }
+
+// Descriptor returns the interned immutable descriptor the tree was
+// instantiated from, or nil for a hand-assembled tree.
+func (tr *Tree) Descriptor() *Descriptor { return tr.desc }
 
 // PartitionCache returns the partition level's (single, shared) cache.
 func (tr *Tree) PartitionCache() *Cache { return tr.caches[tr.partLevel][0] }

@@ -178,5 +178,10 @@ func RunApp(app *App, rc RunConfig) (*Result, error) {
 	res.Energy = rc.Power.CycleCost*float64(busy) +
 		rc.Power.L2Cost*float64(pres.L2.Accesses) +
 		rc.Power.MemCost*float64(pl.Bus().Traffic())
+	// Every result is now copied out of the platform (entities, task
+	// cycles, stats, energy inputs), so its arena can be recycled for
+	// the next simulation. Error paths above deliberately skip this:
+	// killed task goroutines may still reference arena memory.
+	pl.Release()
 	return res, nil
 }

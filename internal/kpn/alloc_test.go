@@ -64,3 +64,47 @@ func TestResumeNoReallocAcrossGeometries(t *testing.T) {
 		t.Fatalf("resuming across leaf geometries allocates %.1f objects per slice pair, want 0", allocs)
 	}
 }
+
+// TestMergedHotPathZeroAllocs pins the merged engine's per-access hot
+// path — Ctx.charge, Ctx.access (register repeats, slow walks, dirty
+// bookkeeping) and Ctx.chargeBulk — at zero allocations per slice. The
+// task streams word loads and stores over its heap and bulk transfers
+// through LoadBytes/StoreBytes, exercising repeats, fills, evictions,
+// writebacks and line-batched bulk traffic; after one warmup slice (the
+// register file's first-touch sizing, cache stat growth), steady-state
+// slices must not allocate at all.
+func TestMergedHotPathZeroAllocs(t *testing.T) {
+	as := mem.NewAddressSpace()
+	core := cpu.New(cpu.Config{Name: "p0", BaseCPI: 1.0})
+	h := newLeafHierarchy(64)
+
+	buf := make([]byte, 256)
+	p := &Process{
+		Name: "mix",
+		Code: as.MustAlloc("mix.code", mem.KindCode, "mix", 4096),
+		Heap: as.MustAlloc("mix.heap", mem.KindHeap, "mix", 65536),
+	}
+	p.Body = func(c *Ctx) {
+		for {
+			for off := uint64(0); off+4 <= p.Heap.Size; off += 4 {
+				c.Store32(p.Heap, off, uint32(off))
+				c.Load32(p.Heap, off)
+			}
+			for off := uint64(0); off+uint64(len(buf)) <= p.Heap.Size; off += uint64(len(buf)) {
+				c.LoadBytes(p.Heap, off, buf)
+				c.StoreBytes(p.Heap, off, buf)
+			}
+		}
+	}
+	p.Start()
+	defer p.Kill()
+
+	p.RunSlice(core, h, 5000) // warmup: size the register file, grow stats
+
+	allocs := testing.AllocsPerRun(50, func() {
+		p.RunSlice(core, h, 5000)
+	})
+	if allocs != 0 {
+		t.Fatalf("merged-engine hot path allocates %.1f objects per slice, want 0", allocs)
+	}
+}

@@ -13,6 +13,8 @@ package kpn
 import (
 	"fmt"
 
+	"repro/internal/arena"
+	"repro/internal/cache"
 	"repro/internal/cpu"
 	"repro/internal/mem"
 	"repro/internal/trace"
@@ -187,6 +189,15 @@ type Process struct {
 	// the file grows to each new maximum as geometries are encountered.
 	MaxLeafSets int
 
+	// Arena, when non-nil, provides the task's per-simulation mutable
+	// state (the line-register file and its dirty list) from the
+	// platform's bump arena instead of the heap. platform.AddTask stamps
+	// it. Safe despite the arena not being lock-protected: tasks execute
+	// in strict handoff (exactly one goroutine of the platform runs at
+	// any instant, with channel synchronization between handoffs), so
+	// arena access is serialized.
+	Arena *arena.Arena
+
 	state  State
 	ctx    *Ctx
 	resume chan resumeMsg
@@ -344,14 +355,15 @@ type Ctx struct {
 	// retirement is exact). Everything is retired and invalidated at
 	// yields — after a resume the task may be on another core, and other
 	// tasks touch the caches in between.
-	lmem     LineMemory // memsys's fast-path view; nil = word-granular
-	coalesce bool       // false under Process.WordExact
-	shift    uint       // line shift of the register file
-	setMask  uint64     // L1 set mask
-	hitLat   uint64     // per-repeat latency, cacheable class
-	mergeLat uint64     // per-repeat latency, bypass class
-	slots    []lineRun  // slotWays per set; nil = cacheable batching off
-	keys     []uint64   // packed epoch|line|region per slot, for the scan
+	lmem     LineMemory       // memsys's fast-path view; nil = word-granular
+	hier     *cache.Hierarchy // memsys's concrete type, when it is one: devirtualized dispatch
+	coalesce bool             // false under Process.WordExact
+	shift    uint             // line shift of the register file
+	setMask  uint64           // L1 set mask
+	hitLat   uint64           // per-repeat latency, cacheable class
+	mergeLat uint64           // per-repeat latency, bypass class
+	slots    []lineRun        // slotWays per set; nil = cacheable batching off
+	keys     []uint64         // packed epoch|line|region per slot, for the scan
 	slotsBuf []lineRun
 	keysBuf  []uint64
 	bypass   lineRun
@@ -427,6 +439,11 @@ func (c *Ctx) awaitResume() {
 	c.core = m.core
 	if m.mem != c.memsys {
 		c.memsys = m.mem
+		// Resolve the concrete hierarchy once per memory change, so the
+		// per-access charging paths dispatch directly instead of through
+		// the Memory/LineMemory interface tables (test stubs keep the
+		// interface fallback).
+		c.hier, _ = m.mem.(*cache.Hierarchy)
 		c.lmem = nil
 		c.slots = nil
 		if c.coalesce {
@@ -450,11 +467,16 @@ func (c *Ctx) awaitResume() {
 						if hint := c.proc.MaxLeafSets * slotWays; hint > full {
 							full = hint
 						}
-						c.slotsBuf = make([]lineRun, full)
+						c.slotsBuf = arena.Make[lineRun](c.proc.Arena, full)
 						for i := range c.slotsBuf {
 							c.slotsBuf[i].idx = int32(i)
 						}
-						c.keysBuf = make([]uint64, full)
+						c.keysBuf = arena.Make[uint64](c.proc.Arena, full)
+						// The dirty list is bounded: every visible register
+						// pends at most once between flushes (need entries),
+						// plus the bypass register. Pre-capping it here makes
+						// the appends in access/bufferOn allocation-free.
+						c.dirty = arena.Make[int32](c.proc.Arena, full+1)[:0]
 					}
 					c.slots = c.slotsBuf[:need]
 					c.keys = c.keysBuf[:need]
@@ -556,9 +578,15 @@ func (c *Ctx) Exec(n uint64) {
 }
 
 // charge sends one access through the memory system and stalls the core —
-// the word-granular reference path.
+// the word-granular reference path. The platform's concrete hierarchy is
+// called directly when awaitResume resolved one.
 func (c *Ctx) charge(a trace.Access) {
-	lat := c.memsys.AccessAt(a, c.core.Now())
+	var lat uint64
+	if h := c.hier; h != nil {
+		lat = h.AccessAt(a, c.core.Now())
+	} else {
+		lat = c.memsys.AccessAt(a, c.core.Now())
+	}
 	c.core.Stall(lat)
 	c.budget -= int64(lat)
 	c.consumed += lat
@@ -625,7 +653,14 @@ func (c *Ctx) slowCharge1(line uint64, write bool, region mem.RegionID, key uint
 		base = (line & c.setMask) * slotWays
 		c.flushSlot(base)
 	}
-	lat, cacheable, filled, evicted := c.lmem.ChargeLine(line, write, region, c.core.Now())
+	var lat uint64
+	var cacheable, filled bool
+	var evicted uint64
+	if h := c.hier; h != nil {
+		lat, cacheable, filled, evicted = h.ChargeLine(line, write, region, c.core.Now())
+	} else {
+		lat, cacheable, filled, evicted = c.lmem.ChargeLine(line, write, region, c.core.Now())
+	}
 	c.core.Stall(lat)
 	c.budget -= int64(lat)
 	c.consumed += lat
@@ -649,7 +684,12 @@ func (c *Ctx) slowChargeWide(a trace.Access, first, last uint64) {
 	if c.bypass.pending {
 		c.flushEntry(&c.bypass)
 	}
-	cacheable := c.lmem.CacheableLine(a.Region)
+	var cacheable bool
+	if h := c.hier; h != nil {
+		cacheable = h.CacheableLine(a.Region)
+	} else {
+		cacheable = c.lmem.CacheableLine(a.Region)
+	}
 	if cacheable && c.slots != nil {
 		for ln := first; ln <= last; ln++ {
 			base := (ln & c.setMask) * slotWays
@@ -772,6 +812,10 @@ func (c *Ctx) flushEntry(e *lineRun) {
 	}
 	reads, writes := e.reads, e.writes
 	e.reads, e.writes, e.pending = 0, 0, false
+	if h := c.hier; h != nil {
+		h.CommitRepeats(e.line, e.region, reads, writes, e.merge)
+		return
+	}
 	c.lmem.CommitRepeats(e.line, e.region, reads, writes, e.merge)
 }
 

@@ -14,6 +14,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+
+	"repro/internal/arena"
 )
 
 // Kind classifies a region by the role it plays in the application,
@@ -85,7 +87,8 @@ type Region struct {
 	Base  uint64
 	Size  uint64
 
-	data []byte // backing storage, allocated lazily
+	data  []byte        // backing storage, allocated lazily
+	space *AddressSpace // owning space; its arena provides the backing
 }
 
 // End returns the first address past the region.
@@ -103,7 +106,17 @@ func (r *Region) String() string {
 
 func (r *Region) backing() []byte {
 	if r.data == nil {
-		r.data = make([]byte, r.Size)
+		if r.space != nil {
+			// One bump allocation from the space's arena instead of an
+			// individual heap object per ring/stack/heap: the address
+			// space is itself per-simulation state, so its regions'
+			// backing shares the simulation's lifetime. First touch is
+			// serialized by the engine's strict handoff (or happens
+			// during single-threaded workload construction).
+			r.data = arena.Make[byte](r.space.bytes, int(r.Size))
+		} else {
+			r.data = make([]byte, r.Size)
+		}
 	}
 	return r.data
 }
@@ -167,6 +180,7 @@ type AddressSpace struct {
 	next    uint64
 	align   uint64
 	limit   uint64
+	bytes   *arena.Arena // backing storage for all regions
 }
 
 // DefaultAlign is the region alignment used by NewAddressSpace: one
@@ -177,7 +191,7 @@ const DefaultAlign = 64
 // base (so that address 0 is never valid) with DefaultAlign alignment and
 // a 4 GiB limit, matching the 32-bit linear addressing of the CAKE tile.
 func NewAddressSpace() *AddressSpace {
-	return &AddressSpace{next: 0x1000, align: DefaultAlign, limit: 1 << 32}
+	return &AddressSpace{next: 0x1000, align: DefaultAlign, limit: 1 << 32, bytes: arena.New()}
 }
 
 // SetAlign changes the region alignment. It must be called before any
@@ -226,6 +240,7 @@ func (as *AddressSpace) Alloc(name string, kind Kind, owner string, size uint64)
 		Owner: owner,
 		Base:  base,
 		Size:  size,
+		space: as,
 	}
 	as.regions = append(as.regions, r)
 	as.next = base + size
@@ -257,6 +272,7 @@ func (as *AddressSpace) AllocAt(name string, kind Kind, owner string, base, size
 		Owner: owner,
 		Base:  base,
 		Size:  size,
+		space: as,
 	}
 	as.regions = append(as.regions, r)
 	as.next = base + size

@@ -14,7 +14,9 @@ package platform
 
 import (
 	"fmt"
+	"sync"
 
+	"repro/internal/arena"
 	"repro/internal/bus"
 	"repro/internal/cache"
 	"repro/internal/cpu"
@@ -142,26 +144,48 @@ type Platform struct {
 	bus   *bus.Bus
 	hiers []*cache.Hierarchy
 	sched *rtos.Scheduler
+	arena *arena.Arena
 
 	rtData *mem.Region
 	rtBSS  *mem.Region
 	rtOff  uint64
 }
 
+// arenaPool recycles per-simulation arenas across platform instances:
+// a batch sweep assembles thousands of short-lived tiles, and reusing
+// each arena's slabs makes the per-simulation state block
+// allocation-free in steady state. Release returns a platform's arena
+// here; error paths deliberately do not (a killed task goroutine may
+// still reference arena memory, so a possibly-referenced arena is left
+// to the garbage collector instead of being recycled).
+var arenaPool = sync.Pool{New: func() any { return arena.New() }}
+
 // New assembles a tile over an existing address space (the application's
 // regions live there). rtData and rtBSS are the run-time system's shared
 // sections; they may be nil, disabling OS memory traffic.
+//
+// The immutable topology descriptor is interned (shared read-only across
+// all platforms of the same spec); the per-simulation state — cache line
+// state, entity counters, the tasks' line-register files — comes from a
+// pooled bump arena that Release recycles.
 func New(cfg Config, as *mem.AddressSpace, rtData, rtBSS *mem.Region) (*Platform, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	p := &Platform{cfg: cfg, as: as, rtData: rtData, rtBSS: rtBSS}
 	p.bus = bus.New(cfg.Bus)
-	tree, err := cfg.Topology.Build(cfg.NumCPUs)
+	desc, err := cfg.Topology.Describe(cfg.NumCPUs)
 	if err != nil {
 		return nil, err
 	}
+	p.arena = arenaPool.Get().(*arena.Arena)
+	tree := desc.Instantiate(p.arena)
 	p.tree = tree
+	for k := 0; k < tree.NumLevels(); k++ {
+		for _, c := range tree.LevelCaches(k) {
+			c.PresizeRegions(as.NumRegions(), p.arena)
+		}
+	}
 	// Precompute private-level cacheability per region: the hierarchy
 	// consults it on every single access, and resolving region + kind
 	// through the address space there is measurable on the hot path.
@@ -169,7 +193,7 @@ func New(cfg Config, as *mem.AddressSpace, rtData, rtBSS *mem.Region) (*Platform
 	// dense table indexed by region id suffices (ids past the table are
 	// conservative bypass, matching the nil-region behavior of the
 	// closure it replaces).
-	privOK := make([]bool, as.NumRegions())
+	privOK := arena.Make[bool](p.arena, as.NumRegions())
 	for _, r := range as.Regions() {
 		privOK[r.ID] = !r.Kind.Shared()
 	}
@@ -228,7 +252,26 @@ func (p *Platform) AddressSpace() *mem.AddressSpace { return p.as }
 func (p *Platform) AddTask(proc *kpn.Process, cpuIdx int) error {
 	proc.WordExact = p.cfg.Engine == EngineWordExact
 	proc.MaxLeafSets = p.tree.MaxLeafSets()
+	proc.Arena = p.arena
 	return p.sched.Add(proc, cpuIdx)
+}
+
+// Release returns the platform's arena to the pool for the next
+// simulation. Call it only after the run completed successfully and
+// every result has been copied out of the platform: the caches' line
+// state, entity counters and the tasks' line-register files all live in
+// the arena, and the platform must not be used afterwards. Skipping
+// Release is always safe (the arena is garbage-collected); core.RunApp
+// skips it on error paths, where killed task goroutines may still hold
+// arena references.
+func (p *Platform) Release() {
+	a := p.arena
+	if a == nil {
+		return
+	}
+	p.arena = nil
+	a.Reset()
+	arenaPool.Put(a)
 }
 
 // InstallAllocation installs a partition table at the topology's
