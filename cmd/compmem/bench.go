@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/explore"
 	"repro/internal/platform"
 	"repro/internal/scenario"
 	"repro/internal/sweep"
@@ -207,6 +208,41 @@ func runBench(cfg experiments.Config, iters int, asJSON bool) error {
 			Points:        points,
 			BytesPerPoint: int64(after.TotalAlloc-before.TotalAlloc) / n,
 			GCPerPoint:    float64(after.NumGC-before.NumGC) / float64(n),
+		})
+	}
+
+	// The adaptive-search stage: the same paper grid through the
+	// Pareto-guided exploration instead of the exhaustive sweep. Points
+	// records how many simulations the search needed to reach the
+	// exhaustive fronts — the fraction of the grid the adaptive
+	// subsystem saves is exactly what this stage tracks over time.
+	{
+		best := time.Duration(1<<63 - 1)
+		visited := 0
+		for i := 0; i < iters; i++ {
+			rn := scenario.NewRunner(cfg.Workers)
+			start := time.Now()
+			res, err := explore.Run(context.Background(), rn, explore.Explore{Name: gridSweep.Name, Sweep: gridSweep}, explore.Options{}, nil)
+			d := time.Since(start)
+			rn.Close()
+			if err != nil {
+				return fmt.Errorf("bench explore-paper-grid: %w", err)
+			}
+			if res.Failed > 0 {
+				return fmt.Errorf("explore paper-grid: %d points failed", res.Failed)
+			}
+			visited = res.Visited
+			if d < best {
+				best = d
+			}
+		}
+		rep.Benchmarks = append(rep.Benchmarks, benchResult{
+			Name:         "explore-paper-grid",
+			Iterations:   iters,
+			NsPerOp:      best.Nanoseconds() / int64(max(visited, 1)),
+			MsPerOp:      float64(best.Nanoseconds()) / 1e6 / float64(max(visited, 1)),
+			Points:       visited,
+			PointsPerSec: float64(visited) / best.Seconds(),
 		})
 	}
 

@@ -11,18 +11,21 @@ import (
 // runBenchDiff compares two machine-readable bench reports (the output
 // of `compmem -json bench`) stage by stage and prints the deltas.
 // Stages that got slower than the threshold emit WARN lines; CI greps
-// those into annotations. The exit status stays 0 on regressions —
-// baselines are recorded on whatever machine produced them, so a delta
-// is a signal to inspect, not a build failure. Only malformed input or
-// a baseline/current stage mismatch is an error.
+// those into annotations. By default the exit status stays 0 on
+// regressions — baselines are recorded on whatever machine produced
+// them, so a delta is a signal to inspect, not a build failure; only
+// malformed input or a baseline/current stage mismatch is an error.
+// -strict flips that: any warning fails the command, for gates run on
+// hardware that matches the baseline.
 func runBenchDiff(args []string) error {
 	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
 	threshold := fs.Float64("threshold", 15, "regression warning threshold, percent")
+	strict := fs.Bool("strict", false, "exit non-zero when any stage regresses past the threshold (default: warnings only)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 2 {
-		return fmt.Errorf("benchdiff: usage: compmem benchdiff [-threshold PCT] baseline.json current.json")
+		return fmt.Errorf("benchdiff: usage: compmem benchdiff [-threshold PCT] [-strict] baseline.json current.json")
 	}
 	base, err := readBenchReport(fs.Arg(0))
 	if err != nil {
@@ -90,6 +93,9 @@ func runBenchDiff(args []string) error {
 	}
 	if warns > 0 {
 		fmt.Printf("benchdiff: %d warning(s) at the %.0f%% threshold\n", warns, *threshold)
+		if *strict {
+			return fmt.Errorf("benchdiff: %d regression(s) past the %.0f%% threshold (strict mode)", warns, *threshold)
+		}
 	} else {
 		fmt.Printf("benchdiff: no stage regressed more than %.0f%%\n", *threshold)
 	}

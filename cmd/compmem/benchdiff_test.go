@@ -1,0 +1,58 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeBenchReport writes a minimal bench JSON document for benchdiff.
+func writeBenchReport(t *testing.T, dir, name string, msPerOp float64) string {
+	t.Helper()
+	rep := benchReport{
+		GOOS: "linux", GOARCH: "amd64", GOMAXPROCS: 1, Scale: "small",
+		Benchmarks: []benchResult{
+			{Name: "profile/app1", Iterations: 3, MsPerOp: msPerOp, NsPerOp: int64(msPerOp * 1e6)},
+		},
+	}
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestBenchDiffStrict pins the two exit modes: a regression past the
+// threshold is annotate-only by default (CI stays green and greps the
+// WARN lines) and a hard failure under -strict. A clean comparison
+// passes in both modes.
+func TestBenchDiffStrict(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBenchReport(t, dir, "base.json", 100)
+	regressed := writeBenchReport(t, dir, "regressed.json", 200)
+	steady := writeBenchReport(t, dir, "steady.json", 101)
+
+	if err := runBenchDiff([]string{base, regressed}); err != nil {
+		t.Errorf("default mode must stay exit-0 on regressions, got %v", err)
+	}
+	if err := runBenchDiff([]string{"-strict", base, regressed}); err == nil {
+		t.Error("-strict must fail on a regression past the threshold")
+	}
+	if err := runBenchDiff([]string{"-strict", base, steady}); err != nil {
+		t.Errorf("-strict must pass a within-threshold comparison, got %v", err)
+	}
+	// A missing stage is a warning, so strict mode must also catch it.
+	missing := filepath.Join(dir, "missing.json")
+	raw, _ := json.Marshal(benchReport{Scale: "small"})
+	if err := os.WriteFile(missing, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runBenchDiff([]string{"-strict", base, missing}); err == nil {
+		t.Error("-strict must fail when a baseline stage disappears")
+	}
+}

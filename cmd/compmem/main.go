@@ -24,13 +24,16 @@
 //	curves    dump the profiled per-entity miss curves m_i(z_p)
 //	bench     time the execution-engine stages (-json for bench.json output)
 //	benchdiff compare two bench JSON reports; warn on regressions:
-//	          benchdiff [-threshold PCT] baseline.json current.json
+//	          benchdiff [-threshold PCT] [-strict] baseline.json current.json
+//	          (-strict exits non-zero on any regression; the default stays annotate-only)
 //	all       everything above except bench
 //	trace     record, inspect and replay access-stream traces:
 //	          trace record -workload NAME [-scale small|paper] [-seed N] [-o file.ctr]
 //	          trace info file.ctr | trace replay [-verify=false] file.ctr
 //	run       execute scenario specs: run -scenario file.json [-trace file.ctr] [-store-dir DIR] [-json]
 //	sweep     expand and run a parameter sweep: sweep -spec file.json|paper-grid [-max-points N] [-json]
+//	explore   budgeted Pareto-guided search over a sweep space:
+//	          explore -spec file.json|paper-grid [-budget N] [-checkpoint DIR] [-resume] [-store-dir DIR] [-json]
 //	serve     HTTP scenario service: serve [-addr :8080] [-store-dir DIR] [-max-inflight N] [-queue N] [-request-timeout D] [-drain D]
 //	scenarios list built-in scenarios, sweeps and registered workloads
 //
@@ -89,7 +92,7 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the command to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile after the command to this file")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: compmem [flags] table1|table2|fig2|fig3|headline|compose|granularity|split|migration|assign|curves|bench|benchdiff|all|trace|run|sweep|serve|scenarios\n")
+		fmt.Fprintf(os.Stderr, "usage: compmem [flags] table1|table2|fig2|fig3|headline|compose|granularity|split|migration|assign|curves|bench|benchdiff|all|trace|run|sweep|explore|serve|scenarios\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -138,6 +141,8 @@ func main() {
 		err = runScenarios(cfg, rest, *asJSON)
 	case "sweep":
 		err = runSweep(cfg, rest, *asJSON)
+	case "explore":
+		err = runExplore(cfg, rest, *asJSON)
 	case "serve":
 		err = runServe(cfg, rest)
 	case "scenarios":

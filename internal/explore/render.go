@@ -1,0 +1,81 @@
+package explore
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/report"
+)
+
+// Render produces the terminal form of an exploration aggregate — the
+// human-readable shape of `compmem explore`: the coverage summary, the
+// memo line, the visit log in trajectory order, and the fronts the
+// search converged to.
+func Render(r *Result) string {
+	var b strings.Builder
+	name := r.Name
+	if name == "" {
+		name = "explore"
+	}
+	fmt.Fprintf(&b, "explore %s: visited %d of %d points (%.0f%%) in %d rounds, budget %d",
+		name, r.Visited, r.TotalPoints, 100*float64(r.Visited)/float64(max(r.TotalPoints, 1)), r.Rounds, r.Budget)
+	if r.Resumed > 0 {
+		fmt.Fprintf(&b, ", %d restored from checkpoint", r.Resumed)
+	}
+	if r.Failed > 0 {
+		fmt.Fprintf(&b, ", %d failed", r.Failed)
+	}
+	switch {
+	case r.Converged && r.Exhausted:
+		b.WriteString(" — space exhausted")
+	case r.Converged:
+		b.WriteString(" — converged")
+	case r.Exhausted:
+		b.WriteString(" — budget exhausted")
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "runner: %d stage runs (%d profile, %d optimize, %d measured), %d memo hits\n\n",
+		r.Stats.StageRuns, r.Stats.ProfileRuns, r.Stats.OptimizeRuns, r.Stats.RunRuns, r.Stats.MemoHits)
+
+	byIndex := map[int]*PointRecord{}
+	pt := &report.Table{
+		Title:   "Visited points (in visit order)",
+		Headers: []string{"#", "round", "point", "makespan", "misses", "energy"},
+	}
+	for i := range r.Points {
+		p := &r.Points[i]
+		byIndex[p.Index] = p
+		label := coordLabel(p.Coords)
+		if p.Rung != 0 {
+			label += fmt.Sprintf(" (culled at rung %d)", p.Rung)
+		}
+		switch {
+		case p.Error != "":
+			pt.AddRow(p.Index, p.Round, label, "error: "+p.Error, "", "")
+		case p.Metrics == nil:
+			pt.AddRow(p.Index, p.Round, label, "-", "-", "-")
+		default:
+			pt.AddRow(p.Index, p.Round, label, p.Metrics.Makespan, p.Metrics.Misses, p.Metrics.Energy)
+		}
+	}
+	b.WriteString(pt.String())
+
+	for _, f := range r.Pareto {
+		if len(f.Indices) == 0 {
+			continue
+		}
+		t := &report.Table{
+			Title:   fmt.Sprintf("\nPareto front: %s vs %s (non-dominated, both minimized)", f.X, f.Y),
+			Headers: []string{"#", "point", f.X, f.Y},
+		}
+		for _, idx := range f.Indices {
+			p := byIndex[idx]
+			if p == nil || p.Metrics == nil {
+				continue
+			}
+			t.AddRow(idx, coordLabel(p.Coords), p.Metrics.Get(f.X), p.Metrics.Get(f.Y))
+		}
+		b.WriteString(t.String())
+	}
+	return b.String()
+}

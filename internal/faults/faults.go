@@ -32,12 +32,18 @@ import (
 // atomic path, simulating a crash between rename and data flush).
 // SiteTraceRead is hit once per trace-stage document decode, so corrupt
 // recorded traces are provable to read as misses and recapture.
+// SiteExploreStep is hit once per exploration round, after the round's
+// points are evaluated but before its checkpoint is written — an
+// injected error there models a crash at the worst moment (work done,
+// progress not yet durable), which the resume path must absorb without
+// re-executing any completed stage.
 const (
-	SiteStage     = "stage."
-	SiteWorker    = "parallel.worker"
-	SiteStoreGet  = "store.get"
-	SiteStorePut  = "store.put"
-	SiteTraceRead = "trace.read"
+	SiteStage       = "stage."
+	SiteWorker      = "parallel.worker"
+	SiteStoreGet    = "store.get"
+	SiteStorePut    = "store.put"
+	SiteTraceRead   = "trace.read"
+	SiteExploreStep = "explore.step"
 )
 
 // Kind selects what an injection rule does when it fires.

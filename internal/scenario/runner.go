@@ -196,6 +196,28 @@ type Stats struct {
 	Quarantined  uint64 `json:"quarantined,omitempty"`  // corrupt durable records detected and quarantined
 }
 
+// Delta returns the counter-wise difference s - before: the stage work
+// attributable to the requests issued between the two snapshots (the
+// sweep and explore aggregates record exactly this).
+func (s Stats) Delta(before Stats) Stats {
+	return Stats{
+		StageRuns:    s.StageRuns - before.StageRuns,
+		MemoHits:     s.MemoHits - before.MemoHits,
+		StageErrors:  s.StageErrors - before.StageErrors,
+		StagePanics:  s.StagePanics - before.StagePanics,
+		ProfileRuns:  s.ProfileRuns - before.ProfileRuns,
+		OptimizeRuns: s.OptimizeRuns - before.OptimizeRuns,
+		RunRuns:      s.RunRuns - before.RunRuns,
+		TraceRuns:    s.TraceRuns - before.TraceRuns,
+		TraceHits:    s.TraceHits - before.TraceHits,
+		TraceBytes:   s.TraceBytes - before.TraceBytes,
+		DiskHits:     s.DiskHits - before.DiskHits,
+		DiskMisses:   s.DiskMisses - before.DiskMisses,
+		StoreErrors:  s.StoreErrors - before.StoreErrors,
+		Quarantined:  s.Quarantined - before.Quarantined,
+	}
+}
+
 // Stats returns a snapshot of the runner's counters.
 func (r *Runner) Stats() Stats {
 	s := Stats{

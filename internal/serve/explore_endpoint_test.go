@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/explore"
+	"repro/internal/report"
+	"repro/internal/scenario"
+)
+
+// postExplore submits an exploration spec and returns the status and
+// NDJSON body (the sweep helper with a different path).
+func postExplore(t *testing.T, url, body string) (int, string) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/explore", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var b strings.Builder
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for sc.Scan() {
+		b.WriteString(sc.Text())
+		b.WriteByte('\n')
+	}
+	return resp.StatusCode, b.String()
+}
+
+// TestExploreEndpointStreamShape checks POST /v1/explore: one
+// "explore.point" envelope per visited point in visit order, then the
+// "explore.front" aggregate, then a complete "stream.end".
+func TestExploreEndpointStreamShape(t *testing.T) {
+	srv := testServer(t)
+	status, body := postExplore(t, srv.URL, `{
+		"name": "srv-explore",
+		"sweep": {
+			"base": {"workload": "jpeg1-only", "scale": "small", "runs": 1},
+			"axes": [{"field": "seed", "range": {"from": 0, "count": 4}}],
+			"pareto": [{"x": "misses", "y": "makespan"}]
+		}
+	}`)
+	if status != http.StatusOK {
+		t.Fatalf("explore: %d\n%s", status, body)
+	}
+	lines := strings.Split(strings.TrimSpace(body), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("want point lines + aggregate + stream.end, got %d:\n%s", len(lines), body)
+	}
+	points := lines[: len(lines)-2 : len(lines)-2]
+	for _, line := range points {
+		var env struct {
+			SchemaVersion int                 `json:"schema_version"`
+			Kind          string              `json:"kind"`
+			Payload       explore.PointResult `json:"payload"`
+		}
+		if err := json.Unmarshal([]byte(line), &env); err != nil {
+			t.Fatalf("bad point line %q: %v", line, err)
+		}
+		if env.Kind != explore.PointKind || env.SchemaVersion != report.SchemaVersion {
+			t.Errorf("bad point envelope: kind %q version %d", env.Kind, env.SchemaVersion)
+		}
+		if env.Payload.Result == nil || env.Payload.Result.Error != "" {
+			t.Errorf("point %d failed: %+v", env.Payload.Index, env.Payload.Result)
+		}
+	}
+	var agg struct {
+		Kind    string         `json:"kind"`
+		Payload explore.Result `json:"payload"`
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-2]), &agg); err != nil {
+		t.Fatal(err)
+	}
+	if agg.Kind != explore.FrontKind {
+		t.Fatalf("second-to-last line must be the front aggregate, got %q", agg.Kind)
+	}
+	if agg.Payload.TotalPoints != 4 || agg.Payload.Visited != len(points) || agg.Payload.Failed != 0 {
+		t.Errorf("bad aggregate: %+v", agg.Payload)
+	}
+	if len(agg.Payload.Pareto) != 1 || len(agg.Payload.Pareto[0].Indices) == 0 {
+		t.Errorf("aggregate must carry a non-empty front: %+v", agg.Payload.Pareto)
+	}
+	requireStreamEnd(t, lines[len(lines)-1], len(points), len(points), "complete")
+}
+
+// TestExploreEndpointRejections covers the explore 4xx paths: strict
+// spec decoding, version gating, method gating.
+func TestExploreEndpointRejections(t *testing.T) {
+	srv := testServer(t)
+	for name, c := range map[string]struct {
+		body string
+		want int
+	}{
+		"malformed":        {`{"sweep": }`, http.StatusBadRequest},
+		"unknown field":    {`{"sweep": "paper-grid", "surprize": 1}`, http.StatusBadRequest},
+		"bad version":      {`{"spec_version": 99, "sweep": "paper-grid"}`, http.StatusBadRequest},
+		"no sweep":         {`{"name": "empty"}`, http.StatusBadRequest},
+		"unknown builtin":  {`{"sweep": "no-such-grid"}`, http.StatusBadRequest},
+		"descending rungs": {`{"sweep": "paper-grid", "strategy": {"rungs": [2, 1]}}`, http.StatusBadRequest},
+	} {
+		if status, body := postExplore(t, srv.URL, c.body); status != c.want {
+			t.Errorf("%s: want %d, got %d (%s)", name, c.want, status, body)
+		}
+	}
+	resp, err := http.Get(srv.URL + "/v1/explore")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/explore: want 405, got %d", resp.StatusCode)
+	}
+}
+
+// TestExploreEndpointBudgetClamp checks the server clamps the search
+// budget to its batch limit while leaving the (lazily indexed) space
+// unclamped — the exploration of a large space proceeds, bounded.
+func TestExploreEndpointBudgetClamp(t *testing.T) {
+	s := NewWithOptions(testConfig(), scenario.NewRunner(2), Options{MaxBatch: 3})
+	srv := httptest.NewServer(s)
+	t.Cleanup(srv.Close)
+
+	status, body := postExplore(t, srv.URL, `{
+		"sweep": {
+			"base": {"workload": "jpeg1-only", "scale": "small", "runs": 1, "partition": "profile"},
+			"axes": [{"field": "seed", "range": {"from": 0, "count": 5000}}],
+			"max_points": 5000,
+			"pareto": [{"x": "misses", "y": "makespan"}]
+		},
+		"strategy": {"budget": 100}
+	}`)
+	if status != http.StatusOK {
+		t.Fatalf("clamped explore: %d\n%s", status, body)
+	}
+	lines := strings.Split(strings.TrimSpace(body), "\n")
+	var agg struct {
+		Kind    string         `json:"kind"`
+		Payload explore.Result `json:"payload"`
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-2]), &agg); err != nil {
+		t.Fatal(err)
+	}
+	if agg.Kind != explore.FrontKind {
+		t.Fatalf("missing front aggregate, got %q", agg.Kind)
+	}
+	if agg.Payload.TotalPoints != 5000 || agg.Payload.Budget != 3 || agg.Payload.Visited > 3 {
+		t.Errorf("budget must clamp to the batch limit over the full space: %+v", agg.Payload)
+	}
+	if !agg.Payload.Exhausted {
+		t.Errorf("a budget-cut exploration must report exhaustion: %+v", agg.Payload)
+	}
+}

@@ -11,6 +11,7 @@
 //	GET  /v1/scenarios  built-in scenario specs (usable as "base")
 //	POST /v1/batch      {"scenarios":[spec,...]} → NDJSON result stream
 //	POST /v1/sweep      sweep spec → NDJSON per-point stream + aggregate
+//	POST /v1/explore    exploration spec → NDJSON visited-point stream + front aggregate
 //
 // One Runner is shared across requests, so its content-addressed memo
 // acts as a result cache: resubmitting a spec (or submitting a spec
@@ -45,6 +46,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/explore"
 	"repro/internal/report"
 	"repro/internal/scenario"
 	"repro/internal/sweep"
@@ -152,6 +154,7 @@ func NewWithOptions(cfg experiments.Config, rn *scenario.Runner, opts Options) *
 	s.mux.HandleFunc("/v1/scenarios", s.scenarios)
 	s.mux.HandleFunc("/v1/batch", s.admitted(s.batch))
 	s.mux.HandleFunc("/v1/sweep", s.admitted(s.sweep))
+	s.mux.HandleFunc("/v1/explore", s.admitted(s.explore))
 	return s
 }
 
@@ -504,6 +507,87 @@ func (s *Server) sweep(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.endStream(enc, flusher, streamEnd(delivered, len(points), ctx, encErr))
+}
+
+// explore runs a budgeted Pareto-guided exploration of a sweep-defined
+// space, streaming one "explore.point" envelope per newly simulated
+// point (in visit order; a rung-probed then promoted candidate streams
+// once per fidelity), a final "explore.front" aggregate, and the
+// terminal "stream.end". The spec's budget is clamped to the server's
+// batch limit — the space itself may be far larger (it is indexed
+// lazily, never expanded), which is exactly what the adaptive search is
+// for. Checkpointing is a CLI concern; the server's continuity story is
+// the shared runner memo (and durable store, when configured):
+// resubmitting an exploration re-simulates nothing already computed.
+func (s *Server) explore(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST an exploration spec to this endpoint"))
+		return
+	}
+	body, ok := s.readBody(w, r, "exploration spec")
+	if !ok {
+		return
+	}
+	ex, err := explore.Parse(body,
+		func(name string) (scenario.Scenario, bool) { return experiments.BuiltinScenario(s.cfg, name) },
+		func(name string) (sweep.Sweep, bool) { return experiments.BuiltinSweep(s.cfg, name) },
+	)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Surface space-definition errors (a range whose later values break
+	// a field constraint, dimension overflow) as a 400 before the
+	// response header commits; total itself may legitimately be huge.
+	if _, err := ex.Sweep.Index(); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	budget := ex.Strategy.Budget
+	if budget <= 0 || budget > s.opts.MaxBatch {
+		budget = s.opts.MaxBatch
+	}
+
+	s.rn.TrimMemo(maxMemoEntries)
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	ctx := r.Context()
+	delivered := 0
+	var encErr error
+	res, runErr := explore.Run(ctx, s.rn, ex, explore.Options{Budget: budget}, func(p explore.PointResult) {
+		if encErr != nil {
+			return
+		}
+		if err := enc.Encode(p.Envelope()); err != nil {
+			encErr = err
+			s.logf("serve: explore stream: client write failed after %d points: %v", delivered, err)
+			return
+		}
+		delivered++
+		if flusher != nil {
+			flusher.Flush()
+		}
+	})
+	if res != nil && runErr == nil && ctx.Err() == nil && encErr == nil {
+		if err := enc.Encode(res.Envelope()); err != nil {
+			encErr = err
+			s.logf("serve: explore stream: writing aggregate: %v", err)
+		} else if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	// An adaptive search's point count is not knowable upfront, so the
+	// terminal envelope cannot promise an expected count the way the
+	// batch and sweep streams do: expected mirrors delivered, and a
+	// search failing mid-run is reported as a truncation.
+	end := streamEnd(delivered, delivered, ctx, encErr)
+	if runErr != nil && end.Reason == "complete" {
+		end.Reason, end.Error = "truncated", runErr.Error()
+	}
+	s.endStream(enc, flusher, end)
 }
 
 // reject writes an over-capacity (or draining) response with the

@@ -50,6 +50,11 @@ func validMetric(name string) bool {
 	return false
 }
 
+// Get extracts a metric by name (see MetricNames); unknown names read
+// as 0 — Pareto pairs are validated against the registry long before
+// any lookup.
+func (m *Metrics) Get(name string) float64 { return m.get(name) }
+
 // get extracts a metric by name.
 func (m *Metrics) get(name string) float64 {
 	switch name {
@@ -68,6 +73,13 @@ func (m *Metrics) get(name string) float64 {
 	}
 	return 0
 }
+
+// MetricsOf derives a point's metrics from its scenario result — nil
+// when the result carries no measured run (profile/optimize policies,
+// failures). The exploration layer summarizes its visited points
+// through exactly this derivation, so explore and sweep fronts are
+// computed from identical numbers.
+func MetricsOf(r *scenario.Result) *Metrics { return metricsOf(r) }
 
 // metricsOf derives a point's metrics from its scenario result.
 func metricsOf(r *scenario.Result) *Metrics {
@@ -236,23 +248,7 @@ func ExecuteExpanded(ctx context.Context, rn *scenario.Runner, sw Sweep, points 
 		Truncated:     total - len(points),
 		Points:        make([]PointSummary, len(points)),
 	}
-	after := rn.Stats()
-	res.Stats = scenario.Stats{
-		StageRuns:    after.StageRuns - before.StageRuns,
-		MemoHits:     after.MemoHits - before.MemoHits,
-		StageErrors:  after.StageErrors - before.StageErrors,
-		StagePanics:  after.StagePanics - before.StagePanics,
-		ProfileRuns:  after.ProfileRuns - before.ProfileRuns,
-		OptimizeRuns: after.OptimizeRuns - before.OptimizeRuns,
-		RunRuns:      after.RunRuns - before.RunRuns,
-		TraceRuns:    after.TraceRuns - before.TraceRuns,
-		TraceHits:    after.TraceHits - before.TraceHits,
-		TraceBytes:   after.TraceBytes - before.TraceBytes,
-		DiskHits:     after.DiskHits - before.DiskHits,
-		DiskMisses:   after.DiskMisses - before.DiskMisses,
-		StoreErrors:  after.StoreErrors - before.StoreErrors,
-		Quarantined:  after.Quarantined - before.Quarantined,
-	}
+	res.Stats = rn.Stats().Delta(before)
 	for i, p := range points {
 		ps := PointSummary{Index: i, Coords: p.Coords}
 		switch r := results[i]; {
@@ -283,6 +279,22 @@ func ExecuteExpanded(ctx context.Context, rn *scenario.Runner, sw Sweep, points 
 		res.Pareto = append(res.Pareto, paretoFront(res.Points, pr))
 	}
 	return res, ctx.Err()
+}
+
+// ComputeSensitivity builds the per-axis marginal tables over an
+// arbitrary point-summary set — the aggregation Execute applies to a
+// full expansion, exposed so the exploration layer can marginalize over
+// exactly the points it visited.
+func ComputeSensitivity(sw Sweep, points []PointSummary) []AxisSensitivity {
+	return sensitivity(sw, points)
+}
+
+// ComputeParetoFront computes the non-dominated set of a point-summary
+// set under minimization of the metric pair (see ParetoFront). Indices
+// refer to the summaries' own Index fields, so fronts over explored
+// subsets and over full expansions are directly comparable.
+func ComputeParetoFront(points []PointSummary, pair ParetoPair) ParetoFront {
+	return paretoFront(points, pair)
 }
 
 // sensitivity builds one marginal table per axis over the executed

@@ -309,15 +309,16 @@ type dim struct {
 	n    int
 }
 
-// plan validates the sweep and computes its dimensions, full product
-// size and capped point count — everything Expand needs short of
-// materializing the points.
-func (sw Sweep) plan() ([]dim, int, int, error) {
+// dims validates the sweep and groups its axes into cross-product
+// dimensions (a zip group is one dimension, ordered by its first
+// appearance), returning them with the full product size. Only the
+// computability bound applies here — the expansion caps belong to plan,
+// so index-addressed consumers (Index/PointAt) can walk spaces far
+// beyond the exhaustive-expansion limit.
+func (sw Sweep) dims() ([]dim, int, error) {
 	if err := sw.Validate(); err != nil {
-		return nil, 0, 0, err
+		return nil, 0, err
 	}
-	// Group axes into dimensions: a zip group is one dimension, ordered
-	// by its first appearance.
 	var dims []dim
 	zipDim := map[string]int{}
 	for i, ax := range sw.Axes {
@@ -339,9 +340,20 @@ func (sw Sweep) plan() ([]dim, int, int, error) {
 	total := 1
 	for _, d := range dims {
 		if d.n > hardMax/total {
-			return nil, 0, 0, fmt.Errorf("sweep: cross-product exceeds %d points", hardMax)
+			return nil, 0, fmt.Errorf("sweep: cross-product exceeds %d points", hardMax)
 		}
 		total *= d.n
+	}
+	return dims, total, nil
+}
+
+// plan validates the sweep and computes its dimensions, full product
+// size and capped point count — everything Expand needs short of
+// materializing the points.
+func (sw Sweep) plan() ([]dim, int, int, error) {
+	dims, total, err := sw.dims()
+	if err != nil {
+		return nil, 0, 0, err
 	}
 	limit := total
 	if sw.MaxPoints > 0 && limit > sw.MaxPoints {
@@ -368,11 +380,46 @@ func (sw Sweep) Size() (executed, total int, err error) {
 // product size. The order is a function of the spec alone, so sweep
 // results are stable across runs, platforms and worker counts.
 func (sw Sweep) Expand() ([]Point, int, error) {
-	dims, total, limit, err := sw.plan()
+	_, total, limit, err := sw.plan()
 	if err != nil {
 		return nil, 0, err
 	}
+	sp, err := sw.Index()
+	if err != nil {
+		return nil, 0, err
+	}
+	points := make([]Point, limit)
+	for p := 0; p < limit; p++ {
+		pt, err := sp.PointAt(p)
+		if err != nil {
+			return nil, 0, err
+		}
+		points[p] = pt
+	}
+	return points, total, nil
+}
 
+// Space is the index-addressed view of a sweep's cross-product: points
+// are materialized one at a time by PointAt in exactly Expand's
+// dimension-major order, without building (or bounding) the whole
+// expansion — the adaptive-exploration layer addresses million-point
+// spaces through it. The exhaustive-expansion caps (MaxPoints,
+// DefaultMaxPoints) deliberately do not apply; only the computability
+// bound on the product size does.
+type Space struct {
+	sw      Sweep
+	name    string
+	dims    []dim
+	axisDim []int
+	total   int
+}
+
+// Index validates the sweep once and returns its index-addressed space.
+func (sw Sweep) Index() (*Space, error) {
+	dims, total, err := sw.dims()
+	if err != nil {
+		return nil, err
+	}
 	name := sw.Name
 	if name == "" {
 		name = "sweep"
@@ -386,27 +433,99 @@ func (sw Sweep) Expand() ([]Point, int, error) {
 			axisDim[ai] = d
 		}
 	}
-	points := make([]Point, limit)
-	for p := 0; p < limit; p++ {
-		// Per-dimension indices, last dimension fastest.
-		idx := make([]int, len(dims))
-		rem := p
-		for d := len(dims) - 1; d >= 0; d-- {
-			idx[d] = rem % dims[d].n
-			rem /= dims[d].n
-		}
-		s := sw.Base
-		s.Base = ""
-		coords := make([]Coord, 0, len(sw.Axes))
-		for i, ax := range sw.Axes {
-			k := idx[axisDim[i]]
-			if err := ax.apply(&s, k); err != nil {
-				return nil, 0, fmt.Errorf("sweep: point %d, axis %s: %w", p, ax.label(), err)
-			}
-			coords = append(coords, Coord{Axis: ax.label(), Value: ax.valueLabel(k)})
-		}
-		s.Name = fmt.Sprintf("%s[%s]", name, coordString(coords))
-		points[p] = Point{Index: p, Coords: coords, Scenario: s}
+	return &Space{sw: sw, name: name, dims: dims, axisDim: axisDim, total: total}, nil
+}
+
+// Total reports the full cross-product size.
+func (sp *Space) Total() int { return sp.total }
+
+// DimSizes returns the value count of each cross-product dimension (a
+// zip group counts as one dimension), in index order: the shape
+// coordinate-wise searches walk.
+func (sp *Space) DimSizes() []int {
+	sizes := make([]int, len(sp.dims))
+	for d, dm := range sp.dims {
+		sizes[d] = dm.n
 	}
-	return points, total, nil
+	return sizes
+}
+
+// DimOf returns the dimension index of the named axis (its label), or
+// -1 when no axis carries that label.
+func (sp *Space) DimOf(axis string) int {
+	for i, ax := range sp.sw.Axes {
+		if ax.label() == axis {
+			return sp.axisDim[i]
+		}
+	}
+	return -1
+}
+
+// CoordOf decodes a point index into its per-dimension value indices
+// (last dimension fastest, exactly Expand's order).
+func (sp *Space) CoordOf(p int) []int {
+	idx := make([]int, len(sp.dims))
+	rem := p
+	for d := len(sp.dims) - 1; d >= 0; d-- {
+		idx[d] = rem % sp.dims[d].n
+		rem /= sp.dims[d].n
+	}
+	return idx
+}
+
+// IndexOf is CoordOf's inverse: the point index at the given
+// per-dimension value indices. It returns -1 when any coordinate is out
+// of its dimension's range.
+func (sp *Space) IndexOf(coord []int) int {
+	if len(coord) != len(sp.dims) {
+		return -1
+	}
+	p := 0
+	for d, k := range coord {
+		if k < 0 || k >= sp.dims[d].n {
+			return -1
+		}
+		p = p*sp.dims[d].n + k
+	}
+	return p
+}
+
+// PointAt materializes the p-th point of the cross-product, identical
+// to Expand's points[p] whenever the latter exists.
+func (sp *Space) PointAt(p int) (Point, error) {
+	if p < 0 || p >= sp.total {
+		return Point{}, fmt.Errorf("sweep: point index %d out of range [0, %d)", p, sp.total)
+	}
+	idx := sp.CoordOf(p)
+	s := sp.sw.Base
+	s.Base = ""
+	coords := make([]Coord, 0, len(sp.sw.Axes))
+	for i, ax := range sp.sw.Axes {
+		k := idx[sp.axisDim[i]]
+		if err := ax.apply(&s, k); err != nil {
+			return Point{}, fmt.Errorf("sweep: point %d, axis %s: %w", p, ax.label(), err)
+		}
+		coords = append(coords, Coord{Axis: ax.label(), Value: ax.valueLabel(k)})
+	}
+	s.Name = fmt.Sprintf("%s[%s]", sp.name, coordString(coords))
+	return Point{Index: p, Coords: coords, Scenario: s}, nil
+}
+
+// Total reports the full cross-product size without materializing any
+// point and without the exhaustive-expansion caps — the index-addressed
+// counterpart of Size.
+func (sw Sweep) Total() (int, error) {
+	_, total, err := sw.dims()
+	return total, err
+}
+
+// PointAt materializes one point of the cross-product by index. For
+// repeated addressing, build the Space once with Index instead (this
+// convenience re-validates the sweep per call).
+func (sw Sweep) PointAt(p int) (Point, error) {
+	sp, err := sw.Index()
+	if err != nil {
+		return Point{}, err
+	}
+	return sp.PointAt(p)
 }
